@@ -1,0 +1,379 @@
+// Package secureblox's root benchmark harness regenerates every figure of
+// the paper's evaluation (§8). Each BenchmarkFigN target runs the
+// corresponding experiment and reports the same quantity the figure plots
+// (fixpoint seconds, per-node KB, transaction ms, CDF quantiles). Absolute
+// numbers differ from the paper's 2010 cluster — the shape (scheme
+// ordering, growth with N, crossovers) is what EXPERIMENTS.md records.
+//
+// Default sizes are scaled down so `go test -bench=.` completes quickly;
+// set SBX_BENCH_FULL=1 for the paper's full size sweep, or use
+// cmd/pathvector and cmd/hashjoin for standalone runs with flags.
+package secureblox
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"secureblox/internal/apps"
+	"secureblox/internal/core"
+	"secureblox/internal/datalog"
+	"secureblox/internal/engine"
+	"secureblox/internal/metrics"
+	"secureblox/internal/seccrypto"
+	"secureblox/internal/udf"
+	"secureblox/internal/wire"
+)
+
+func benchSizes(full []int, quick []int) []int {
+	if os.Getenv("SBX_BENCH_FULL") != "" {
+		return full
+	}
+	return quick
+}
+
+var (
+	pvSizes = benchSizes(
+		[]int{6, 12, 18, 24, 30, 36, 42, 48, 54, 60, 66, 72},
+		[]int{6, 12, 18})
+	hjSizes = benchSizes(
+		[]int{6, 12, 18, 24, 30, 36, 42, 48},
+		[]int{6, 12, 18})
+)
+
+func runPV(b *testing.B, n int, p core.PolicyConfig) *apps.PathVectorResult {
+	b.Helper()
+	res, err := apps.RunPathVector(apps.PathVectorConfig{
+		N: n, AvgDegree: 3, Policy: p, Seed: int64(n) * 31,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Violations != 0 {
+		b.Fatalf("violations: %d", res.Violations)
+	}
+	res.Cluster.Stop()
+	return res
+}
+
+func benchPathVector(b *testing.B, policies []core.PolicyConfig, report func(*testing.B, *apps.PathVectorResult)) {
+	for _, p := range policies {
+		for _, n := range pvSizes {
+			b.Run(fmt.Sprintf("%s/n=%d", p.Name(), n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					report(b, runPV(b, n, p))
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig4FixpointLatencyNoEnc regenerates Figure 4: fixpoint latency
+// for NoAuth, HMAC and RSA without encryption.
+func BenchmarkFig4FixpointLatencyNoEnc(b *testing.B) {
+	benchPathVector(b, []core.PolicyConfig{
+		{Auth: core.AuthNone}, {Auth: core.AuthHMAC}, {Auth: core.AuthRSA},
+	}, func(b *testing.B, r *apps.PathVectorResult) {
+		b.ReportMetric(r.FixpointLatency.Seconds(), "fixpoint-s")
+	})
+}
+
+// BenchmarkFig5FixpointLatencyEnc regenerates Figure 5: fixpoint latency
+// with AES encryption added.
+func BenchmarkFig5FixpointLatencyEnc(b *testing.B) {
+	benchPathVector(b, []core.PolicyConfig{
+		{Auth: core.AuthNone},
+		{Auth: core.AuthNone, Encrypt: true},
+		{Auth: core.AuthHMAC, Encrypt: true},
+		{Auth: core.AuthRSA, Encrypt: true},
+	}, func(b *testing.B, r *apps.PathVectorResult) {
+		b.ReportMetric(r.FixpointLatency.Seconds(), "fixpoint-s")
+	})
+}
+
+// BenchmarkFig6CommOverhead regenerates Figure 6: per-node communication
+// overhead (KB) for the unencrypted schemes.
+func BenchmarkFig6CommOverhead(b *testing.B) {
+	benchPathVector(b, []core.PolicyConfig{
+		{Auth: core.AuthNone}, {Auth: core.AuthHMAC}, {Auth: core.AuthRSA},
+	}, func(b *testing.B, r *apps.PathVectorResult) {
+		b.ReportMetric(r.PerNodeKB, "KB/node")
+	})
+}
+
+// BenchmarkFig7TxnDuration regenerates Figure 7: average local transaction
+// duration for NoAuth, HMAC and RSA-AES.
+func BenchmarkFig7TxnDuration(b *testing.B) {
+	benchPathVector(b, []core.PolicyConfig{
+		{Auth: core.AuthNone}, {Auth: core.AuthHMAC}, {Auth: core.AuthRSA, Encrypt: true},
+	}, func(b *testing.B, r *apps.PathVectorResult) {
+		b.ReportMetric(float64(r.MeanTxn.Microseconds())/1000, "txn-ms")
+	})
+}
+
+func benchConvergenceCDF(b *testing.B, n int) {
+	for _, p := range []core.PolicyConfig{
+		{Auth: core.AuthNone}, {Auth: core.AuthHMAC}, {Auth: core.AuthRSA, Encrypt: true},
+	} {
+		b.Run(fmt.Sprintf("%s/n=%d", p.Name(), n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := runPV(b, n, p)
+				cdf := &metrics.CDF{}
+				for _, d := range r.Convergence {
+					cdf.Add(d)
+				}
+				b.ReportMetric(float64(cdf.Quantile(0.5).Microseconds())/1000, "p50-ms")
+				b.ReportMetric(float64(cdf.Quantile(1.0).Microseconds())/1000, "p100-ms")
+			}
+		})
+	}
+}
+
+// BenchmarkFig8ConvergenceCDF36 regenerates Figure 8: cumulative fraction
+// of converged nodes on one 36-node random graph (scaled to the quick size
+// unless SBX_BENCH_FULL is set).
+func BenchmarkFig8ConvergenceCDF36(b *testing.B) {
+	n := 36
+	if os.Getenv("SBX_BENCH_FULL") == "" {
+		n = 18
+	}
+	benchConvergenceCDF(b, n)
+}
+
+// BenchmarkFig9ConvergenceCDF72 regenerates Figure 9: the 72-node graph.
+func BenchmarkFig9ConvergenceCDF72(b *testing.B) {
+	n := 72
+	if os.Getenv("SBX_BENCH_FULL") == "" {
+		n = 24
+	}
+	benchConvergenceCDF(b, n)
+}
+
+func runHJ(b *testing.B, n int, p core.PolicyConfig) *apps.HashJoinResult {
+	b.Helper()
+	cfg := apps.DefaultHashJoinConfig(n, p, int64(n)*17)
+	if os.Getenv("SBX_BENCH_FULL") == "" {
+		cfg.SizeA, cfg.SizeB, cfg.JoinValues = 300, 260, 24
+	}
+	res, err := apps.RunHashJoin(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Violations != 0 || res.ResultCount != res.ExpectedCount {
+		b.Fatalf("bad run: %d violations, %d/%d results",
+			res.Violations, res.ResultCount, res.ExpectedCount)
+	}
+	res.Cluster.Stop()
+	return res
+}
+
+func benchHashJoinCDF(b *testing.B, n int) {
+	for _, p := range []core.PolicyConfig{{Auth: core.AuthNone}, {Auth: core.AuthRSA, Encrypt: true}} {
+		b.Run(fmt.Sprintf("%s/n=%d", p.Name(), n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := runHJ(b, n, p)
+				b.ReportMetric(float64(r.InitiatorCDF.Quantile(0.5).Microseconds())/1000, "p50-ms")
+				b.ReportMetric(float64(r.InitiatorCDF.Quantile(1.0).Microseconds())/1000, "p100-ms")
+			}
+		})
+	}
+}
+
+// BenchmarkFig10HashJoinCDF6 regenerates Figure 10: transaction completion
+// CDF at the initiator for the 6-node hash join, NoAuth vs RSA-AES.
+func BenchmarkFig10HashJoinCDF6(b *testing.B) { benchHashJoinCDF(b, 6) }
+
+// BenchmarkFig11HashJoinCDF18 regenerates Figure 11: the 18-node variant,
+// where smaller batches amortize crypto less and the gap widens.
+func BenchmarkFig11HashJoinCDF18(b *testing.B) { benchHashJoinCDF(b, 18) }
+
+// BenchmarkFig12HashJoinOverhead regenerates Figure 12: per-node
+// communication overhead of the hash join across experiment sizes.
+func BenchmarkFig12HashJoinOverhead(b *testing.B) {
+	for _, p := range []core.PolicyConfig{{Auth: core.AuthNone}, {Auth: core.AuthRSA, Encrypt: true}} {
+		for _, n := range hjSizes {
+			b.Run(fmt.Sprintf("%s/n=%d", p.Name(), n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					r := runHJ(b, n, p)
+					b.ReportMetric(r.PerNodeKB, "KB/node")
+				}
+			})
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkEngineTransitiveClosure measures the raw engine: semi-naïve
+// fixpoint of a 200-node chain closure (20100 derived tuples).
+func BenchmarkEngineTransitiveClosure(b *testing.B) {
+	prog, err := datalog.Parse(`
+		reachable(X,Y) <- link(X,Y).
+		reachable(X,Y) <- link(X,Z), reachable(Z,Y).
+	`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var facts []engine.Fact
+	for i := 0; i < 200; i++ {
+		facts = append(facts, engine.Fact{Pred: "link",
+			Tuple: datalog.Tuple{datalog.Int64(int64(i)), datalog.Int64(int64(i + 1))}})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := engine.NewWorkspace(nil)
+		if err := w.Install(prog); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := w.Assert(facts); err != nil {
+			b.Fatal(err)
+		}
+		if w.Count("reachable") != 20100 {
+			b.Fatal("wrong closure size")
+		}
+	}
+}
+
+// BenchmarkRSASignVerify measures the paper's RSA-1024/SHA-1 operations —
+// the dominant cost behind Figures 4 and 7.
+func BenchmarkRSASignVerify(b *testing.B) {
+	key, err := seccrypto.GenerateRSAKey(seccrypto.NewDeterministicRand(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 64)
+	b.Run("sign", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := seccrypto.RSASign(key, data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	sig, _ := seccrypto.RSASign(key, data)
+	b.Run("verify", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !seccrypto.RSAVerify(&key.PublicKey, data, sig) {
+				b.Fatal("verify failed")
+			}
+		}
+	})
+}
+
+// BenchmarkHMACAndAES measures the cheap schemes for comparison.
+func BenchmarkHMACAndAES(b *testing.B) {
+	secret, _ := seccrypto.GenerateSecret(seccrypto.NewDeterministicRand(2))
+	data := make([]byte, 64)
+	b.Run("hmac-sign", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			seccrypto.HMACSign(secret, data)
+		}
+	})
+	b.Run("aes-encrypt", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := seccrypto.AESEncryptDetIV(secret, data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkWireCodec measures payload encode/decode, the per-tuple
+// serialization cost of §5.1.
+func BenchmarkWireCodec(b *testing.B) {
+	p := wire.Payload{
+		Pred: "path",
+		Sig:  make([]byte, 128),
+		Vals: datalog.Tuple{
+			datalog.Entity("pathvar", 12345),
+			datalog.NodeV("10.0.0.1:7000"), datalog.NodeV("10.0.0.2:7000"),
+			datalog.Int64(3),
+		},
+	}
+	enc := wire.EncodePayload(p)
+	b.Run("encode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			wire.EncodePayload(p)
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := wire.DecodePayload(enc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAnonCircuit measures the full anonymous join (§7.3) end to end.
+func BenchmarkAnonCircuit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := apps.RunAnonJoin(apps.AnonJoinConfig{
+			Relays: 2, Interests: 10, PublicRows: 100, Overlap: 6, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Results != res.Expected {
+			b.Fatal("wrong result")
+		}
+		b.ReportMetric(res.Duration.Seconds(), "fixpoint-s")
+		res.Cluster.Stop()
+	}
+}
+
+// BenchmarkAblationSigningBatchSize isolates the design choice behind
+// Figures 10/11: the same number of said tuples processed as one large
+// batch vs many single-tuple batches. Per-batch fixed costs (transaction
+// setup, constraint sweep) amortize in the large batch; per-tuple RSA
+// signatures do not — which is why the paper's footnote 2 recommends
+// signing batch aggregates, and why parallelism (smaller batches) hurts
+// RSA-AES disproportionately.
+func BenchmarkAblationSigningBatchSize(b *testing.B) {
+	const tuples = 64
+	for _, batch := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("RSA/batch=%d", batch), func(b *testing.B) {
+			ts, err := seccrypto.NewTrustSetup([]string{"a", "bpeer"}, seccrypto.NewDeterministicRand(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			ks := ts.Stores["a"]
+			prog, err := datalog.Parse(`
+				sig(V1, S) <- outgoing(V1), private_key[]=K, rsa_sign['m](K, V1, S).
+				packed(T) <- outgoing(V1), sig(V1, S), serialize['m](S, T, V1).
+			`)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				reg := engine.NewUDFRegistry()
+				if err := udf.Register(reg, ks, seccrypto.NewDeterministicRand(2)); err != nil {
+					b.Fatal(err)
+				}
+				w := engine.NewWorkspace(reg)
+				if err := w.Install(prog); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := w.Assert([]engine.Fact{{Pred: "private_key",
+					Tuple: datalog.Tuple{datalog.BytesV(ks.PrivateKeyDER())}}}); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				for start := 0; start < tuples; start += batch {
+					var facts []engine.Fact
+					for j := start; j < start+batch && j < tuples; j++ {
+						facts = append(facts, engine.Fact{Pred: "outgoing",
+							Tuple: datalog.Tuple{datalog.Int64(int64(j))}})
+					}
+					if _, err := w.Assert(facts); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if w.Count("packed") != tuples {
+					b.Fatal("wrong pipeline output")
+				}
+			}
+		})
+	}
+}

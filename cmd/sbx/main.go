@@ -1,0 +1,104 @@
+// Command sbx is the SecureBlox compiler/runner CLI: it compiles a
+// DatalogLB query together with BloxGenerics policy files, installs the
+// result into a local workspace, and dumps the derived database. With
+// -emit it prints the generated concrete program instead of running it.
+//
+// Usage:
+//
+//	sbx [-p policy.blox]... [-emit] [-dump pred1,pred2] query.dlb
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"secureblox/internal/engine"
+	"secureblox/internal/generics"
+	"secureblox/internal/seccrypto"
+	"secureblox/internal/udf"
+)
+
+type policyList []string
+
+func (p *policyList) String() string     { return strings.Join(*p, ",") }
+func (p *policyList) Set(v string) error { *p = append(*p, v); return nil }
+
+func main() {
+	log.SetFlags(0)
+	var policies policyList
+	flag.Var(&policies, "p", "BloxGenerics policy file (repeatable)")
+	emit := flag.Bool("emit", false, "print the compiled concrete program and exit")
+	dump := flag.String("dump", "", "comma-separated predicates to print (default: all non-empty)")
+	self := flag.String("self", "local", "local principal name")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sbx [-p policy.blox]... [-emit] [-dump preds] query.dlb")
+		os.Exit(2)
+	}
+	querySrc, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	gc := generics.NewCompiler()
+	for _, pf := range policies {
+		src, err := os.ReadFile(pf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := gc.AddPolicy(string(src)); err != nil {
+			log.Fatalf("%s: %v", pf, err)
+		}
+	}
+	res, err := gc.Compile(string(querySrc))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *emit {
+		fmt.Print(res.Program.String())
+		return
+	}
+
+	ks := seccrypto.NewKeyStore(*self)
+	key, err := seccrypto.GenerateRSAKey(seccrypto.NewDeterministicRand(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ks.SetPrivateKey(key)
+	ks.AddPublicKey(*self, &key.PublicKey)
+	reg, err := udf.NewRegistry(ks, seccrypto.NewDeterministicRand(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ws := engine.NewWorkspace(reg)
+	if err := ws.Install(res.Program); err != nil {
+		log.Fatal(err)
+	}
+	for _, diag := range ws.Unstratified {
+		fmt.Fprintln(os.Stderr, "warning:", diag)
+	}
+
+	var preds []string
+	if *dump != "" {
+		preds = strings.Split(*dump, ",")
+	} else {
+		for _, p := range ws.Predicates() {
+			if ws.Count(p) > 0 {
+				preds = append(preds, p)
+			}
+		}
+	}
+	sort.Strings(preds)
+	for _, p := range preds {
+		tuples := ws.Tuples(p)
+		sort.Slice(tuples, func(i, j int) bool { return tuples[i].Key() < tuples[j].Key() })
+		for _, t := range tuples {
+			fmt.Printf("%s%s.\n", p, t)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+// Anonjoin runs the paper's §7.3 anonymous join: an initiator joins a
+// local interests table against a remote publicdata table over an onion
+// circuit, so the table owner never learns who asked.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"secureblox/internal/apps"
+)
+
+func main() {
+	res, err := apps.RunAnonJoin(apps.AnonJoinConfig{
+		Relays: 2, Interests: 10, PublicRows: 100, Overlap: 6, Seed: 99,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer res.Cluster.Stop()
+
+	fmt.Printf("anonymous join over a %d-relay circuit\n", 2)
+	fmt.Printf("results at initiator: %d (expected %d)\n", res.Results, res.Expected)
+	fmt.Printf("time to fixpoint: %v\n", res.Duration)
+
+	endpoint := len(res.Cluster.Nodes) - 1
+	fmt.Println("\nwhat the table owner saw (circuit handle, hashed keys):")
+	for _, t := range res.Cluster.Query(endpoint, "anon_says_id_in$req_publicdata") {
+		fmt.Println(" ", t)
+	}
+	fmt.Println("\nthe owner never sees the initiator's identity or address —")
+	fmt.Println("requests are attributed only to the circuit.")
+}

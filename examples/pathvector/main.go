@@ -1,0 +1,46 @@
+// Pathvector runs the paper's §7.1 authenticated path-vector routing
+// protocol on a simulated cluster under two security configurations and
+// prints each node's routing table plus the security/performance tradeoff.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"secureblox/internal/apps"
+	"secureblox/internal/core"
+	"secureblox/internal/datalog"
+)
+
+func main() {
+	for _, policy := range []core.PolicyConfig{
+		{Auth: core.AuthNone},
+		{Auth: core.AuthRSA, Encrypt: true},
+	} {
+		res, err := apps.RunPathVector(apps.PathVectorConfig{
+			N: 8, AvgDegree: 3, Seed: 42, Policy: policy,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s ===\n", policy.Name())
+		fmt.Printf("fixpoint latency: %v\n", res.FixpointLatency)
+		fmt.Printf("per-node traffic: %.1f KB\n", res.PerNodeKB)
+		fmt.Printf("mean transaction: %v\n", res.MeanTxn)
+		if err := res.ValidateShortestPaths(); err != nil {
+			log.Fatalf("routing tables wrong: %v", err)
+		}
+		fmt.Println("routing table of node 0 (dst -> hops):")
+		me := datalog.NodeV(core.NodeAddr(0))
+		for j := 1; j < 8; j++ {
+			cost, ok := res.Cluster.Nodes[0].WS.LookupFn("bestcost", me, datalog.NodeV(core.NodeAddr(j)))
+			if ok {
+				fmt.Printf("  node %d: %d hop(s)\n", j, cost.Int)
+			}
+		}
+		res.Cluster.Stop()
+		fmt.Println()
+	}
+	fmt.Println("Both configurations computed identical shortest paths —")
+	fmt.Println("the security policy is decoupled from the protocol.")
+}

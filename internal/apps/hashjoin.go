@@ -1,0 +1,181 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"secureblox/internal/core"
+	"secureblox/internal/datalog"
+	"secureblox/internal/engine"
+	"secureblox/internal/metrics"
+)
+
+// HashJoinQuery is the paper's §7.2 secure parallel hash join: tables a and
+// b arrive hashed on their first attribute; nodes rehash both on the join
+// (second) attribute by saying tuples to the principal whose hash range
+// covers sha1(join key), join locally, and say results to the initiator.
+const HashJoinQuery = `
+	a(E1, E2) -> int(E1), int(E2).
+	b(E3, E2) -> int(E3), int(E2).
+	a2(E1, E2) -> int(E1), int(E2).
+	b2(E3, E2) -> int(E3), int(E2).
+	joinresult(E1, E2, E3) -> int(E1), int(E2), int(E3).
+	prin_minhash[U]=Lo -> principal(U), int(Lo).
+	prin_maxhash[U]=Hi -> principal(U), int(Hi).
+	exportable('a2).
+	exportable('b2).
+	exportable('joinresult).
+
+	// Rehash on the join attribute: route each tuple to the principal
+	// whose hash range contains sha1 of the join key.
+	says['a2](self[], U, E1, E2) <-
+		a(E1, E2), sha1(E2, H),
+		prin_minhash[U]=Lo, prin_maxhash[U]=Hi, H >= Lo, H < Hi.
+	says['b2](self[], U, E3, E2) <-
+		b(E3, E2), sha1(E2, H),
+		prin_minhash[U]=Lo, prin_maxhash[U]=Hi, H >= Lo, H < Hi.
+
+	// Import rehashed fragments.
+	a2(E1, E2) <- says['a2](U, self[], E1, E2).
+	b2(E3, E2) <- says['b2](U, self[], E3, E2).
+
+	// Local equi-join; results stream to the initiator.
+	says['joinresult](self[], U, E1, E2, E3) <-
+		a2(E1, E2), b2(E3, E2), initiator[]=U.
+	joinresult(E1, E2, E3) <- says['joinresult](U, self[], E1, E2, E3).
+`
+
+// HashJoinConfig parameterizes one experiment: paper §8.2 uses |A|=900,
+// |B|=800, 72 distinct join values, initiator at node 0.
+type HashJoinConfig struct {
+	N          int
+	SizeA      int
+	SizeB      int
+	JoinValues int
+	Policy     core.PolicyConfig
+	Seed       int64
+}
+
+// DefaultHashJoinConfig returns the paper's workload parameters.
+func DefaultHashJoinConfig(n int, policy core.PolicyConfig, seed int64) HashJoinConfig {
+	return HashJoinConfig{N: n, SizeA: 900, SizeB: 800, JoinValues: 72, Policy: policy, Seed: seed}
+}
+
+// HashJoinResult carries one run's measurements (paper §8.2).
+type HashJoinResult struct {
+	Duration      time.Duration
+	PerNodeKB     float64
+	ResultCount   int
+	ExpectedCount int
+	// InitiatorCDF is the distribution of transaction completion times at
+	// the initiator (Figures 10 and 11).
+	InitiatorCDF *metrics.CDF
+	Violations   int
+	Cluster      *core.Cluster
+}
+
+// RunHashJoin executes the join to the distributed fixpoint. The caller
+// must Stop() the result's Cluster.
+func RunHashJoin(cfg HashJoinConfig) (*HashJoinResult, error) {
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("hashjoin: need at least one node")
+	}
+	cfg.Policy.Delegation = core.DelegateNone
+	c, err := core.NewCluster(core.ClusterConfig{
+		N:      cfg.N,
+		Policy: cfg.Policy,
+		Query:  HashJoinQuery,
+		Seed:   cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Generate tables: join attribute drawn uniformly from JoinValues
+	// distinct values (randomized per trial, §8.2).
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	joinDomain := make([]int64, cfg.JoinValues)
+	for i := range joinDomain {
+		joinDomain[i] = int64(rng.Intn(1 << 30))
+	}
+	type row struct{ k, v int64 }
+	rowsA := make([]row, cfg.SizeA)
+	for i := range rowsA {
+		rowsA[i] = row{int64(i), joinDomain[i%cfg.JoinValues]}
+	}
+	rowsB := make([]row, cfg.SizeB)
+	for i := range rowsB {
+		rowsB[i] = row{int64(1000000 + i), joinDomain[i%cfg.JoinValues]}
+	}
+	// Expected |A ⋈ B| on the second attribute.
+	countA := map[int64]int{}
+	for _, r := range rowsA {
+		countA[r.v]++
+	}
+	expected := 0
+	for _, r := range rowsB {
+		expected += countA[r.v]
+	}
+
+	// Hash-range facts (the initial partitioning metadata, on every node)
+	// plus the initiator singleton.
+	var common []engine.Fact
+	span := int64(1) << 62 // ranges cover [0, 2^63) in N slices of 2^62*2/N ... use exact arithmetic below
+	_ = span
+	lo := int64(0)
+	step := int64((uint64(1) << 63) / uint64(cfg.N))
+	for j := 0; j < cfg.N; j++ {
+		hi := lo + step
+		if j == cfg.N-1 {
+			hi = int64(^uint64(0) >> 1) // 2^63-1; sha1 UDF yields < 2^63
+		}
+		pv := datalog.Prin(core.PrincipalName(j))
+		common = append(common,
+			engine.Fact{Pred: "prin_minhash", Tuple: datalog.Tuple{pv, datalog.Int64(lo)}},
+			engine.Fact{Pred: "prin_maxhash", Tuple: datalog.Tuple{pv, datalog.Int64(hi)}},
+		)
+		lo = hi
+	}
+	common = append(common, engine.Fact{
+		Pred: "initiator", Tuple: datalog.Tuple{datalog.Prin(core.PrincipalName(0))},
+	})
+	for i := range c.Nodes {
+		if _, err := c.Nodes[i].WS.Assert(common); err != nil {
+			return nil, fmt.Errorf("hashjoin: metadata on node %d: %w", i, err)
+		}
+	}
+
+	c.Start()
+	// Initial partitions: tuples assigned to nodes by their FIRST
+	// attribute (round-robin hash), the pre-rehash placement.
+	parts := make([][]engine.Fact, cfg.N)
+	for _, r := range rowsA {
+		i := int(r.k) % cfg.N
+		parts[i] = append(parts[i], engine.Fact{Pred: "a", Tuple: datalog.Tuple{datalog.Int64(r.k), datalog.Int64(r.v)}})
+	}
+	for _, r := range rowsB {
+		i := int(r.k) % cfg.N
+		parts[i] = append(parts[i], engine.Fact{Pred: "b", Tuple: datalog.Tuple{datalog.Int64(r.k), datalog.Int64(r.v)}})
+	}
+	for i, facts := range parts {
+		if len(facts) > 0 {
+			c.AssertAt(i, facts)
+		}
+	}
+	dur := c.WaitFixpoint()
+
+	cdf := &metrics.CDF{}
+	for _, ts := range c.Nodes[0].Metrics.TxnCompletions() {
+		cdf.Add(ts.Sub(c.StartTime()))
+	}
+	return &HashJoinResult{
+		Duration:      dur,
+		PerNodeKB:     c.MeanNodeTrafficKB(),
+		ResultCount:   len(c.Query(0, "joinresult")),
+		ExpectedCount: expected,
+		InitiatorCDF:  cdf,
+		Violations:    len(c.Violations()),
+		Cluster:       c,
+	}, nil
+}

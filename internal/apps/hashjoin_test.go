@@ -1,0 +1,89 @@
+package apps
+
+import (
+	"testing"
+
+	"secureblox/internal/core"
+)
+
+func smallJoin(n int, policy core.PolicyConfig, seed int64) HashJoinConfig {
+	return HashJoinConfig{N: n, SizeA: 90, SizeB: 80, JoinValues: 12, Policy: policy, Seed: seed}
+}
+
+func TestHashJoinCorrectness(t *testing.T) {
+	res, err := RunHashJoin(smallJoin(3, core.PolicyConfig{}, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Cluster.Stop()
+	if res.Violations != 0 {
+		t.Fatalf("violations: %v", res.Cluster.Violations()[:1])
+	}
+	if res.ResultCount != res.ExpectedCount {
+		t.Fatalf("join result %d tuples, expected %d", res.ResultCount, res.ExpectedCount)
+	}
+	if res.ResultCount == 0 {
+		t.Fatal("degenerate workload: no matches")
+	}
+}
+
+func TestHashJoinUnderRSAAES(t *testing.T) {
+	res, err := RunHashJoin(smallJoin(3, core.PolicyConfig{Auth: core.AuthRSA, Encrypt: true}, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Cluster.Stop()
+	if res.Violations != 0 {
+		t.Fatalf("violations: %v", res.Cluster.Violations()[:1])
+	}
+	if res.ResultCount != res.ExpectedCount {
+		t.Fatalf("secure join changed the result: %d vs %d", res.ResultCount, res.ExpectedCount)
+	}
+	if res.InitiatorCDF.Len() == 0 {
+		t.Error("initiator CDF empty")
+	}
+}
+
+func TestHashJoinSingleNodeDegenerate(t *testing.T) {
+	// All ranges on one node: the join happens entirely locally.
+	res, err := RunHashJoin(smallJoin(1, core.PolicyConfig{}, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Cluster.Stop()
+	if res.ResultCount != res.ExpectedCount {
+		t.Fatalf("local join wrong: %d vs %d", res.ResultCount, res.ExpectedCount)
+	}
+}
+
+func TestHashJoinParallelismReducesPerNodeTraffic(t *testing.T) {
+	// Figure 12's shape: more nodes → less per-node traffic.
+	kb := map[int]float64{}
+	for _, n := range []int{2, 6} {
+		res, err := RunHashJoin(smallJoin(n, core.PolicyConfig{}, 14))
+		if err != nil {
+			t.Fatal(err)
+		}
+		kb[n] = res.PerNodeKB
+		res.Cluster.Stop()
+	}
+	if kb[6] >= kb[2] {
+		t.Errorf("per-node traffic should fall with parallelism: 2 nodes %.1fKB, 6 nodes %.1fKB", kb[2], kb[6])
+	}
+}
+
+func TestHashJoinRSACostsMoreBandwidthThanNoAuth(t *testing.T) {
+	plain, err := RunHashJoin(smallJoin(3, core.PolicyConfig{}, 15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain.Cluster.Stop()
+	secure, err := RunHashJoin(smallJoin(3, core.PolicyConfig{Auth: core.AuthRSA, Encrypt: true}, 15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	secure.Cluster.Stop()
+	if secure.PerNodeKB <= plain.PerNodeKB {
+		t.Errorf("RSA-AES should cost more bandwidth: %.1fKB vs %.1fKB", secure.PerNodeKB, plain.PerNodeKB)
+	}
+}

@@ -1,0 +1,298 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"secureblox/internal/datalog"
+	"secureblox/internal/dist"
+	"secureblox/internal/engine"
+	"secureblox/internal/generics"
+	"secureblox/internal/metrics"
+	"secureblox/internal/seccrypto"
+	"secureblox/internal/transport"
+	"secureblox/internal/udf"
+	"secureblox/internal/wire"
+)
+
+// ClusterConfig describes a distributed SecureBlox deployment over the
+// in-process simulated network.
+type ClusterConfig struct {
+	// N is the number of SecureBlox instances (one principal each).
+	N int
+	// Policy is the security configuration compiled into the query.
+	Policy PolicyConfig
+	// Query is the user's DatalogLB program, including its exportable(...)
+	// facts.
+	Query string
+	// ExtraPolicies are additional BloxGenerics sources (e.g. the
+	// anonymity policy).
+	ExtraPolicies []string
+	// Seed drives deterministic key generation; runs with equal seeds see
+	// identical key material.
+	Seed int64
+	// TrustAllPrincipals, with DelegateTrustworthy, pre-populates
+	// trustworthy(P) for every cluster principal.
+	TrustAllPrincipals bool
+	// GrantWriteAccess, with Policy.Authorization, grants
+	// writeAccess[T](P) for every exportable T and cluster principal P.
+	GrantWriteAccess bool
+}
+
+// Cluster is a set of SecureBlox nodes over one simulated network, plus
+// the compiled program they all run.
+type Cluster struct {
+	Cfg        ClusterConfig
+	Net        *transport.MemNetwork
+	Nodes      []*dist.Node
+	Principals []string
+	Addrs      []string
+	Compiled   *generics.Result
+	// KeyStores holds each node's key material (indexed like Nodes), so
+	// applications can install additional keys (e.g. onion-circuit keys)
+	// before Start.
+	KeyStores []*seccrypto.KeyStore
+
+	started  bool
+	startAt  time.Time
+	stopOnce bool
+}
+
+// PrincipalName returns the i-th cluster principal's identity.
+func PrincipalName(i int) string { return fmt.Sprintf("p%d", i) }
+
+// NodeAddr returns the i-th node's simulated address.
+func NodeAddr(i int) string { return fmt.Sprintf("10.0.0.%d:7000", i+1) }
+
+// NewCluster compiles the query with the policy via BloxGenerics, builds N
+// workspaces with per-node keystore-bound UDFs, installs the program, and
+// asserts the principal directory and key material.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("cluster: N must be positive, got %d", cfg.N)
+	}
+	c := &Cluster{Cfg: cfg, Net: transport.NewMemNetwork()}
+	for i := 0; i < cfg.N; i++ {
+		c.Principals = append(c.Principals, PrincipalName(i))
+		c.Addrs = append(c.Addrs, NodeAddr(i))
+	}
+
+	// Compile once: the program is identical on every node.
+	gc := generics.NewCompiler()
+	for _, src := range cfg.Policy.Sources() {
+		if err := gc.AddPolicy(src); err != nil {
+			return nil, fmt.Errorf("cluster: policy: %w", err)
+		}
+	}
+	for _, src := range cfg.ExtraPolicies {
+		if err := gc.AddPolicy(src); err != nil {
+			return nil, fmt.Errorf("cluster: extra policy: %w", err)
+		}
+	}
+	if err := gc.AddPolicy(dist.ExportDecl); err != nil {
+		return nil, err
+	}
+	res, err := gc.Compile(cfg.Query)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: compile: %w", err)
+	}
+	c.Compiled = res
+
+	ts, err := seccrypto.NewTrustSetup(c.Principals, seccrypto.NewDeterministicRand(cfg.Seed+1))
+	if err != nil {
+		return nil, err
+	}
+
+	var exportables []string
+	for _, t := range res.MetaFacts["exportable"] {
+		exportables = append(exportables, t[0])
+	}
+
+	for i := 0; i < cfg.N; i++ {
+		ks := ts.Stores[c.Principals[i]]
+		reg, err := udf.NewRegistry(ks, seccrypto.NewDeterministicRand(cfg.Seed+2))
+		if err != nil {
+			return nil, err
+		}
+		ws := engine.NewWorkspace(reg)
+		ws.EntityBase = int64(i+1) << 40 // node-disjoint entity ids
+		if err := ws.Install(res.Program); err != nil {
+			return nil, fmt.Errorf("cluster: install on node %d: %w", i, err)
+		}
+		if err := c.assertSetup(ws, i, ks, exportables); err != nil {
+			return nil, fmt.Errorf("cluster: setup on node %d: %w", i, err)
+		}
+		ep := c.Net.Endpoint(c.Addrs[i])
+		n := dist.NewNode(c.Principals[i], ws, ep)
+		n.AddWork = c.Net.AddWork
+		c.Nodes = append(c.Nodes, n)
+		c.KeyStores = append(c.KeyStores, ks)
+	}
+	return c, nil
+}
+
+// assertSetup installs the principal directory and per-scheme key material
+// on one node (the out-of-band dissemination of §3).
+func (c *Cluster) assertSetup(ws *engine.Workspace, i int, ks *seccrypto.KeyStore, exportables []string) error {
+	var facts []engine.Fact
+	self := datalog.Prin(c.Principals[i])
+	facts = append(facts, engine.Fact{Pred: "self", Tuple: datalog.Tuple{self}})
+	for j, p := range c.Principals {
+		pv := datalog.Prin(p)
+		facts = append(facts,
+			engine.Fact{Pred: "principal", Tuple: datalog.Tuple{pv}},
+			engine.Fact{Pred: "principal_node", Tuple: datalog.Tuple{pv, datalog.NodeV(c.Addrs[j])}},
+		)
+		if c.Cfg.Policy.Delegation == DelegateTrustworthy && c.Cfg.TrustAllPrincipals {
+			facts = append(facts, engine.Fact{Pred: "trustworthy", Tuple: datalog.Tuple{pv}})
+		}
+		if c.Cfg.Policy.Authorization && c.Cfg.GrantWriteAccess {
+			for _, t := range exportables {
+				facts = append(facts, engine.Fact{Pred: "writeAccess$" + t, Tuple: datalog.Tuple{pv}})
+			}
+		}
+	}
+	if c.Cfg.Policy.Auth == AuthRSA {
+		facts = append(facts, engine.Fact{Pred: "private_key", Tuple: datalog.Tuple{datalog.BytesV(ks.PrivateKeyDER())}})
+		for _, p := range c.Principals {
+			facts = append(facts, engine.Fact{
+				Pred:  "public_key",
+				Tuple: datalog.Tuple{datalog.Prin(p), datalog.BytesV(ks.PublicKeyDER(p))},
+			})
+		}
+	}
+	if c.Cfg.Policy.Auth == AuthHMAC || c.Cfg.Policy.Encrypt {
+		for _, p := range c.Principals {
+			if p == c.Principals[i] {
+				continue
+			}
+			facts = append(facts, engine.Fact{
+				Pred:  "secret",
+				Tuple: datalog.Tuple{datalog.Prin(p), datalog.BytesV(ks.Secret(p))},
+			})
+		}
+	}
+	_, err := ws.Assert(facts)
+	return err
+}
+
+// Start launches every node's transaction loop and marks the experiment's
+// start time.
+func (c *Cluster) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	c.startAt = time.Now()
+	for _, n := range c.Nodes {
+		n.Start()
+	}
+}
+
+// Stop shuts all nodes down.
+func (c *Cluster) Stop() {
+	if c.stopOnce {
+		return
+	}
+	c.stopOnce = true
+	for _, n := range c.Nodes {
+		n.Stop()
+	}
+}
+
+// AssertAt enqueues base facts at node i (counted as outstanding work by
+// the node itself).
+func (c *Cluster) AssertAt(i int, facts []engine.Fact) {
+	c.Nodes[i].Assert(facts)
+}
+
+// WaitFixpoint blocks until no node has outstanding work and no message is
+// in flight, returning the elapsed time since Start — the paper's fixpoint
+// latency metric.
+func (c *Cluster) WaitFixpoint() time.Duration {
+	c.Net.WaitQuiescent()
+	return time.Since(c.startAt)
+}
+
+// StartTime returns the experiment start timestamp.
+func (c *Cluster) StartTime() time.Time { return c.startAt }
+
+// PerNodeTraffic returns, per node, the sum of bytes sent and received —
+// the paper's per-node communication overhead metric.
+func (c *Cluster) PerNodeTraffic() []int64 {
+	out := make([]int64, len(c.Nodes))
+	for i, a := range c.Addrs {
+		s := c.Net.Stats(a)
+		out[i] = s.BytesSent + s.BytesRecv
+	}
+	return out
+}
+
+// MeanNodeTrafficKB returns the average per-node traffic in kilobytes.
+func (c *Cluster) MeanNodeTrafficKB() float64 {
+	var total int64
+	for _, b := range c.PerNodeTraffic() {
+		total += b
+	}
+	return float64(total) / float64(len(c.Nodes)) / 1024
+}
+
+// MeanTxnDuration returns the average local transaction duration across all
+// nodes (paper Figure 7).
+func (c *Cluster) MeanTxnDuration() time.Duration {
+	var total time.Duration
+	var count int64
+	for _, n := range c.Nodes {
+		cnt, mean := n.Metrics.TxnStats()
+		total += mean * time.Duration(cnt)
+		count += cnt
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / time.Duration(count)
+}
+
+// ConvergenceTimes returns each node's convergence time (last transaction
+// activity relative to Start), the basis of Figures 8 and 9.
+func (c *Cluster) ConvergenceTimes() []time.Duration {
+	out := make([]time.Duration, len(c.Nodes))
+	for i, n := range c.Nodes {
+		la := n.Metrics.LastActivity()
+		if la.IsZero() {
+			out[i] = 0
+			continue
+		}
+		out[i] = la.Sub(c.startAt)
+	}
+	return out
+}
+
+// ConvergenceCDF returns the cumulative distribution of node convergence.
+func (c *Cluster) ConvergenceCDF() *metrics.CDF {
+	cdf := &metrics.CDF{}
+	for _, d := range c.ConvergenceTimes() {
+		cdf.Add(d)
+	}
+	return cdf
+}
+
+// Violations collects all rejected batches across nodes.
+func (c *Cluster) Violations() []error {
+	var out []error
+	for _, n := range c.Nodes {
+		out = append(out, n.Violations()...)
+	}
+	return out
+}
+
+// Query returns node i's extent of a predicate.
+func (c *Cluster) Query(i int, pred string) []datalog.Tuple {
+	return c.Nodes[i].WS.Tuples(pred)
+}
+
+// AvgMessageBytes reports the mean encoded message size a scheme produces
+// for a given payload count — a helper for bandwidth sanity checks.
+func AvgMessageBytes(payloads [][]byte, from string) int {
+	return len(wire.EncodeMessage(wire.Message{From: from, Payloads: payloads}))
+}

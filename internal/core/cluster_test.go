@@ -1,0 +1,301 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"secureblox/internal/datalog"
+	"secureblox/internal/engine"
+	"secureblox/internal/wire"
+)
+
+// reachableQuery is the paper's §3.1 motivating example, localized: each
+// node stores its outgoing links, advertises its reachable set to its
+// neighbours via says, and imports neighbours' advertisements.
+const reachableQuery = `
+	link(X, Y) -> node(X), node(Y).
+	reachable(X, Y) -> node(X), node(Y).
+	exportable('reachable).
+
+	reachable(X, Y) <- link(X, Y).
+	reachable(X, Y) <- link(X, Z), reachable(Z, Y).
+
+	says['reachable](self[], U, Z, Y) <-
+		reachable(Z, Y), principal_node[self[]]=Z,
+		link(Z, X), principal_node[U]=X, U != self[].
+`
+
+// buildChain creates an N-node cluster and asserts symmetric chain links.
+func buildChain(t *testing.T, n int, policy PolicyConfig) *Cluster {
+	t.Helper()
+	c, err := NewCluster(ClusterConfig{N: n, Policy: policy, Query: reachableQuery, Seed: 7})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	c.Start()
+	for i := 0; i < n-1; i++ {
+		a, b := datalog.NodeV(NodeAddr(i)), datalog.NodeV(NodeAddr(i+1))
+		c.AssertAt(i, []engine.Fact{{Pred: "link", Tuple: datalog.Tuple{a, b}}})
+		c.AssertAt(i+1, []engine.Fact{{Pred: "link", Tuple: datalog.Tuple{b, a}}})
+	}
+	return c
+}
+
+// waitFixpoint bounds WaitFixpoint so an accounting bug fails the test
+// instead of hanging it.
+func waitFixpoint(t *testing.T, c *Cluster) time.Duration {
+	t.Helper()
+	done := make(chan time.Duration, 1)
+	go func() { done <- c.WaitFixpoint() }()
+	select {
+	case d := <-done:
+		return d
+	case <-time.After(30 * time.Second):
+		t.Fatal("distributed fixpoint not reached within 30s")
+		return 0
+	}
+}
+
+// checkFullReachability verifies that every node has learned a route from
+// itself to every other node (self-loops via symmetric links also exist and
+// are excluded from the count).
+func checkFullReachability(t *testing.T, c *Cluster, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		dests := map[string]bool{}
+		for _, tp := range c.Query(i, "reachable") {
+			if tp[0].Str == NodeAddr(i) && tp[1].Str != NodeAddr(i) {
+				dests[tp[1].Str] = true
+			}
+		}
+		if len(dests) != n-1 {
+			t.Errorf("node %d: wants %d distinct reachable destinations, got %d (%v)",
+				i, n-1, len(dests), dests)
+		}
+	}
+}
+
+func TestDistributedReachableAllSchemes(t *testing.T) {
+	const n = 4
+	policies := []PolicyConfig{
+		{Auth: AuthNone},
+		{Auth: AuthHMAC},
+		{Auth: AuthRSA},
+		{Auth: AuthRSA, Encrypt: true},
+		{Auth: AuthNone, Encrypt: true},
+	}
+	for _, p := range policies {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			c := buildChain(t, n, p)
+			defer c.Stop()
+			waitFixpoint(t, c)
+			if v := c.Violations(); len(v) != 0 {
+				t.Fatalf("unexpected violations: %v", v)
+			}
+			checkFullReachability(t, c, n)
+		})
+	}
+}
+
+func TestBandwidthOrderingAcrossSchemes(t *testing.T) {
+	traffic := map[string]float64{}
+	for _, p := range []PolicyConfig{{Auth: AuthNone}, {Auth: AuthHMAC}, {Auth: AuthRSA}} {
+		c := buildChain(t, 4, p)
+		waitFixpoint(t, c)
+		traffic[p.Name()] = c.MeanNodeTrafficKB()
+		c.Stop()
+	}
+	if !(traffic["NoAuth"] < traffic["HMAC"] && traffic["HMAC"] < traffic["RSA"]) {
+		t.Errorf("bandwidth ordering should be NoAuth < HMAC < RSA, got %v", traffic)
+	}
+}
+
+func TestForgedSignatureRejectedUnderRSA(t *testing.T) {
+	c := buildChain(t, 3, PolicyConfig{Auth: AuthRSA})
+	defer c.Stop()
+	waitFixpoint(t, c)
+	before := len(c.Query(0, "reachable"))
+
+	// An attacker forges an advertisement claiming to come from p1's node
+	// with a bogus signature and delivers it straight to node 0's endpoint.
+	// The payload carries only the said values; the sender principal is
+	// resolved from the claimed source address via principal_node.
+	forged := wire.EncodePayload(wire.Payload{
+		Pred: "reachable",
+		Sig:  []byte("forged signature bytes"),
+		Vals: datalog.Tuple{datalog.NodeV("6.6.6.6:666"), datalog.NodeV("6.6.6.6:666")},
+	})
+	evil := c.Net.Endpoint("6.6.6.6:666")
+	c.Net.AddWork(1)
+	msg := wire.EncodeMessage(wire.Message{From: NodeAddr(1), Payloads: [][]byte{forged}})
+	if err := evil.Send(NodeAddr(0), msg); err != nil {
+		t.Fatal(err)
+	}
+	waitFixpoint(t, c)
+
+	if len(c.Nodes[0].Violations()) != 1 {
+		t.Fatalf("forged batch should be rejected, violations: %v", c.Nodes[0].Violations())
+	}
+	if got := len(c.Query(0, "reachable")); got != before {
+		t.Errorf("forged advertisement polluted reachable: %d -> %d", before, got)
+	}
+	for _, tp := range c.Query(0, "reachable") {
+		if strings.Contains(tp.String(), "6.6.6.6") {
+			t.Errorf("attacker fact leaked: %s", tp)
+		}
+	}
+}
+
+func TestForgedAdvertisementAcceptedUnderNoAuth(t *testing.T) {
+	// The flip side of the paper's tradeoff: NoAuth verifies only that the
+	// claimed principal is known; a forged message naming a real principal
+	// is accepted. (This is why a hostile world needs RSA/HMAC.)
+	c := buildChain(t, 3, PolicyConfig{Auth: AuthNone})
+	defer c.Stop()
+	waitFixpoint(t, c)
+
+	forged := wire.EncodePayload(wire.Payload{
+		Pred: "reachable",
+		Vals: datalog.Tuple{datalog.NodeV(NodeAddr(1)), datalog.NodeV("6.6.6.6:666")},
+	})
+	evil := c.Net.Endpoint("6.6.6.6:666")
+	c.Net.AddWork(1)
+	msg := wire.EncodeMessage(wire.Message{From: NodeAddr(1), Payloads: [][]byte{forged}})
+	if err := evil.Send(NodeAddr(0), msg); err != nil {
+		t.Fatal(err)
+	}
+	waitFixpoint(t, c)
+
+	found := false
+	for _, tp := range c.Query(0, "reachable") {
+		if strings.Contains(tp.String(), "6.6.6.6") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("NoAuth should accept a forged advertisement from a known principal")
+	}
+	if len(c.Nodes[0].Violations()) != 0 {
+		t.Errorf("NoAuth should not reject: %v", c.Nodes[0].Violations())
+	}
+}
+
+func TestMessageFromUnknownNodeIgnored(t *testing.T) {
+	// A message claiming to come from an address with no principal_node
+	// entry never produces a says fact: the import rule cannot resolve the
+	// sender principal, so the payload is inert data.
+	c := buildChain(t, 3, PolicyConfig{Auth: AuthNone})
+	defer c.Stop()
+	waitFixpoint(t, c)
+	before := len(c.Query(0, "reachable"))
+
+	forged := wire.EncodePayload(wire.Payload{
+		Pred: "reachable",
+		Vals: datalog.Tuple{datalog.NodeV(NodeAddr(1)), datalog.NodeV("6.6.6.6:666")},
+	})
+	evil := c.Net.Endpoint("6.6.6.6:666")
+	c.Net.AddWork(1)
+	msg := wire.EncodeMessage(wire.Message{From: "6.6.6.6:666", Payloads: [][]byte{forged}})
+	if err := evil.Send(NodeAddr(0), msg); err != nil {
+		t.Fatal(err)
+	}
+	waitFixpoint(t, c)
+	if got := len(c.Query(0, "reachable")); got != before {
+		t.Errorf("message from unknown node changed reachable: %d -> %d", before, got)
+	}
+}
+
+func TestEncryptedPayloadsAreOpaque(t *testing.T) {
+	// With AES the wire bytes must not contain the plaintext payload
+	// structure (predicate name "reachable").
+	var sawPlain, sawMsgs bool
+	c, err := NewCluster(ClusterConfig{N: 3, Policy: PolicyConfig{Auth: AuthNone, Encrypt: true}, Query: reachableQuery, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Net.OnDeliver = func(_, _ string, data []byte) {
+		sawMsgs = true
+		if strings.Contains(string(data), "reachable") {
+			sawPlain = true
+		}
+	}
+	c.Start()
+	for i := 0; i < 2; i++ {
+		a, b := datalog.NodeV(NodeAddr(i)), datalog.NodeV(NodeAddr(i+1))
+		c.AssertAt(i, []engine.Fact{{Pred: "link", Tuple: datalog.Tuple{a, b}}})
+		c.AssertAt(i+1, []engine.Fact{{Pred: "link", Tuple: datalog.Tuple{b, a}}})
+	}
+	defer c.Stop()
+	waitFixpoint(t, c)
+	if !sawMsgs {
+		t.Fatal("no messages observed")
+	}
+	if sawPlain {
+		t.Error("AES-encrypted payloads leaked plaintext predicate names")
+	}
+	if len(c.Violations()) != 0 {
+		t.Fatalf("violations: %v", c.Violations())
+	}
+	if got := len(c.Query(0, "reachable")); got == 0 {
+		t.Error("encrypted pipeline derived nothing")
+	}
+}
+
+func TestAuthorizationWriteAccess(t *testing.T) {
+	// §3.2 authorization: without writeAccess[T](sender), a said fact is
+	// rejected.
+	cfg := ClusterConfig{
+		N:      2,
+		Policy: PolicyConfig{Auth: AuthNone, Authorization: true},
+		Query:  reachableQuery,
+		Seed:   5,
+		// deliberately NOT granting write access
+	}
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	a, b := datalog.NodeV(NodeAddr(0)), datalog.NodeV(NodeAddr(1))
+	c.AssertAt(0, []engine.Fact{{Pred: "link", Tuple: datalog.Tuple{a, b}}})
+	c.AssertAt(1, []engine.Fact{{Pred: "link", Tuple: datalog.Tuple{b, a}}})
+	waitFixpoint(t, c)
+	if len(c.Violations()) == 0 {
+		t.Error("says without writeAccess should violate the authorization constraint")
+	}
+
+	// And with the grant, everything flows.
+	cfg.GrantWriteAccess = true
+	c2, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.Start()
+	defer c2.Stop()
+	c2.AssertAt(0, []engine.Fact{{Pred: "link", Tuple: datalog.Tuple{a, b}}})
+	c2.AssertAt(1, []engine.Fact{{Pred: "link", Tuple: datalog.Tuple{b, a}}})
+	waitFixpoint(t, c2)
+	if v := c2.Violations(); len(v) != 0 {
+		t.Fatalf("granted cluster should not violate: %v", v)
+	}
+	if len(c2.Query(0, "reachable")) == 0 {
+		t.Error("granted cluster derived nothing")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	cases := map[string]PolicyConfig{
+		"NoAuth":     {},
+		"NoAuth-AES": {Encrypt: true},
+		"HMAC":       {Auth: AuthHMAC},
+		"RSA-AES":    {Auth: AuthRSA, Encrypt: true},
+	}
+	for want, cfg := range cases {
+		if got := cfg.Name(); got != want {
+			t.Errorf("Name() = %q, want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,555 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"secureblox/internal/datalog"
+)
+
+type stepKind uint8
+
+const (
+	stepMatch     stepKind = iota // positive relation atom
+	stepNeg                       // negated relation atom (filter)
+	stepCmp                       // comparison / binding
+	stepUDF                       // user-defined function atom
+	stepKindCheck                 // builtin type check (constraints only)
+)
+
+// step is one planned body operation.
+type step struct {
+	kind     stepKind
+	pred     string // concrete predicate name (match/neg/udf)
+	param    string // UDF parameterization
+	atom     *datalog.Atom
+	op       string // cmp operator
+	l, r     datalog.Term
+	udf      UDF
+	typeName string       // stepKindCheck
+	checked  datalog.Term // stepKindCheck operand
+}
+
+// headEx is a head-existential variable with its entity type.
+type headEx struct {
+	name    string
+	entType string
+}
+
+// CompiledRule is a planned derivation rule.
+type CompiledRule struct {
+	id       int
+	src      *datalog.Rule
+	heads    []*datalog.Atom // args are Var / Const / BinExpr only
+	steps    []step
+	bodyVars []string // sorted variable names bound by the body
+	exVars   []headEx
+	agg      *datalog.AggSpec
+	deltaIdx []int // indexes of stepMatch steps, for semi-naïve rotation
+}
+
+// String returns the source form of the rule.
+func (r *CompiledRule) String() string { return r.src.String() }
+
+// CompiledConstraint is a planned integrity constraint.
+type CompiledConstraint struct {
+	src      *datalog.Constraint
+	lhsSteps []step
+	rhsSteps []step
+	lhsIdx   []int // indexes of stepMatch steps in lhsSteps
+}
+
+// String returns the source form of the constraint.
+func (c *CompiledConstraint) String() string { return c.src.String() }
+
+// compiler carries per-compilation state: fresh variable numbering and the
+// extra literals produced by term normalization.
+type compiler struct {
+	w      *Workspace
+	freshN int
+	extra  []datalog.Literal
+}
+
+func (c *compiler) fresh() string {
+	c.freshN++
+	return fmt.Sprintf("$t%d", c.freshN)
+}
+
+// normalizeTerm rewrites FuncApp terms into auxiliary functional-atom
+// literals and (in body position) arithmetic expressions into binding
+// comparisons, returning a plain Var/Const/Wildcard (or, if inHead, possibly
+// a BinExpr over plain terms).
+func (c *compiler) normalizeTerm(t datalog.Term, inHead bool) (datalog.Term, error) {
+	switch tt := t.(type) {
+	case datalog.Var, datalog.Const, datalog.Wildcard:
+		return t, nil
+	case datalog.FuncApp:
+		args := make([]datalog.Term, 0, len(tt.Args)+1)
+		for _, a := range tt.Args {
+			na, err := c.normalizeTerm(a, false)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, na)
+		}
+		v := datalog.Var{Name: c.fresh()}
+		atom := &datalog.Atom{
+			Pred:     tt.Pred,
+			Param:    tt.Param,
+			Args:     append(args, v),
+			KeyArity: len(tt.Args),
+		}
+		c.extra = append(c.extra, datalog.Literal{Kind: datalog.LitAtom, Atom: atom})
+		return v, nil
+	case datalog.BinExpr:
+		l, err := c.normalizeTerm(tt.L, false)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.normalizeTerm(tt.R, false)
+		if err != nil {
+			return nil, err
+		}
+		e := datalog.BinExpr{Op: tt.Op, L: l, R: r}
+		if inHead {
+			return e, nil
+		}
+		v := datalog.Var{Name: c.fresh()}
+		c.extra = append(c.extra, datalog.Literal{Kind: datalog.LitCmp, Op: "=", L: v, R: e})
+		return v, nil
+	default:
+		return nil, fmt.Errorf("unsupported term %T", t)
+	}
+}
+
+func (c *compiler) normalizeAtom(a *datalog.Atom, inHead bool) (*datalog.Atom, error) {
+	na := &datalog.Atom{Pred: a.Pred, Param: a.Param, KeyArity: a.KeyArity}
+	for _, t := range a.Args {
+		nt, err := c.normalizeTerm(t, inHead)
+		if err != nil {
+			return nil, err
+		}
+		na.Args = append(na.Args, nt)
+	}
+	return na, nil
+}
+
+// normalizeLiterals flattens FuncApps/expressions out of a literal list.
+func (c *compiler) normalizeLiterals(lits []datalog.Literal) ([]datalog.Literal, error) {
+	var out []datalog.Literal
+	for _, l := range lits {
+		c.extra = c.extra[:0]
+		switch l.Kind {
+		case datalog.LitAtom, datalog.LitNeg:
+			na, err := c.normalizeAtom(l.Atom, false)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, c.extra...)
+			out = append(out, datalog.Literal{Kind: l.Kind, Atom: na})
+		case datalog.LitCmp:
+			nl, err := c.normalizeTerm(l.L, false)
+			if err != nil {
+				return nil, err
+			}
+			nr, err := c.normalizeTerm(l.R, false)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, c.extra...)
+			out = append(out, datalog.Literal{Kind: datalog.LitCmp, Op: l.Op, L: nl, R: nr})
+		}
+	}
+	return out, nil
+}
+
+// litToStep converts a normalized literal to an unplanned step.
+func (c *compiler) litToStep(l datalog.Literal) (step, error) {
+	switch l.Kind {
+	case datalog.LitAtom:
+		name := l.Atom.ConcreteName()
+		if u, ok := c.w.udfs.Lookup(l.Atom.Pred); ok {
+			return step{kind: stepUDF, pred: l.Atom.Pred, param: l.Atom.Param, atom: l.Atom, udf: u}, nil
+		}
+		if _, err := c.w.cat.AutoDeclare(l.Atom); err != nil {
+			return step{}, err
+		}
+		c.w.ensureRelation(name)
+		return step{kind: stepMatch, pred: name, atom: l.Atom}, nil
+	case datalog.LitNeg:
+		if _, ok := c.w.udfs.Lookup(l.Atom.Pred); ok {
+			return step{}, fmt.Errorf("cannot negate UDF atom %s", l.Atom)
+		}
+		name := l.Atom.ConcreteName()
+		if _, err := c.w.cat.AutoDeclare(l.Atom); err != nil {
+			return step{}, err
+		}
+		c.w.ensureRelation(name)
+		return step{kind: stepNeg, pred: name, atom: l.Atom}, nil
+	default:
+		return step{kind: stepCmp, op: l.Op, l: l.L, r: l.R}, nil
+	}
+}
+
+// termVars lists variable names in a plain term.
+func termVars(t datalog.Term) []string {
+	set := map[string]bool{}
+	datalog.VarsOf(t, set)
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	return out
+}
+
+// planSteps orders steps greedily so that every step runs with sufficient
+// bindings: binding/filter comparisons and ready negations first, then
+// matches sharing bound variables (functional lookups preferred), then
+// ready UDFs, then cartesian matches as a last resort.
+func planSteps(unplanned []step, bound map[string]bool) ([]step, error) {
+	var out []step
+	remaining := append([]step(nil), unplanned...)
+
+	allBound := func(t datalog.Term) bool {
+		for _, v := range termVars(t) {
+			if !bound[v] {
+				return false
+			}
+		}
+		return true
+	}
+	atomBoundMask := func(a *datalog.Atom) (mask []bool, nBound int) {
+		mask = make([]bool, len(a.Args))
+		for i, t := range a.Args {
+			switch tt := t.(type) {
+			case datalog.Const:
+				mask[i] = true
+				nBound++
+			case datalog.Var:
+				if bound[tt.Name] {
+					mask[i] = true
+					nBound++
+				}
+			case datalog.Wildcard:
+				// unbound, but requires nothing
+			}
+		}
+		return mask, nBound
+	}
+	bindAtomVars := func(a *datalog.Atom) {
+		for _, t := range a.Args {
+			if v, ok := t.(datalog.Var); ok {
+				bound[v.Name] = true
+			}
+		}
+	}
+
+	take := func(i int) step {
+		s := remaining[i]
+		remaining = append(remaining[:i], remaining[i+1:]...)
+		return s
+	}
+
+	for len(remaining) > 0 {
+		picked := -1
+		// 1. comparisons: filters with everything bound, or "=" binders.
+		for i, s := range remaining {
+			if s.kind != stepCmp {
+				continue
+			}
+			if allBound(s.l) && allBound(s.r) {
+				picked = i
+				break
+			}
+			if s.op == "=" {
+				if lv, ok := s.l.(datalog.Var); ok && !bound[lv.Name] && allBound(s.r) {
+					picked = i
+					break
+				}
+				if rv, ok := s.r.(datalog.Var); ok && !bound[rv.Name] && allBound(s.l) {
+					picked = i
+					break
+				}
+			}
+		}
+		// 2. ready negations.
+		if picked < 0 {
+			for i, s := range remaining {
+				if s.kind != stepNeg {
+					continue
+				}
+				ready := true
+				for _, t := range s.atom.Args {
+					if v, ok := t.(datalog.Var); ok && !bound[v.Name] {
+						ready = false
+						break
+					}
+				}
+				if ready {
+					picked = i
+					break
+				}
+			}
+		}
+		// 3. kind checks with bound operands.
+		if picked < 0 {
+			for i, s := range remaining {
+				if s.kind == stepKindCheck && allBound(s.checked) {
+					picked = i
+					break
+				}
+			}
+		}
+		// 4. matches: prefer functional with all keys bound, then most
+		// bound arguments.
+		if picked < 0 {
+			best, bestScore := -1, -1
+			for i, s := range remaining {
+				if s.kind != stepMatch {
+					continue
+				}
+				mask, n := atomBoundMask(s.atom)
+				score := n * 2
+				if s.atom.Functional() {
+					keysBound := true
+					for k := 0; k < s.atom.KeyArity; k++ {
+						if !mask[k] {
+							keysBound = false
+							break
+						}
+					}
+					if keysBound {
+						score += 100
+					}
+				}
+				if score > bestScore && n > 0 {
+					best, bestScore = i, score
+				}
+			}
+			if best >= 0 {
+				picked = best
+			}
+		}
+		// 5. ready UDFs.
+		if picked < 0 {
+			for i, s := range remaining {
+				if s.kind != stepUDF {
+					continue
+				}
+				mask, _ := atomBoundMask(s.atom)
+				if s.udf.CanEval(mask) {
+					picked = i
+					break
+				}
+			}
+		}
+		// 6. any match at all (cartesian start).
+		if picked < 0 {
+			for i, s := range remaining {
+				if s.kind == stepMatch {
+					picked = i
+					break
+				}
+			}
+		}
+		if picked < 0 {
+			return nil, fmt.Errorf("cannot order body: %d literal(s) never become evaluable (first: %s)",
+				len(remaining), describeStep(remaining[0]))
+		}
+		s := take(picked)
+		switch s.kind {
+		case stepMatch, stepUDF:
+			bindAtomVars(s.atom)
+		case stepCmp:
+			if s.op == "=" {
+				if lv, ok := s.l.(datalog.Var); ok {
+					bound[lv.Name] = true
+				}
+				if rv, ok := s.r.(datalog.Var); ok {
+					bound[rv.Name] = true
+				}
+			}
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func describeStep(s step) string {
+	switch s.kind {
+	case stepCmp:
+		return fmt.Sprintf("%s %s %s", s.l, s.op, s.r)
+	case stepKindCheck:
+		return fmt.Sprintf("%s(%s)", s.typeName, s.checked)
+	default:
+		return s.atom.String()
+	}
+}
+
+// compileRule plans a rule for execution.
+func (w *Workspace) compileRule(r *datalog.Rule) (*CompiledRule, error) {
+	c := &compiler{w: w}
+	body, err := c.normalizeLiterals(r.Body)
+	if err != nil {
+		return nil, fmt.Errorf("rule %s: %w", r, err)
+	}
+	var heads []*datalog.Atom
+	for _, h := range r.Heads {
+		c.extra = c.extra[:0]
+		nh, err := c.normalizeAtom(h, true)
+		if err != nil {
+			return nil, fmt.Errorf("rule %s: %w", r, err)
+		}
+		body = append(body, c.extra...)
+		if _, ok := w.udfs.Lookup(nh.Pred); ok {
+			return nil, fmt.Errorf("rule %s: cannot derive into UDF %s", r, nh.Pred)
+		}
+		if _, err := w.cat.AutoDeclare(nh); err != nil {
+			return nil, fmt.Errorf("rule %s: %w", r, err)
+		}
+		w.ensureRelation(nh.ConcreteName())
+		heads = append(heads, nh)
+	}
+	var unplanned []step
+	for _, l := range body {
+		s, err := c.litToStep(l)
+		if err != nil {
+			return nil, fmt.Errorf("rule %s: %w", r, err)
+		}
+		unplanned = append(unplanned, s)
+	}
+	bound := map[string]bool{}
+	steps, err := planSteps(unplanned, bound)
+	if err != nil {
+		return nil, fmt.Errorf("rule %s: %w", r, err)
+	}
+
+	cr := &CompiledRule{src: r, heads: heads, steps: steps, agg: r.Agg}
+	for v := range bound {
+		cr.bodyVars = append(cr.bodyVars, v)
+	}
+	sort.Strings(cr.bodyVars)
+	for i, s := range steps {
+		if s.kind == stepMatch {
+			cr.deltaIdx = append(cr.deltaIdx, i)
+		}
+	}
+
+	// Identify head-existential variables and their entity types.
+	headVars := map[string]bool{}
+	for _, h := range heads {
+		datalog.AtomVars(h, headVars)
+	}
+	for v := range headVars {
+		if bound[v] {
+			continue
+		}
+		if r.Agg != nil && v == r.Agg.Result {
+			continue
+		}
+		entType := ""
+		for _, h := range heads {
+			if h.Functional() || len(h.Args) != 1 {
+				continue
+			}
+			hv, ok := h.Args[0].(datalog.Var)
+			if !ok || hv.Name != v {
+				continue
+			}
+			if s := w.cat.Schema(h.ConcreteName()); s != nil && s.IsEntity {
+				entType = h.ConcreteName()
+				break
+			}
+		}
+		if entType == "" {
+			return nil, fmt.Errorf("rule %s: head variable %s is unbound and has no entity type", r, v)
+		}
+		cr.exVars = append(cr.exVars, headEx{name: v, entType: entType})
+	}
+	sort.Slice(cr.exVars, func(i, j int) bool { return cr.exVars[i].name < cr.exVars[j].name })
+
+	if r.Agg != nil {
+		if len(heads) != 1 || !heads[0].Functional() {
+			return nil, fmt.Errorf("rule %s: aggregation requires a single functional head", r)
+		}
+		if r.Agg.Over != "" && !bound[r.Agg.Over] {
+			return nil, fmt.Errorf("rule %s: aggregate variable %s not bound by body", r, r.Agg.Over)
+		}
+		val, ok := heads[0].Args[heads[0].KeyArity].(datalog.Var)
+		if !ok || val.Name != r.Agg.Result {
+			return nil, fmt.Errorf("rule %s: aggregation head value must be the result variable %s", r, r.Agg.Result)
+		}
+		for i := 0; i < heads[0].KeyArity; i++ {
+			if v, ok := heads[0].Args[i].(datalog.Var); ok && !bound[v.Name] {
+				return nil, fmt.Errorf("rule %s: aggregation group key %s not bound by body", r, v.Name)
+			}
+		}
+	}
+	return cr, nil
+}
+
+// compileConstraint plans an integrity constraint. RHS atoms over builtin
+// type predicates become kind checks; everything else is evaluated as a
+// satisfiability query seeded with the LHS binding.
+func (w *Workspace) compileConstraint(con *datalog.Constraint) (*CompiledConstraint, error) {
+	c := &compiler{w: w}
+	lhs, err := c.normalizeLiterals(con.Lhs)
+	if err != nil {
+		return nil, fmt.Errorf("constraint %s: %w", con, err)
+	}
+	var lhsUnplanned []step
+	for _, l := range lhs {
+		if l.Kind == datalog.LitNeg {
+			return nil, fmt.Errorf("constraint %s: negation not allowed on constraint LHS", con)
+		}
+		s, err := c.litToStep(l)
+		if err != nil {
+			return nil, fmt.Errorf("constraint %s: %w", con, err)
+		}
+		if s.kind == stepUDF {
+			return nil, fmt.Errorf("constraint %s: UDF atoms not allowed on constraint LHS", con)
+		}
+		lhsUnplanned = append(lhsUnplanned, s)
+	}
+	bound := map[string]bool{}
+	lhsSteps, err := planSteps(lhsUnplanned, bound)
+	if err != nil {
+		return nil, fmt.Errorf("constraint %s: %w", con, err)
+	}
+
+	rhs, err := c.normalizeLiterals(con.Rhs)
+	if err != nil {
+		return nil, fmt.Errorf("constraint %s: %w", con, err)
+	}
+	var rhsUnplanned []step
+	for _, l := range rhs {
+		if l.Kind == datalog.LitAtom && len(l.Atom.Args) == 1 && l.Atom.Param == "" {
+			_, isKind := builtinKinds[l.Atom.Pred]
+			// Entity types are also kind checks: an entity value arriving
+			// from a remote node is well-typed by construction even though
+			// it is not (yet) a member of the local entity relation.
+			if s := w.cat.Schema(l.Atom.Pred); isKind || (s != nil && s.IsEntity) {
+				rhsUnplanned = append(rhsUnplanned, step{
+					kind: stepKindCheck, typeName: l.Atom.Pred, checked: l.Atom.Args[0],
+				})
+				continue
+			}
+		}
+		s, err := c.litToStep(l)
+		if err != nil {
+			return nil, fmt.Errorf("constraint %s: %w", con, err)
+		}
+		rhsUnplanned = append(rhsUnplanned, s)
+	}
+	rhsSteps, err := planSteps(rhsUnplanned, bound)
+	if err != nil {
+		return nil, fmt.Errorf("constraint %s: %w", con, err)
+	}
+	cc := &CompiledConstraint{src: con, lhsSteps: lhsSteps, rhsSteps: rhsSteps}
+	for i, s := range lhsSteps {
+		if s.kind == stepMatch {
+			cc.lhsIdx = append(cc.lhsIdx, i)
+		}
+	}
+	return cc, nil
+}

@@ -1,0 +1,252 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"secureblox/internal/datalog"
+)
+
+// naiveClosure computes the transitive closure of edges in plain Go, the
+// oracle for property tests.
+func naiveClosure(edges [][2]int64) map[[2]int64]bool {
+	reach := map[[2]int64]bool{}
+	for _, e := range edges {
+		reach[e] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for a := range reach {
+			for b := range reach {
+				if a[1] == b[0] {
+					k := [2]int64{a[0], b[1]}
+					if !reach[k] {
+						reach[k] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return reach
+}
+
+// TestClosureMatchesOracleQuick: for random edge sets and random insertion
+// orders, the engine's incremental semi-naïve closure equals the oracle.
+func TestClosureMatchesOracleQuick(t *testing.T) {
+	f := func(seed int64, nEdges uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(nEdges%20) + 1
+		edges := make([][2]int64, k)
+		for i := range edges {
+			edges[i] = [2]int64{int64(rng.Intn(8)), int64(rng.Intn(8))}
+		}
+		w := NewWorkspace(nil)
+		prog, err := datalog.Parse(`
+			reachable(X,Y) <- link(X,Y).
+			reachable(X,Y) <- link(X,Z), reachable(Z,Y).
+		`)
+		if err != nil {
+			return false
+		}
+		if err := w.Install(prog); err != nil {
+			return false
+		}
+		// insert edges one transaction at a time in random order
+		for _, i := range rng.Perm(k) {
+			e := edges[i]
+			if _, err := w.Assert([]Fact{{Pred: "link",
+				Tuple: datalog.Tuple{datalog.Int64(e[0]), datalog.Int64(e[1])}}}); err != nil {
+				return false
+			}
+		}
+		want := naiveClosure(edges)
+		if w.Count("reachable") != len(want) {
+			return false
+		}
+		for e := range want {
+			if !w.Contains("reachable", datalog.Tuple{datalog.Int64(e[0]), datalog.Int64(e[1])}) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRetractMatchesRebuildQuick: retracting a random base fact leaves the
+// database identical to rebuilding from scratch without it.
+func TestRetractMatchesRebuildQuick(t *testing.T) {
+	f := func(seed int64, nEdges uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(nEdges%12) + 2
+		edges := make(map[[2]int64]bool)
+		for i := 0; i < k; i++ {
+			edges[[2]int64{int64(rng.Intn(6)), int64(rng.Intn(6))}] = true
+		}
+		build := func(skip *[2]int64) *Workspace {
+			w := NewWorkspace(nil)
+			prog, _ := datalog.Parse(`
+				reachable(X,Y) <- link(X,Y).
+				reachable(X,Y) <- link(X,Z), reachable(Z,Y).
+			`)
+			if err := w.Install(prog); err != nil {
+				t.Fatal(err)
+			}
+			var facts []Fact
+			for e := range edges {
+				if skip != nil && e == *skip {
+					continue
+				}
+				facts = append(facts, Fact{Pred: "link",
+					Tuple: datalog.Tuple{datalog.Int64(e[0]), datalog.Int64(e[1])}})
+			}
+			if _, err := w.Assert(facts); err != nil {
+				t.Fatal(err)
+			}
+			return w
+		}
+		// pick a random edge to retract
+		var victim [2]int64
+		idx := rng.Intn(len(edges))
+		i := 0
+		for e := range edges {
+			if i == idx {
+				victim = e
+				break
+			}
+			i++
+		}
+		full := build(nil)
+		if err := full.Retract([]Fact{{Pred: "link",
+			Tuple: datalog.Tuple{datalog.Int64(victim[0]), datalog.Int64(victim[1])}}}); err != nil {
+			return false
+		}
+		fresh := build(&victim)
+		if full.Count("reachable") != fresh.Count("reachable") {
+			return false
+		}
+		for _, tp := range fresh.Tuples("reachable") {
+			if !full.Contains("reachable", tp) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAggIncrementalMatchesBatchQuick: asserting observations one at a time
+// yields the same min aggregate as asserting them in one batch.
+func TestAggIncrementalMatchesBatchQuick(t *testing.T) {
+	f := func(vals []int16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		prog, _ := datalog.Parse(`best[X]=C <- agg<< C=min(V) >> obs(X, V).`)
+		one := NewWorkspace(nil)
+		batch := NewWorkspace(nil)
+		if one.Install(prog) != nil || batch.Install(prog) != nil {
+			return false
+		}
+		var facts []Fact
+		for _, v := range vals {
+			f := Fact{Pred: "obs", Tuple: datalog.Tuple{datalog.Int64(1), datalog.Int64(int64(v))}}
+			facts = append(facts, f)
+			if _, err := one.Assert([]Fact{f}); err != nil {
+				return false
+			}
+		}
+		if _, err := batch.Assert(facts); err != nil {
+			return false
+		}
+		a, okA := one.LookupFn("best", datalog.Int64(1))
+		b, okB := batch.LookupFn("best", datalog.Int64(1))
+		return okA && okB && a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTxnRollbackLeavesNoTrace: a failing transaction must leave relation
+// contents and entity counters bit-identical.
+func TestTxnRollbackLeavesNoTrace(t *testing.T) {
+	w := NewWorkspace(nil)
+	prog, _ := datalog.Parse(`
+		pathvar(P) -> .
+		pathvar(P), marked(P, X) <- seed(X).
+		seed(X) -> allowed(X).
+	`)
+	if err := w.Install(prog); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AssertProgramFacts(`allowed(1).`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AssertProgramFacts(`seed(1).`); err != nil {
+		t.Fatal(err)
+	}
+	entities := w.Count("pathvar")
+	snapshot := map[string]int{}
+	for _, p := range w.Predicates() {
+		snapshot[p] = w.Count(p)
+	}
+	// failing txn creates an entity then rolls back
+	if _, err := w.AssertProgramFacts(`seed(99).`); err == nil {
+		t.Fatal("expected violation")
+	}
+	for _, p := range w.Predicates() {
+		if w.Count(p) != snapshot[p] {
+			t.Errorf("predicate %s changed: %d -> %d", p, snapshot[p], w.Count(p))
+		}
+	}
+	if w.Count("pathvar") != entities {
+		t.Error("rolled-back entity survived")
+	}
+	// a successful txn afterwards reuses a clean counter (no gaps needed,
+	// just no corruption)
+	if _, err := w.AssertProgramFacts(`allowed(2). seed(2).`); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count("pathvar") != entities+1 {
+		t.Errorf("want %d entities, got %d", entities+1, w.Count("pathvar"))
+	}
+}
+
+// TestManySmallTransactions stresses the undo machinery.
+func TestManySmallTransactions(t *testing.T) {
+	w := NewWorkspace(nil)
+	prog, _ := datalog.Parse(`
+		total[X]=C <- agg<< C=count(Y) >> ev(X, Y).
+		ev(X, Y) -> even(Y).
+	`)
+	if err := w.Install(prog); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := w.AssertProgramFacts(fmt.Sprintf("even(%d).", i*2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	accepted := 0
+	for i := 0; i < 100; i++ {
+		_, err := w.Assert([]Fact{{Pred: "ev",
+			Tuple: datalog.Tuple{datalog.Int64(1), datalog.Int64(int64(i))}}})
+		if err == nil {
+			accepted++
+		}
+	}
+	if accepted != 50 {
+		t.Fatalf("want 50 accepted, got %d", accepted)
+	}
+	if v, ok := w.LookupFn("total", datalog.Int64(1)); !ok || v.Int != 50 {
+		t.Errorf("count aggregate after mixed txns: %v", v)
+	}
+}

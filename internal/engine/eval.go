@@ -1,0 +1,367 @@
+package engine
+
+import (
+	"fmt"
+
+	"secureblox/internal/datalog"
+)
+
+// binding maps variable names to values, with a trail for backtracking.
+type binding struct {
+	vals  map[string]datalog.Value
+	trail []string
+}
+
+func newBinding() *binding {
+	return &binding{vals: make(map[string]datalog.Value)}
+}
+
+func (b *binding) mark() int { return len(b.trail) }
+
+func (b *binding) undo(mark int) {
+	for i := len(b.trail) - 1; i >= mark; i-- {
+		delete(b.vals, b.trail[i])
+	}
+	b.trail = b.trail[:mark]
+}
+
+func (b *binding) bind(name string, v datalog.Value) {
+	b.vals[name] = v
+	b.trail = append(b.trail, name)
+}
+
+func (b *binding) get(name string) (datalog.Value, bool) {
+	v, ok := b.vals[name]
+	return v, ok
+}
+
+// evalTerm computes the value of a plain or arithmetic term under a binding.
+func evalTerm(t datalog.Term, b *binding) (datalog.Value, error) {
+	switch tt := t.(type) {
+	case datalog.Const:
+		return tt.Val, nil
+	case datalog.Var:
+		v, ok := b.get(tt.Name)
+		if !ok {
+			return datalog.Value{}, fmt.Errorf("variable %s unbound", tt.Name)
+		}
+		return v, nil
+	case datalog.BinExpr:
+		l, err := evalTerm(tt.L, b)
+		if err != nil {
+			return datalog.Value{}, err
+		}
+		r, err := evalTerm(tt.R, b)
+		if err != nil {
+			return datalog.Value{}, err
+		}
+		if l.Kind == datalog.KindString && r.Kind == datalog.KindString && tt.Op == "+" {
+			return datalog.String_(l.Str + r.Str), nil
+		}
+		if l.Kind != datalog.KindInt || r.Kind != datalog.KindInt {
+			return datalog.Value{}, fmt.Errorf("arithmetic %s on non-integers %s, %s", tt.Op, l, r)
+		}
+		switch tt.Op {
+		case "+":
+			return datalog.Int64(l.Int + r.Int), nil
+		case "-":
+			return datalog.Int64(l.Int - r.Int), nil
+		case "*":
+			return datalog.Int64(l.Int * r.Int), nil
+		case "/":
+			if r.Int == 0 {
+				return datalog.Value{}, fmt.Errorf("division by zero")
+			}
+			return datalog.Int64(l.Int / r.Int), nil
+		default:
+			return datalog.Value{}, fmt.Errorf("unknown operator %s", tt.Op)
+		}
+	case datalog.Wildcard:
+		return datalog.Value{}, fmt.Errorf("wildcard has no value")
+	default:
+		return datalog.Value{}, fmt.Errorf("unevaluable term %T", t)
+	}
+}
+
+// compare applies a comparison operator to two values.
+func compare(op string, l, r datalog.Value) (bool, error) {
+	switch op {
+	case "=":
+		return l.Equal(r), nil
+	case "!=":
+		return !l.Equal(r), nil
+	}
+	if l.Kind != r.Kind {
+		return false, fmt.Errorf("ordered comparison %s between %s and %s", op, l.Kind, r.Kind)
+	}
+	c := l.Compare(r)
+	switch op {
+	case "<":
+		return c < 0, nil
+	case "<=":
+		return c <= 0, nil
+	case ">":
+		return c > 0, nil
+	case ">=":
+		return c >= 0, nil
+	default:
+		return false, fmt.Errorf("unknown comparison %s", op)
+	}
+}
+
+// unifyTuple matches a tuple against atom argument terms, extending the
+// binding. It returns false (leaving any partial bindings for the caller's
+// mark/undo) on mismatch.
+func unifyTuple(a *datalog.Atom, t datalog.Tuple, b *binding) bool {
+	if len(t) != len(a.Args) {
+		return false
+	}
+	for i, term := range a.Args {
+		switch tt := term.(type) {
+		case datalog.Wildcard:
+			// matches anything
+		case datalog.Const:
+			if !tt.Val.Equal(t[i]) {
+				return false
+			}
+		case datalog.Var:
+			if v, ok := b.get(tt.Name); ok {
+				if !v.Equal(t[i]) {
+					return false
+				}
+			} else {
+				b.bind(tt.Name, t[i])
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// evalEnv parameterizes a body evaluation: which relation snapshot to use
+// and the semi-naïve delta restriction.
+type evalEnv struct {
+	w         *Workspace
+	deltaStep int // index of the step to restrict to delta (-1: none)
+	delta     map[string][]datalog.Tuple
+}
+
+// candidates iterates tuples that may match the atom under the current
+// binding, using the functional or first-column index when possible.
+func (e *evalEnv) candidates(si int, s step, b *binding, fn func(datalog.Tuple) bool) error {
+	if si == e.deltaStep {
+		for _, t := range e.delta[s.pred] {
+			if !fn(t) {
+				return nil
+			}
+		}
+		return nil
+	}
+	rel := e.w.rels[s.pred]
+	if rel == nil {
+		return nil
+	}
+	a := s.atom
+	// Functional fast path keyed by the relation's declared key arity (the
+	// atom may be written positionally).
+	if ka := rel.schema.KeyArity; ka >= 0 && ka <= len(a.Args) {
+		allKeys := true
+		keys := make(datalog.Tuple, 0, ka)
+		for i := 0; i < ka; i++ {
+			v, ok := termValue(a.Args[i], b)
+			if !ok {
+				allKeys = false
+				break
+			}
+			keys = append(keys, v)
+		}
+		if allKeys {
+			if t, ok := rel.LookupFn(keys.Key()); ok {
+				fn(t)
+			}
+			return nil
+		}
+	}
+	if len(a.Args) > 0 {
+		if v, ok := termValue(a.Args[0], b); ok {
+			rel.EachWithFirst(v, fn)
+			return nil
+		}
+	}
+	rel.Each(fn)
+	return nil
+}
+
+// termValue returns the value of a plain term if it is determinable without
+// computation (Const or bound Var).
+func termValue(t datalog.Term, b *binding) (datalog.Value, bool) {
+	switch tt := t.(type) {
+	case datalog.Const:
+		return tt.Val, true
+	case datalog.Var:
+		return b.get(tt.Name)
+	default:
+		return datalog.Value{}, false
+	}
+}
+
+// runSteps executes steps[i:] under binding b, invoking emit for each
+// complete solution. emit returning an error aborts evaluation.
+func (e *evalEnv) runSteps(steps []step, i int, b *binding, emit func(*binding) error) error {
+	if i == len(steps) {
+		return emit(b)
+	}
+	s := steps[i]
+	switch s.kind {
+	case stepMatch:
+		var iterErr error
+		err := e.candidates(i, s, b, func(t datalog.Tuple) bool {
+			m := b.mark()
+			if unifyTuple(s.atom, t, b) {
+				if err := e.runSteps(steps, i+1, b, emit); err != nil {
+					iterErr = err
+					b.undo(m)
+					return false
+				}
+			}
+			b.undo(m)
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		return iterErr
+
+	case stepNeg:
+		found := false
+		rel := e.w.rels[s.pred]
+		if rel != nil {
+			m := b.mark()
+			rel.Each(func(t datalog.Tuple) bool {
+				mm := b.mark()
+				if unifyTuple(s.atom, t, b) {
+					found = true
+					b.undo(mm)
+					return false
+				}
+				b.undo(mm)
+				return true
+			})
+			b.undo(m)
+		}
+		if found {
+			return nil
+		}
+		return e.runSteps(steps, i+1, b, emit)
+
+	case stepCmp:
+		lv, lok := termValueOrEval(s.l, b)
+		rv, rok := termValueOrEval(s.r, b)
+		if s.op == "=" {
+			if lok && !rok {
+				if rvVar, isVar := s.r.(datalog.Var); isVar {
+					m := b.mark()
+					b.bind(rvVar.Name, lv)
+					err := e.runSteps(steps, i+1, b, emit)
+					b.undo(m)
+					return err
+				}
+			}
+			if rok && !lok {
+				if lvVar, isVar := s.l.(datalog.Var); isVar {
+					m := b.mark()
+					b.bind(lvVar.Name, rv)
+					err := e.runSteps(steps, i+1, b, emit)
+					b.undo(m)
+					return err
+				}
+			}
+		}
+		if !lok || !rok {
+			return fmt.Errorf("comparison %s %s %s has unbound operand", s.l, s.op, s.r)
+		}
+		ok, err := compare(s.op, lv, rv)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		return e.runSteps(steps, i+1, b, emit)
+
+	case stepUDF:
+		args := make([]datalog.Value, len(s.atom.Args))
+		mask := make([]bool, len(s.atom.Args))
+		for j, t := range s.atom.Args {
+			if v, ok := termValue(t, b); ok {
+				args[j], mask[j] = v, true
+			}
+		}
+		outs, err := s.udf.Eval(s.param, args, mask)
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.atom, err)
+		}
+		for _, full := range outs {
+			m := b.mark()
+			match := true
+			for j, t := range s.atom.Args {
+				switch tt := t.(type) {
+				case datalog.Wildcard:
+				case datalog.Const:
+					if !tt.Val.Equal(full[j]) {
+						match = false
+					}
+				case datalog.Var:
+					if v, ok := b.get(tt.Name); ok {
+						if !v.Equal(full[j]) {
+							match = false
+						}
+					} else {
+						b.bind(tt.Name, full[j])
+					}
+				}
+				if !match {
+					break
+				}
+			}
+			if match {
+				if err := e.runSteps(steps, i+1, b, emit); err != nil {
+					b.undo(m)
+					return err
+				}
+			}
+			b.undo(m)
+		}
+		return nil
+
+	case stepKindCheck:
+		v, err := evalTerm(s.checked, b)
+		if err != nil {
+			return err
+		}
+		if !e.w.cat.CheckKind(s.typeName, v) {
+			return nil
+		}
+		return e.runSteps(steps, i+1, b, emit)
+
+	default:
+		return fmt.Errorf("unknown step kind %d", s.kind)
+	}
+}
+
+// termValueOrEval resolves plain terms directly and arithmetic expressions
+// by evaluation; returns ok=false when the term has unbound variables.
+func termValueOrEval(t datalog.Term, b *binding) (datalog.Value, bool) {
+	if v, ok := termValue(t, b); ok {
+		return v, true
+	}
+	if _, isExpr := t.(datalog.BinExpr); isExpr {
+		v, err := evalTerm(t, b)
+		if err != nil {
+			return datalog.Value{}, false
+		}
+		return v, true
+	}
+	return datalog.Value{}, false
+}

@@ -1,0 +1,158 @@
+package engine
+
+import (
+	"secureblox/internal/datalog"
+)
+
+// Relation stores the extent of one predicate: a set of tuples keyed by
+// their deterministic encoding, a functional-dependency index for p[k]=v
+// predicates, a first-column index to accelerate joins, and a base-fact
+// marker used by DRed deletion (asserted facts survive rederivation).
+type Relation struct {
+	schema *Schema
+	tuples map[string]datalog.Tuple
+	base   map[string]bool
+	fnIdx  map[string]string   // key-prefix → full tuple key (functional only)
+	idx0   map[string][]string // first-arg value key → tuple keys
+}
+
+// NewRelation returns an empty relation for the given schema.
+func NewRelation(s *Schema) *Relation {
+	r := &Relation{
+		schema: s,
+		tuples: make(map[string]datalog.Tuple),
+		base:   make(map[string]bool),
+	}
+	if s.Functional() {
+		r.fnIdx = make(map[string]string)
+	}
+	if s.Arity > 0 {
+		r.idx0 = make(map[string][]string)
+	}
+	return r
+}
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Contains reports whether the tuple is present.
+func (r *Relation) Contains(t datalog.Tuple) bool {
+	_, ok := r.tuples[t.Key()]
+	return ok
+}
+
+// LookupFn returns the value tuple stored under the given functional key
+// prefix, if any.
+func (r *Relation) LookupFn(keyPrefix string) (datalog.Tuple, bool) {
+	full, ok := r.fnIdx[keyPrefix]
+	if !ok {
+		return nil, false
+	}
+	return r.tuples[full], true
+}
+
+// InsertResult describes the outcome of an insert.
+type InsertResult int
+
+// Insert outcomes.
+const (
+	InsertedNew        InsertResult = iota // tuple added
+	InsertedDup                            // tuple already present (no-op)
+	InsertedFDConflict                     // functional-dependency violation
+)
+
+// Insert adds a tuple. For functional predicates, inserting a different
+// value under an existing key reports InsertedFDConflict and leaves the
+// relation unchanged (the caller decides whether that aborts the
+// transaction or, for aggregate-owned predicates, triggers replacement).
+func (r *Relation) Insert(t datalog.Tuple, isBase bool) InsertResult {
+	key := t.Key()
+	if _, ok := r.tuples[key]; ok {
+		if isBase {
+			r.base[key] = true
+		}
+		return InsertedDup
+	}
+	if r.schema.Functional() {
+		prefix := t.KeyPrefix(r.schema.KeyArity)
+		if _, exists := r.fnIdx[prefix]; exists {
+			return InsertedFDConflict
+		}
+		r.fnIdx[prefix] = key
+	}
+	r.tuples[key] = t
+	if isBase {
+		r.base[key] = true
+	}
+	if r.idx0 != nil && len(t) > 0 {
+		k0 := datalog.Tuple{t[0]}.Key()
+		r.idx0[k0] = append(r.idx0[k0], key)
+	}
+	return InsertedNew
+}
+
+// Delete removes a tuple if present, returning whether it was removed.
+func (r *Relation) Delete(t datalog.Tuple) bool {
+	key := t.Key()
+	old, ok := r.tuples[key]
+	if !ok {
+		return false
+	}
+	delete(r.tuples, key)
+	delete(r.base, key)
+	if r.schema.Functional() {
+		delete(r.fnIdx, old.KeyPrefix(r.schema.KeyArity))
+	}
+	if r.idx0 != nil && len(old) > 0 {
+		k0 := datalog.Tuple{old[0]}.Key()
+		keys := r.idx0[k0]
+		for i, k := range keys {
+			if k == key {
+				keys[i] = keys[len(keys)-1]
+				r.idx0[k0] = keys[:len(keys)-1]
+				break
+			}
+		}
+		if len(r.idx0[k0]) == 0 {
+			delete(r.idx0, k0)
+		}
+	}
+	return true
+}
+
+// IsBase reports whether the tuple was asserted as an EDB fact.
+func (r *Relation) IsBase(t datalog.Tuple) bool { return r.base[t.Key()] }
+
+// Each calls fn for every tuple; fn returning false stops iteration.
+func (r *Relation) Each(fn func(datalog.Tuple) bool) {
+	for _, t := range r.tuples {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// EachWithFirst iterates only the tuples whose first argument equals v.
+func (r *Relation) EachWithFirst(v datalog.Value, fn func(datalog.Tuple) bool) {
+	if r.idx0 == nil {
+		r.Each(fn)
+		return
+	}
+	k0 := datalog.Tuple{v}.Key()
+	for _, key := range r.idx0[k0] {
+		if t, ok := r.tuples[key]; ok {
+			if !fn(t) {
+				return
+			}
+		}
+	}
+}
+
+// Tuples returns a snapshot slice of all tuples (order unspecified).
+func (r *Relation) Tuples() []datalog.Tuple {
+	out := make([]datalog.Tuple, 0, len(r.tuples))
+	for _, t := range r.tuples {
+		out = append(out, t)
+	}
+	return out
+}

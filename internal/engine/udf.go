@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"fmt"
+
+	"secureblox/internal/datalog"
+)
+
+// UDF is a user-defined function hooked into rule and constraint execution,
+// the mechanism LogicBlox exposes for operators such as rsa_sign or
+// aesencrypt (paper §3.2). A UDF atom in a rule body is evaluated once its
+// required argument positions are bound; it then produces zero or more
+// completions of the full argument vector (zero completions means the atom
+// fails, which is how verification UDFs act as filters).
+type UDF interface {
+	// Name is the predicate name the UDF is invoked by.
+	Name() string
+	// CanEval reports whether the bound-argument mask suffices to evaluate.
+	CanEval(bound []bool) bool
+	// Eval computes completions. param is the atom's parameterization (the
+	// T in rsa_sign[T](...)), used for domain separation. args holds the
+	// current values (zero Values at unbound positions).
+	Eval(param string, args []datalog.Value, bound []bool) ([][]datalog.Value, error)
+}
+
+// UDFRegistry maps predicate names to UDF implementations. A nil registry
+// resolves nothing.
+type UDFRegistry struct {
+	byName map[string]UDF
+}
+
+// NewUDFRegistry returns an empty registry.
+func NewUDFRegistry() *UDFRegistry { return &UDFRegistry{byName: make(map[string]UDF)} }
+
+// Register adds a UDF; duplicate names are an error.
+func (r *UDFRegistry) Register(u UDF) error {
+	if _, ok := r.byName[u.Name()]; ok {
+		return fmt.Errorf("udf %s already registered", u.Name())
+	}
+	r.byName[u.Name()] = u
+	return nil
+}
+
+// Lookup resolves a UDF by name.
+func (r *UDFRegistry) Lookup(name string) (UDF, bool) {
+	if r == nil {
+		return nil, false
+	}
+	u, ok := r.byName[name]
+	return u, ok
+}
+
+// FuncUDF adapts a plain Go function into a UDF with a fixed input/output
+// split: the first InArity arguments are inputs (variadic UDFs set
+// InArity=-1 and require all but the last OutArity bound), the rest outputs.
+type FuncUDF struct {
+	FName    string
+	InArity  int // -1: everything except the trailing OutArity args is input
+	OutArity int
+	Fn       func(param string, in []datalog.Value) ([]datalog.Value, bool, error)
+}
+
+// Name implements UDF.
+func (f *FuncUDF) Name() string { return f.FName }
+
+// CanEval implements UDF: all input positions must be bound.
+func (f *FuncUDF) CanEval(bound []bool) bool {
+	n := f.inCount(len(bound))
+	if n < 0 {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		if !bound[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (f *FuncUDF) inCount(arity int) int {
+	if f.InArity >= 0 {
+		if f.InArity+f.OutArity != arity {
+			return -1
+		}
+		return f.InArity
+	}
+	return arity - f.OutArity
+}
+
+// Eval implements UDF.
+func (f *FuncUDF) Eval(param string, args []datalog.Value, bound []bool) ([][]datalog.Value, error) {
+	n := f.inCount(len(args))
+	if n < 0 {
+		return nil, fmt.Errorf("udf %s: bad arity %d", f.FName, len(args))
+	}
+	out, ok, err := f.Fn(param, args[:n])
+	if err != nil {
+		return nil, fmt.Errorf("udf %s: %w", f.FName, err)
+	}
+	if !ok {
+		return nil, nil
+	}
+	if len(out) != f.OutArity {
+		return nil, fmt.Errorf("udf %s: returned %d outputs, want %d", f.FName, len(out), f.OutArity)
+	}
+	full := make([]datalog.Value, len(args))
+	copy(full, args[:n])
+	copy(full[n:], out)
+	// Output positions that arrived bound act as equality filters.
+	for i := n; i < len(args); i++ {
+		if bound[i] && !args[i].Equal(full[i]) {
+			return nil, nil
+		}
+	}
+	return [][]datalog.Value{full}, nil
+}

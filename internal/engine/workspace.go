@@ -1,0 +1,1004 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"secureblox/internal/datalog"
+)
+
+// Fact is one tuple of a named predicate, the unit of assertion and
+// retraction.
+type Fact struct {
+	Pred  string
+	Tuple datalog.Tuple
+}
+
+// String renders the fact as source text.
+func (f Fact) String() string { return f.Pred + f.Tuple.String() }
+
+// ConstraintViolation is returned when a transaction derives data violating
+// an installed integrity constraint; the paper's semantics roll back the
+// entire transaction (§5.2).
+type ConstraintViolation struct {
+	Constraint string
+	Detail     string
+}
+
+// Error implements error.
+func (v *ConstraintViolation) Error() string {
+	if v.Detail == "" {
+		return "constraint violation: " + v.Constraint
+	}
+	return "constraint violation: " + v.Constraint + " (" + v.Detail + ")"
+}
+
+type opKind uint8
+
+const (
+	opInsert opKind = iota
+	opDelete
+)
+
+type op struct {
+	kind    opKind
+	pred    string
+	tuple   datalog.Tuple
+	wasBase bool
+}
+
+// txn tracks one transaction's effects for constraint checking and rollback.
+type txn struct {
+	inserted    map[string][]datalog.Tuple
+	ops         []op
+	skolemKeys  []string
+	counterSnap map[string]int64
+}
+
+func newTxn() *txn {
+	return &txn{inserted: make(map[string][]datalog.Tuple), counterSnap: make(map[string]int64)}
+}
+
+// Workspace is a LogicBlox-style database instance: predicate definitions,
+// installed rules and constraints, and the data they maintain.
+type Workspace struct {
+	cat         *Catalog
+	rels        map[string]*Relation
+	rules       []*CompiledRule
+	aggRules    []*CompiledRule
+	constraints []*CompiledConstraint
+	udfs        *UDFRegistry
+	entCounters map[string]int64
+	skolems     map[string]datalog.Value
+	ruleN       int
+
+	rulesByBody map[string][]*CompiledRule
+	aggByBody   map[string][]*CompiledRule
+	rulesByHead map[string][]*CompiledRule
+
+	// Unstratified holds diagnostics for rules whose negation or
+	// aggregation is cyclic through their own head (evaluated against
+	// current state, as in pipelined declarative networking engines).
+	Unstratified []string
+	// StrictStratification makes Install fail instead of recording
+	// Unstratified diagnostics.
+	StrictStratification bool
+	// EntityBase offsets generated entity ids so entities created on
+	// different nodes never collide when shipped over the network (set it
+	// to a distinct large value per node).
+	EntityBase int64
+}
+
+// NewWorkspace returns an empty workspace using the given UDF registry
+// (nil for none).
+func NewWorkspace(udfs *UDFRegistry) *Workspace {
+	if udfs == nil {
+		udfs = NewUDFRegistry()
+	}
+	w := &Workspace{
+		cat:         NewCatalog(),
+		rels:        make(map[string]*Relation),
+		udfs:        udfs,
+		entCounters: make(map[string]int64),
+		skolems:     make(map[string]datalog.Value),
+		rulesByBody: make(map[string][]*CompiledRule),
+		aggByBody:   make(map[string][]*CompiledRule),
+		rulesByHead: make(map[string][]*CompiledRule),
+	}
+	for name := range w.cat.schemas {
+		w.ensureRelation(name)
+	}
+	return w
+}
+
+// Catalog exposes the workspace's predicate catalog.
+func (w *Workspace) Catalog() *Catalog { return w.cat }
+
+// UDFs exposes the workspace's UDF registry.
+func (w *Workspace) UDFs() *UDFRegistry { return w.udfs }
+
+func (w *Workspace) ensureRelation(name string) *Relation {
+	if r, ok := w.rels[name]; ok {
+		return r
+	}
+	s := w.cat.Schema(name)
+	if s == nil {
+		s = &Schema{Name: name, Arity: -1, KeyArity: -1, AutoDecl: true}
+		w.cat.schemas[name] = s
+	}
+	r := NewRelation(s)
+	w.rels[name] = r
+	return r
+}
+
+// Install compiles a program (declarations, rules, constraints, facts) into
+// the workspace, runs initial evaluation, and checks all constraints. On any
+// error the workspace is restored to its prior state.
+func (w *Workspace) Install(prog *datalog.Program) error {
+	t := newTxn()
+	nRules, nAgg, nCons := len(w.rules), len(w.aggRules), len(w.constraints)
+
+	restore := func() {
+		w.rollback(t)
+		w.rules = w.rules[:nRules]
+		w.aggRules = w.aggRules[:nAgg]
+		w.constraints = w.constraints[:nCons]
+		w.rebuildIndexes()
+	}
+
+	// Declarations first so later compilation sees schemas.
+	for _, con := range prog.Constraints {
+		if IsDeclaration(con) {
+			if _, err := w.cat.DeclareFromConstraint(con); err != nil {
+				restore()
+				return err
+			}
+			w.ensureRelation(con.Lhs[0].Atom.ConcreteName())
+		}
+	}
+	var newRules []*CompiledRule
+	for _, r := range prog.Rules {
+		cr, err := w.compileRule(r)
+		if err != nil {
+			restore()
+			return err
+		}
+		if err := w.checkRuleTypes(cr); err != nil {
+			restore()
+			return err
+		}
+		cr.id = w.ruleN
+		w.ruleN++
+		newRules = append(newRules, cr)
+		if cr.agg != nil {
+			w.aggRules = append(w.aggRules, cr)
+		} else {
+			w.rules = append(w.rules, cr)
+		}
+	}
+	for _, con := range prog.Constraints {
+		cc, err := w.compileConstraint(con)
+		if err != nil {
+			restore()
+			return err
+		}
+		w.constraints = append(w.constraints, cc)
+	}
+	w.rebuildIndexes()
+	if err := w.checkStratification(); err != nil {
+		restore()
+		return err
+	}
+
+	// Source facts.
+	delta := make(map[string][]datalog.Tuple)
+	for _, f := range prog.Facts {
+		fact, err := w.groundFact(f)
+		if err != nil {
+			restore()
+			return err
+		}
+		isNew, err := w.insertTxn(t, fact.Pred, fact.Tuple, true)
+		if err != nil {
+			restore()
+			return err
+		}
+		if isNew {
+			delta[fact.Pred] = append(delta[fact.Pred], fact.Tuple)
+		}
+	}
+
+	// Initial full evaluation of the new rules, then fixpoint.
+	for _, cr := range newRules {
+		var err error
+		if cr.agg != nil {
+			err = w.recomputeAgg(t, cr, delta)
+		} else {
+			err = w.evalRuleInto(t, cr, -1, nil, delta)
+		}
+		if err != nil {
+			restore()
+			return err
+		}
+	}
+	if err := w.fixpoint(t, delta); err != nil {
+		restore()
+		return err
+	}
+	if err := w.checkAllConstraints(); err != nil {
+		restore()
+		return err
+	}
+	return nil
+}
+
+func (w *Workspace) groundFact(a *datalog.Atom) (Fact, error) {
+	if _, err := w.cat.AutoDeclare(a); err != nil {
+		return Fact{}, err
+	}
+	name := a.ConcreteName()
+	w.ensureRelation(name)
+	tup := make(datalog.Tuple, len(a.Args))
+	for i, t := range a.Args {
+		c, ok := t.(datalog.Const)
+		if !ok {
+			return Fact{}, fmt.Errorf("fact %s is not ground", a)
+		}
+		tup[i] = c.Val
+	}
+	return Fact{Pred: name, Tuple: tup}, nil
+}
+
+func (w *Workspace) rebuildIndexes() {
+	w.rulesByBody = make(map[string][]*CompiledRule)
+	w.aggByBody = make(map[string][]*CompiledRule)
+	w.rulesByHead = make(map[string][]*CompiledRule)
+	for _, r := range w.rules {
+		seen := map[string]bool{}
+		for _, i := range r.deltaIdx {
+			p := r.steps[i].pred
+			if !seen[p] {
+				seen[p] = true
+				w.rulesByBody[p] = append(w.rulesByBody[p], r)
+			}
+		}
+		for _, h := range r.heads {
+			w.rulesByHead[h.ConcreteName()] = append(w.rulesByHead[h.ConcreteName()], r)
+		}
+	}
+	for _, r := range w.aggRules {
+		seen := map[string]bool{}
+		for _, i := range r.deltaIdx {
+			p := r.steps[i].pred
+			if !seen[p] {
+				seen[p] = true
+				w.aggByBody[p] = append(w.aggByBody[p], r)
+			}
+		}
+	}
+}
+
+// checkStratification detects negation or aggregation through a recursive
+// cycle. The distributed programs in the paper are semantically stratified
+// (the cycle is broken by the network), so by default this only records
+// diagnostics; StrictStratification turns them into errors.
+func (w *Workspace) checkStratification() error {
+	// Build positive dependency closure: head depends on body preds.
+	dep := make(map[string]map[string]bool)
+	addDep := func(h, b string) {
+		m := dep[h]
+		if m == nil {
+			m = make(map[string]bool)
+			dep[h] = m
+		}
+		m[b] = true
+	}
+	all := append(append([]*CompiledRule(nil), w.rules...), w.aggRules...)
+	for _, r := range all {
+		for _, h := range r.heads {
+			for _, s := range r.steps {
+				if s.kind == stepMatch || s.kind == stepNeg {
+					addDep(h.ConcreteName(), s.pred)
+				}
+			}
+		}
+	}
+	// Transitive closure (predicate count is small).
+	changed := true
+	for changed {
+		changed = false
+		for h, bs := range dep {
+			for b := range bs {
+				for b2 := range dep[b] {
+					if !dep[h][b2] {
+						addDep(h, b2)
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	w.Unstratified = nil
+	for _, r := range all {
+		for _, s := range r.steps {
+			if s.kind != stepNeg && !(s.kind == stepMatch && r.agg != nil) {
+				continue
+			}
+			for _, h := range r.heads {
+				hn := h.ConcreteName()
+				if s.pred == hn || dep[s.pred][hn] {
+					kind := "negation"
+					if r.agg != nil {
+						kind = "aggregation"
+					}
+					diag := fmt.Sprintf("%s over %s is recursive through %s in rule: %s", kind, s.pred, hn, r.src)
+					w.Unstratified = append(w.Unstratified, diag)
+					if w.StrictStratification {
+						return fmt.Errorf("unstratified program: %s", diag)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// insertTxn inserts one tuple, enforcing kind-level type declarations and
+// functional dependencies. It records the undo operation and returns whether
+// the tuple is new.
+func (w *Workspace) insertTxn(t *txn, pred string, tuple datalog.Tuple, base bool) (bool, error) {
+	rel := w.ensureRelation(pred)
+	s := rel.schema
+	if s.Arity >= 0 && len(tuple) != s.Arity {
+		return false, fmt.Errorf("predicate %s: arity mismatch: got %d, want %d", pred, len(tuple), s.Arity)
+	}
+	if s.Arity < 0 {
+		s.Arity = len(tuple)
+		s.ArgTypes = make([]string, len(tuple))
+	}
+	for i, at := range s.ArgTypes {
+		if !w.cat.CheckKind(at, tuple[i]) {
+			return false, &ConstraintViolation{
+				Constraint: fmt.Sprintf("%s argument %d must be %s", pred, i+1, at),
+				Detail:     fmt.Sprintf("got %s", tuple[i]),
+			}
+		}
+	}
+	switch rel.Insert(tuple, base) {
+	case InsertedNew:
+		t.ops = append(t.ops, op{kind: opInsert, pred: pred, tuple: tuple})
+		t.inserted[pred] = append(t.inserted[pred], tuple)
+		return true, nil
+	case InsertedDup:
+		return false, nil
+	default: // FD conflict
+		old, _ := rel.LookupFn(tuple.KeyPrefix(s.KeyArity))
+		return false, &ConstraintViolation{
+			Constraint: fmt.Sprintf("functional dependency on %s", pred),
+			Detail:     fmt.Sprintf("key maps to both %s and %s", old, tuple),
+		}
+	}
+}
+
+func (w *Workspace) deleteTxn(t *txn, pred string, tuple datalog.Tuple) {
+	rel := w.rels[pred]
+	if rel == nil {
+		return
+	}
+	wasBase := rel.IsBase(tuple)
+	if rel.Delete(tuple) {
+		t.ops = append(t.ops, op{kind: opDelete, pred: pred, tuple: tuple, wasBase: wasBase})
+	}
+}
+
+func (w *Workspace) rollback(t *txn) {
+	for i := len(t.ops) - 1; i >= 0; i-- {
+		o := t.ops[i]
+		rel := w.rels[o.pred]
+		if rel == nil {
+			continue
+		}
+		if o.kind == opInsert {
+			rel.Delete(o.tuple)
+		} else {
+			rel.Insert(o.tuple, o.wasBase)
+		}
+	}
+	for _, k := range t.skolemKeys {
+		delete(w.skolems, k)
+	}
+	for typ, n := range t.counterSnap {
+		w.entCounters[typ] = n
+	}
+}
+
+// evalRuleInto evaluates one non-aggregate rule (deltaStep -1 = full
+// evaluation) and inserts derivations, extending next with new tuples.
+func (w *Workspace) evalRuleInto(t *txn, r *CompiledRule, deltaStep int, delta, next map[string][]datalog.Tuple) error {
+	env := &evalEnv{w: w, deltaStep: deltaStep, delta: delta}
+	b := newBinding()
+	return env.runSteps(r.steps, 0, b, func(b *binding) error {
+		return w.derive(t, r, b, next)
+	})
+}
+
+// derive materializes all head atoms of a rule for one body binding,
+// creating Skolemized entities for head-existential variables.
+func (w *Workspace) derive(t *txn, r *CompiledRule, b *binding, next map[string][]datalog.Tuple) error {
+	mark := b.mark()
+	defer b.undo(mark)
+
+	if len(r.exVars) > 0 {
+		var sk strings.Builder
+		fmt.Fprintf(&sk, "r%d", r.id)
+		for _, v := range r.bodyVars {
+			if val, ok := b.get(v); ok {
+				sk.Write(val.AppendKey(nil))
+			}
+		}
+		base := sk.String()
+		for _, ex := range r.exVars {
+			key := base + "|" + ex.name
+			ent, ok := w.skolems[key]
+			if !ok {
+				if _, snap := t.counterSnap[ex.entType]; !snap {
+					t.counterSnap[ex.entType] = w.entCounters[ex.entType]
+				}
+				if w.entCounters[ex.entType] == 0 {
+					w.entCounters[ex.entType] = w.EntityBase
+				}
+				w.entCounters[ex.entType]++
+				ent = datalog.Entity(ex.entType, w.entCounters[ex.entType])
+				w.skolems[key] = ent
+				t.skolemKeys = append(t.skolemKeys, key)
+			}
+			b.bind(ex.name, ent)
+			isNew, err := w.insertTxn(t, ex.entType, datalog.Tuple{ent}, false)
+			if err != nil {
+				return err
+			}
+			if isNew && next != nil {
+				next[ex.entType] = append(next[ex.entType], datalog.Tuple{ent})
+			}
+		}
+	}
+
+	for _, h := range r.heads {
+		tuple := make(datalog.Tuple, len(h.Args))
+		for i, term := range h.Args {
+			v, err := evalTerm(term, b)
+			if err != nil {
+				return fmt.Errorf("rule %s: head %s: %w", r.src, h, err)
+			}
+			tuple[i] = v
+		}
+		isNew, err := w.insertTxn(t, h.ConcreteName(), tuple, false)
+		if err != nil {
+			return err
+		}
+		if isNew && next != nil {
+			next[h.ConcreteName()] = append(next[h.ConcreteName()], tuple)
+		}
+	}
+	return nil
+}
+
+// recomputeAgg fully re-evaluates an aggregation rule and replaces changed
+// group values (replacement semantics: the old tuple is removed without
+// retraction of its prior consequences — see DESIGN.md).
+func (w *Workspace) recomputeAgg(t *txn, r *CompiledRule, next map[string][]datalog.Tuple) error {
+	head := r.heads[0]
+	keyN := head.KeyArity
+	type group struct {
+		keys datalog.Tuple
+		acc  int64
+		n    int64
+	}
+	groups := make(map[string]*group)
+
+	env := &evalEnv{w: w, deltaStep: -1}
+	b := newBinding()
+	err := env.runSteps(r.steps, 0, b, func(b *binding) error {
+		keys := make(datalog.Tuple, keyN)
+		for i := 0; i < keyN; i++ {
+			v, err := evalTerm(head.Args[i], b)
+			if err != nil {
+				return err
+			}
+			keys[i] = v
+		}
+		var over datalog.Value
+		if r.agg.Over != "" {
+			v, ok := b.get(r.agg.Over)
+			if !ok {
+				return fmt.Errorf("aggregate variable %s unbound", r.agg.Over)
+			}
+			if r.agg.Func != "count" && v.Kind != datalog.KindInt {
+				return fmt.Errorf("aggregate %s over non-integer %s", r.agg.Func, v)
+			}
+			over = v
+		}
+		gk := keys.Key()
+		g, ok := groups[gk]
+		if !ok {
+			g = &group{keys: keys}
+			groups[gk] = g
+			switch r.agg.Func {
+			case "min", "max", "sum":
+				g.acc = over.Int
+			}
+			g.n = 1
+			return nil
+		}
+		g.n++
+		switch r.agg.Func {
+		case "min":
+			if over.Int < g.acc {
+				g.acc = over.Int
+			}
+		case "max":
+			if over.Int > g.acc {
+				g.acc = over.Int
+			}
+		case "sum":
+			g.acc += over.Int
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	pred := head.ConcreteName()
+	rel := w.ensureRelation(pred)
+	for _, g := range groups {
+		var result datalog.Value
+		if r.agg.Func == "count" {
+			result = datalog.Int64(g.n)
+		} else {
+			result = datalog.Int64(g.acc)
+		}
+		newTuple := append(append(datalog.Tuple{}, g.keys...), result)
+		if old, ok := rel.LookupFn(g.keys.Key()); ok {
+			if old[keyN].Equal(result) {
+				continue
+			}
+			w.deleteTxn(t, pred, old)
+		}
+		isNew, err := w.insertTxn(t, pred, newTuple, false)
+		if err != nil {
+			return err
+		}
+		if isNew && next != nil {
+			next[pred] = append(next[pred], newTuple)
+		}
+	}
+	return nil
+}
+
+// fixpoint runs semi-naïve evaluation to quiescence starting from delta.
+func (w *Workspace) fixpoint(t *txn, delta map[string][]datalog.Tuple) error {
+	for len(delta) > 0 {
+		next := make(map[string][]datalog.Tuple)
+		seenRule := make(map[int]bool)
+		var ruleList []*CompiledRule
+		var aggList []*CompiledRule
+		for pred := range delta {
+			for _, r := range w.rulesByBody[pred] {
+				if !seenRule[r.id] {
+					seenRule[r.id] = true
+					ruleList = append(ruleList, r)
+				}
+			}
+			for _, r := range w.aggByBody[pred] {
+				if !seenRule[r.id] {
+					seenRule[r.id] = true
+					aggList = append(aggList, r)
+				}
+			}
+		}
+		sort.Slice(ruleList, func(i, j int) bool { return ruleList[i].id < ruleList[j].id })
+		sort.Slice(aggList, func(i, j int) bool { return aggList[i].id < aggList[j].id })
+		for _, r := range ruleList {
+			for _, j := range r.deltaIdx {
+				if delta[r.steps[j].pred] == nil {
+					continue
+				}
+				if err := w.evalRuleInto(t, r, j, delta, next); err != nil {
+					return err
+				}
+			}
+		}
+		for _, r := range aggList {
+			if err := w.recomputeAgg(t, r, next); err != nil {
+				return err
+			}
+		}
+		delta = next
+	}
+	return nil
+}
+
+// checkTxnConstraints verifies every installed constraint against the
+// tuples inserted by the transaction (incremental LHS restriction).
+func (w *Workspace) checkTxnConstraints(t *txn) error {
+	for _, c := range w.constraints {
+		for _, j := range c.lhsIdx {
+			if t.inserted[c.lhsSteps[j].pred] == nil {
+				continue
+			}
+			if err := w.checkConstraintDelta(c, j, t.inserted); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+var errSatisfied = fmt.Errorf("satisfied")
+
+func (w *Workspace) checkConstraintDelta(c *CompiledConstraint, deltaStep int, delta map[string][]datalog.Tuple) error {
+	env := &evalEnv{w: w, deltaStep: deltaStep, delta: delta}
+	b := newBinding()
+	return env.runSteps(c.lhsSteps, 0, b, func(b *binding) error {
+		ok, err := w.rhsSatisfiable(c, b)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return &ConstraintViolation{Constraint: c.src.String(), Detail: bindingDetail(b)}
+		}
+		return nil
+	})
+}
+
+func (w *Workspace) rhsSatisfiable(c *CompiledConstraint, b *binding) (bool, error) {
+	if len(c.rhsSteps) == 0 {
+		return true, nil
+	}
+	env := &evalEnv{w: w, deltaStep: -1}
+	err := env.runSteps(c.rhsSteps, 0, b, func(*binding) error { return errSatisfied })
+	if err == errSatisfied {
+		return true, nil
+	}
+	return false, err
+}
+
+func bindingDetail(b *binding) string {
+	names := make([]string, 0, len(b.vals))
+	for n := range b.vals {
+		if !strings.HasPrefix(n, "$") {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, n := range names {
+		parts = append(parts, n+"="+b.vals[n].String())
+	}
+	return strings.Join(parts, ", ")
+}
+
+// checkAllConstraints verifies every constraint over the full database.
+func (w *Workspace) checkAllConstraints() error {
+	for _, c := range w.constraints {
+		env := &evalEnv{w: w, deltaStep: -1}
+		b := newBinding()
+		err := env.runSteps(c.lhsSteps, 0, b, func(b *binding) error {
+			ok, err := w.rhsSatisfiable(c, b)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return &ConstraintViolation{Constraint: c.src.String(), Detail: bindingDetail(b)}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TxnResult reports what a committed transaction inserted, per predicate.
+type TxnResult struct {
+	Inserted map[string][]datalog.Tuple
+}
+
+// Assert runs one ACID transaction: insert the given base facts, evaluate
+// installed rules to a local fixpoint, and check integrity constraints. On
+// any violation the entire transaction (input facts included) is rolled
+// back and the violation returned, matching the paper's §5.2 semantics.
+func (w *Workspace) Assert(facts []Fact) (*TxnResult, error) {
+	t := newTxn()
+	delta := make(map[string][]datalog.Tuple)
+	for _, f := range facts {
+		isNew, err := w.insertTxn(t, f.Pred, f.Tuple, true)
+		if err != nil {
+			w.rollback(t)
+			return nil, err
+		}
+		if isNew {
+			delta[f.Pred] = append(delta[f.Pred], f.Tuple)
+		}
+	}
+	if err := w.fixpoint(t, delta); err != nil {
+		w.rollback(t)
+		return nil, err
+	}
+	if err := w.checkTxnConstraints(t); err != nil {
+		w.rollback(t)
+		return nil, err
+	}
+	return &TxnResult{Inserted: t.inserted}, nil
+}
+
+// AssertProgramFacts parses source-text facts and asserts them.
+func (w *Workspace) AssertProgramFacts(src string) (*TxnResult, error) {
+	prog, err := datalog.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(prog.Rules) > 0 || len(prog.Constraints) > 0 {
+		return nil, fmt.Errorf("AssertProgramFacts accepts facts only")
+	}
+	facts := make([]Fact, 0, len(prog.Facts))
+	for _, a := range prog.Facts {
+		f, err := w.groundFact(a)
+		if err != nil {
+			return nil, err
+		}
+		facts = append(facts, f)
+	}
+	return w.Assert(facts)
+}
+
+// Retract removes base facts and incrementally maintains derived data with
+// a DRed-style delete-and-rederive pass (paper §2: installed rules are
+// incrementally maintained using DRed). Constraints are re-verified over the
+// full database afterwards; any violation rolls the retraction back.
+func (w *Workspace) Retract(facts []Fact) error {
+	t := newTxn()
+
+	// Phase 1: overestimate deletions.
+	deleted := make(map[string]map[string]datalog.Tuple) // pred → key → tuple
+	addDel := func(pred string, tup datalog.Tuple) bool {
+		m := deleted[pred]
+		if m == nil {
+			m = make(map[string]datalog.Tuple)
+			deleted[pred] = m
+		}
+		k := tup.Key()
+		if _, ok := m[k]; ok {
+			return false
+		}
+		m[k] = tup
+		return true
+	}
+	frontier := make(map[string][]datalog.Tuple)
+	for _, f := range facts {
+		rel := w.rels[f.Pred]
+		if rel == nil || !rel.Contains(f.Tuple) {
+			continue
+		}
+		if addDel(f.Pred, f.Tuple) {
+			frontier[f.Pred] = append(frontier[f.Pred], f.Tuple)
+		}
+	}
+	for len(frontier) > 0 {
+		next := make(map[string][]datalog.Tuple)
+		for pred := range frontier {
+			for _, r := range w.rulesByBody[pred] {
+				for _, j := range r.deltaIdx {
+					if r.steps[j].pred != pred {
+						continue
+					}
+					env := &evalEnv{w: w, deltaStep: j, delta: frontier}
+					b := newBinding()
+					err := env.runSteps(r.steps, 0, b, func(b *binding) error {
+						return w.collectHeadDeletions(r, b, addDel, next)
+					})
+					if err != nil {
+						return err
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+
+	// Phase 2: apply deletions.
+	for pred, m := range deleted {
+		for _, tup := range m {
+			w.deleteTxn(t, pred, tup)
+		}
+	}
+
+	// Phase 3: rederive survivors. Base facts that were explicitly
+	// retracted stay out; everything else that is still derivable returns.
+	seedKeys := make(map[string]map[string]bool)
+	for _, f := range facts {
+		m := seedKeys[f.Pred]
+		if m == nil {
+			m = make(map[string]bool)
+			seedKeys[f.Pred] = m
+		}
+		m[f.Tuple.Key()] = true
+	}
+	changed := true
+	for changed {
+		changed = false
+		// Re-run every rule whose head predicate saw deletions; reinsert
+		// derivations that were deleted (and are not retracted seeds).
+		for pred := range deleted {
+			for _, r := range w.rulesByHead[pred] {
+				next := make(map[string][]datalog.Tuple)
+				if err := w.evalRuleInto(t, r, -1, nil, next); err != nil {
+					w.rollback(t)
+					return err
+				}
+				for np, tups := range next {
+					for _, tup := range tups {
+						if seedKeys[np][tup.Key()] {
+							// a retracted base fact must not return
+							w.deleteTxn(t, np, tup)
+							continue
+						}
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Phase 4: recompute aggregates (groups may shrink or disappear).
+	for _, r := range w.aggRules {
+		if err := w.retractAggGroups(t, r); err != nil {
+			w.rollback(t)
+			return err
+		}
+	}
+
+	// Phase 5: full constraint verification.
+	if err := w.checkAllConstraints(); err != nil {
+		w.rollback(t)
+		return err
+	}
+	return nil
+}
+
+// collectHeadDeletions computes the head tuples a binding would have derived
+// and marks existing, non-base ones for deletion.
+func (w *Workspace) collectHeadDeletions(r *CompiledRule, b *binding,
+	addDel func(string, datalog.Tuple) bool, next map[string][]datalog.Tuple) error {
+	mark := b.mark()
+	defer b.undo(mark)
+	if len(r.exVars) > 0 {
+		var sk strings.Builder
+		fmt.Fprintf(&sk, "r%d", r.id)
+		for _, v := range r.bodyVars {
+			if val, ok := b.get(v); ok {
+				sk.Write(val.AppendKey(nil))
+			}
+		}
+		for _, ex := range r.exVars {
+			ent, ok := w.skolems[sk.String()+"|"+ex.name]
+			if !ok {
+				return nil // derivation never happened
+			}
+			b.bind(ex.name, ent)
+		}
+	}
+	for _, h := range r.heads {
+		tuple := make(datalog.Tuple, len(h.Args))
+		for i, term := range h.Args {
+			v, err := evalTerm(term, b)
+			if err != nil {
+				return err
+			}
+			tuple[i] = v
+		}
+		pred := h.ConcreteName()
+		rel := w.rels[pred]
+		if rel == nil || !rel.Contains(tuple) || rel.IsBase(tuple) {
+			continue
+		}
+		if addDel(pred, tuple) {
+			next[pred] = append(next[pred], tuple)
+		}
+	}
+	return nil
+}
+
+// retractAggGroups recomputes an aggregate from scratch, deleting groups
+// that no longer exist and replacing changed values.
+func (w *Workspace) retractAggGroups(t *txn, r *CompiledRule) error {
+	head := r.heads[0]
+	pred := head.ConcreteName()
+	rel := w.ensureRelation(pred)
+	// Current group keys.
+	current := make(map[string]datalog.Tuple)
+	rel.Each(func(tup datalog.Tuple) bool {
+		current[tup.KeyPrefix(head.KeyArity)] = tup
+		return true
+	})
+	next := make(map[string][]datalog.Tuple)
+	if err := w.recomputeAgg(t, r, next); err != nil {
+		return err
+	}
+	// Groups without any remaining contribution: recomputeAgg never touches
+	// them, so compare against a fresh body evaluation.
+	alive := make(map[string]bool)
+	env := &evalEnv{w: w, deltaStep: -1}
+	b := newBinding()
+	err := env.runSteps(r.steps, 0, b, func(b *binding) error {
+		keys := make(datalog.Tuple, head.KeyArity)
+		for i := 0; i < head.KeyArity; i++ {
+			v, err := evalTerm(head.Args[i], b)
+			if err != nil {
+				return err
+			}
+			keys[i] = v
+		}
+		alive[keys.Key()] = true
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for gk, tup := range current {
+		if !alive[gk] {
+			w.deleteTxn(t, pred, tup)
+		}
+	}
+	return nil
+}
+
+// Tuples returns a snapshot of a predicate's extent.
+func (w *Workspace) Tuples(pred string) []datalog.Tuple {
+	rel := w.rels[pred]
+	if rel == nil {
+		return nil
+	}
+	return rel.Tuples()
+}
+
+// Count returns the number of tuples in a predicate.
+func (w *Workspace) Count(pred string) int {
+	rel := w.rels[pred]
+	if rel == nil {
+		return 0
+	}
+	return rel.Len()
+}
+
+// Contains reports whether a predicate holds the given tuple.
+func (w *Workspace) Contains(pred string, tuple datalog.Tuple) bool {
+	rel := w.rels[pred]
+	return rel != nil && rel.Contains(tuple)
+}
+
+// LookupFn looks up a functional predicate's value tuple by its keys.
+func (w *Workspace) LookupFn(pred string, keys ...datalog.Value) (datalog.Value, bool) {
+	rel := w.rels[pred]
+	if rel == nil || !rel.schema.Functional() {
+		return datalog.Value{}, false
+	}
+	t, ok := rel.LookupFn(datalog.Tuple(keys).Key())
+	if !ok {
+		return datalog.Value{}, false
+	}
+	return t[rel.schema.KeyArity], true
+}
+
+// Predicates returns the names of all predicates with a relation, sorted.
+func (w *Workspace) Predicates() []string {
+	out := make([]string, 0, len(w.rels))
+	for n := range w.rels {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,95 @@
+package generics
+
+import (
+	"strings"
+	"testing"
+
+	"secureblox/internal/datalog"
+	"secureblox/internal/engine"
+)
+
+// TestFunctionalPredicateExport exercises says over a predicate with a
+// functional dependency: V* must cover keys plus value, the generated
+// import accesses the relation positionally, and the FD stays enforced on
+// imported data.
+func TestFunctionalPredicateExport(t *testing.T) {
+	res := compileWith(t, `
+		score[K]=V -> string(K), int(V).
+		exportable('score).
+	`, saysPolicy, trustAllPolicy)
+	if !strings.Contains(res.GeneratedSrc, "says$score(P1, P2, V0, V1)") {
+		t.Fatalf("says over functional predicate should have arity 4:\n%s", res.GeneratedSrc)
+	}
+	w := engine.NewWorkspace(nil)
+	if err := w.Install(res.Program); err != nil {
+		t.Fatalf("install: %v\n%s", err, res.GeneratedSrc)
+	}
+	if _, err := w.AssertProgramFacts(`principal(#a). principal(#b).`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AssertProgramFacts(`says['score](#a, #b, "alice", 7).`); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := w.LookupFn("score", datalog.String_("alice")); !ok || v.Int != 7 {
+		t.Fatalf("functional import failed: %v %v", v, ok)
+	}
+	// an advertisement violating the FD rolls back
+	if _, err := w.AssertProgramFacts(`says['score](#a, #b, "alice", 9).`); err == nil {
+		t.Fatal("conflicting functional value should violate the FD")
+	}
+	if v, _ := w.LookupFn("score", datalog.String_("alice")); v.Int != 7 {
+		t.Error("FD violation leaked")
+	}
+}
+
+// TestCompiledProgramReifiesAndReparses: the output of sbx -emit (the full
+// compiled program's source form) must be a valid program equivalent under
+// re-parsing — reification is a fixed point.
+func TestCompiledProgramReifiesAndReparses(t *testing.T) {
+	res := compileWith(t, reachableQuery, saysPolicy, trustAllPolicy)
+	src := res.Program.String()
+	prog2, err := datalog.Parse(src)
+	if err != nil {
+		t.Fatalf("reified program does not reparse: %v\n%s", err, src)
+	}
+	if got := prog2.String(); got != src {
+		t.Errorf("reification not a fixed point:\n--- first ---\n%s\n--- second ---\n%s", src, got)
+	}
+	// and it still installs
+	w := engine.NewWorkspace(nil)
+	if err := w.Install(prog2); err != nil {
+		t.Fatalf("reified program does not install: %v", err)
+	}
+}
+
+// TestMultipleTemplatesInOneRule: a generic rule may carry several quoted
+// templates (the RSA policy pairs a rule and a constraint).
+func TestMultipleTemplatesInOneRule(t *testing.T) {
+	policy := `
+		says[T]=ST, predicate(ST),
+		` + "`" + `{ ST(P1, P2, V*) -> principal(P1), principal(P2). },
+		` + "`" + `{ audit(V*) <- ST(P1, P2, V*). }
+		<-- predicate(T), exportable(T).
+	`
+	res := compileWith(t, reachableQuery, policy)
+	if !strings.Contains(res.GeneratedSrc, "audit(V0, V1)") {
+		t.Errorf("second template not instantiated:\n%s", res.GeneratedSrc)
+	}
+}
+
+// TestPolicyOverTwoExportables: one policy instantiates per exportable
+// predicate with the right arities.
+func TestPolicyOverTwoExportables(t *testing.T) {
+	res := compileWith(t, `
+		small(A) -> int(A).
+		wide(A, B, C) -> int(A), int(B), int(C).
+		exportable('small).
+		exportable('wide).
+	`, saysPolicy)
+	if !strings.Contains(res.GeneratedSrc, "says$small(P1, P2, V0)") {
+		t.Errorf("arity-1 instance missing:\n%s", res.GeneratedSrc)
+	}
+	if !strings.Contains(res.GeneratedSrc, "says$wide(P1, P2, V0, V1, V2)") {
+		t.Errorf("arity-3 instance missing:\n%s", res.GeneratedSrc)
+	}
+}

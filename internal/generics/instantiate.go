@@ -1,0 +1,116 @@
+package generics
+
+import (
+	"fmt"
+	"strings"
+
+	"secureblox/internal/datalog"
+)
+
+// instantiate expands one quoted template under a substitution of predicate
+// variables. subjectArity determines the length of V* sequences; argTypes
+// are the subject predicate's declared argument types, used to expand
+// types[T](V*) into one type atom per argument.
+func instantiate(tmpl string, subst map[string]string, subjectArity int, argTypes []string) (string, error) {
+	toks, err := datalog.Tokens(tmpl)
+	if err != nil {
+		return "", fmt.Errorf("template: %w", err)
+	}
+	var out []string
+	emit := func(s string) { out = append(out, s) }
+	// emitEmptyExpansion drops a neighbouring comma when an expansion
+	// produces nothing (e.g. V* at arity 0, or types[T] with no declared
+	// types).
+	pendingSkipComma := false
+	emitEmptyExpansion := func() {
+		if len(out) > 0 && out[len(out)-1] == "," {
+			out = out[:len(out)-1]
+			return
+		}
+		pendingSkipComma = true
+	}
+	varargs := func(prefix string) []string {
+		parts := make([]string, 0, subjectArity)
+		for i := 0; i < subjectArity; i++ {
+			parts = append(parts, fmt.Sprintf("%s%d", prefix, i))
+		}
+		return parts
+	}
+
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		if t.Kind == datalog.TokEOF {
+			break
+		}
+		if pendingSkipComma {
+			pendingSkipComma = false
+			if t.Kind == datalog.TokComma {
+				continue
+			}
+		}
+		peek := func(off int) datalog.Token {
+			j := i + off
+			if j >= len(toks) {
+				return datalog.Token{Kind: datalog.TokEOF}
+			}
+			return toks[j]
+		}
+
+		// types[T](V*) — expand to the subject's type atoms.
+		if t.Kind == datalog.TokIdent && t.Text == "types" &&
+			peek(1).Kind == datalog.TokLBrack && peek(2).Kind == datalog.TokVar &&
+			peek(3).Kind == datalog.TokRBrack && peek(4).Kind == datalog.TokLParen &&
+			peek(5).Kind == datalog.TokVar && peek(6).Kind == datalog.TokStar &&
+			peek(7).Kind == datalog.TokRParen {
+			if _, ok := subst[peek(2).Text]; !ok {
+				return "", fmt.Errorf("template: types[%s] over unbound meta variable", peek(2).Text)
+			}
+			prefix := peek(5).Text
+			var atoms []string
+			for idx := 0; idx < subjectArity && idx < len(argTypes); idx++ {
+				if argTypes[idx] == "" {
+					continue
+				}
+				atoms = append(atoms, fmt.Sprintf("%s(%s%d)", argTypes[idx], prefix, idx))
+			}
+			if len(atoms) == 0 {
+				emitEmptyExpansion()
+			} else {
+				emit(strings.Join(atoms, " , "))
+			}
+			i += 7
+			continue
+		}
+
+		// V* — variable-length argument sequence.
+		if t.Kind == datalog.TokVar && peek(1).Kind == datalog.TokStar {
+			if subjectArity == 0 {
+				emitEmptyExpansion()
+			} else {
+				emit(strings.Join(varargs(t.Text), " , "))
+			}
+			i++
+			continue
+		}
+
+		// Substituted predicate variable.
+		if t.Kind == datalog.TokVar {
+			if concrete, ok := subst[t.Text]; ok {
+				switch {
+				case peek(1).Kind == datalog.TokLParen || peek(1).Kind == datalog.TokLBrack:
+					// predicate position: ST(...) or ST[...]=v
+					emit(concrete)
+				case i > 0 && toks[i-1].Kind == datalog.TokLBrack && peek(1).Kind == datalog.TokRBrack:
+					// parameter position: says[T](...) → says['concrete](...)
+					emit("'" + concrete)
+				default:
+					// argument position: quoted-name constant
+					emit("'" + concrete)
+				}
+				continue
+			}
+		}
+		emit(renderToken(t))
+	}
+	return strings.Join(out, " "), nil
+}

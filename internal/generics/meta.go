@@ -1,0 +1,185 @@
+// Package generics implements BloxGenerics, the static meta-programming
+// layer of SecureBlox (paper §4): generic rules ("<--") computing over the
+// relational representation of a DatalogLB program, quoted code templates
+// ("`{...}") with variable-length argument sequences ("V*"), and generic
+// constraints ("-->") checked at compile time. The compiler evaluates
+// generic rules to a fixpoint (erroring out if none is reached within a
+// bound, per §4.1.1), instantiates templates, verifies generic constraints,
+// and reifies the combined concrete DatalogLB program.
+package generics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// MetaArg is one argument of a meta atom: a variable or a predicate-name
+// constant (written 'name in source).
+type MetaArg struct {
+	Name    string
+	IsConst bool
+}
+
+// String renders the argument.
+func (a MetaArg) String() string {
+	if a.IsConst {
+		return "'" + a.Name
+	}
+	return a.Name
+}
+
+// MetaAtom is a predicate over program elements, e.g. predicate(T),
+// exportable(T), or says[T]=ST (represented with args [T, ST]).
+type MetaAtom struct {
+	Pred       string
+	Args       []MetaArg
+	Functional bool // written f[x]=y
+}
+
+// String renders the atom.
+func (m MetaAtom) String() string {
+	parts := make([]string, len(m.Args))
+	for i, a := range m.Args {
+		parts[i] = a.String()
+	}
+	if m.Functional {
+		return fmt.Sprintf("%s[%s]=%s", m.Pred, strings.Join(parts[:len(parts)-1], ", "), parts[len(parts)-1])
+	}
+	return fmt.Sprintf("%s(%s)", m.Pred, strings.Join(parts, ", "))
+}
+
+// GenericRule is a "<--" rule: meta-atom heads plus code templates, derived
+// for every binding of the meta-atom body.
+type GenericRule struct {
+	Heads     []MetaAtom
+	Templates []string
+	Body      []MetaAtom
+	// SubjectVar is the variable whose predicate binding determines the
+	// expansion length of V* sequences (the paper: "The length of V* is
+	// bound by the types of T"). It defaults to the argument of the first
+	// predicate(...) atom in the body.
+	SubjectVar string
+	Src        string
+}
+
+// GenericConstraint is a "-->" constraint over meta facts, verified at
+// compile time; a violation is a compilation error (paper §4.1.4).
+type GenericConstraint struct {
+	Lhs []MetaAtom
+	Rhs []MetaAtom
+	Src string
+}
+
+// String renders the constraint.
+func (g GenericConstraint) String() string {
+	if g.Src != "" {
+		return g.Src
+	}
+	l := make([]string, len(g.Lhs))
+	for i, a := range g.Lhs {
+		l[i] = a.String()
+	}
+	r := make([]string, len(g.Rhs))
+	for i, a := range g.Rhs {
+		r[i] = a.String()
+	}
+	return strings.Join(l, ", ") + " --> " + strings.Join(r, ", ")
+}
+
+// PredInfo is the compile-time schema knowledge for one concrete predicate,
+// needed to expand V* and types[T](V*).
+type PredInfo struct {
+	Name     string
+	Arity    int
+	KeyArity int // -1 for relational
+	ArgTypes []string
+}
+
+// metaDB stores the meta facts (relations over predicate names) that
+// generic rules compute over.
+type metaDB struct {
+	rels map[string]map[string][]string // pred → tuple key → tuple
+}
+
+func newMetaDB() *metaDB { return &metaDB{rels: make(map[string]map[string][]string)} }
+
+func tupleKey(t []string) string { return strings.Join(t, "\x00") }
+
+// insert adds a fact, reporting whether it is new.
+func (db *metaDB) insert(pred string, tuple []string) bool {
+	rel := db.rels[pred]
+	if rel == nil {
+		rel = make(map[string][]string)
+		db.rels[pred] = rel
+	}
+	k := tupleKey(tuple)
+	if _, ok := rel[k]; ok {
+		return false
+	}
+	rel[k] = append([]string(nil), tuple...)
+	return true
+}
+
+func (db *metaDB) tuples(pred string) [][]string {
+	rel := db.rels[pred]
+	out := make([][]string, 0, len(rel))
+	for _, t := range rel {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return tupleKey(out[i]) < tupleKey(out[j]) })
+	return out
+}
+
+func (db *metaDB) contains(pred string, tuple []string) bool {
+	rel := db.rels[pred]
+	if rel == nil {
+		return false
+	}
+	_, ok := rel[tupleKey(tuple)]
+	return ok
+}
+
+// matchAtoms enumerates bindings of a conjunction of meta atoms, starting
+// from an initial binding, invoking emit for each complete one.
+func (db *metaDB) matchAtoms(atoms []MetaAtom, b map[string]string, emit func(map[string]string) error) error {
+	if len(atoms) == 0 {
+		return emit(b)
+	}
+	a := atoms[0]
+	for _, t := range db.tuples(a.Pred) {
+		if len(t) != len(a.Args) {
+			continue
+		}
+		var boundHere []string
+		ok := true
+		for i, arg := range a.Args {
+			want := arg.Name
+			if !arg.IsConst {
+				if v, bnd := b[arg.Name]; bnd {
+					want = v
+				} else {
+					b[arg.Name] = t[i]
+					boundHere = append(boundHere, arg.Name)
+					continue
+				}
+			}
+			if want != t[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			if err := db.matchAtoms(atoms[1:], b, emit); err != nil {
+				for _, v := range boundHere {
+					delete(b, v)
+				}
+				return err
+			}
+		}
+		for _, v := range boundHere {
+			delete(b, v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,358 @@
+package generics
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"secureblox/internal/datalog"
+)
+
+// PolicySource is a parsed BloxGenerics compilation unit: generic rules,
+// generic constraints, and concrete DatalogLB code passed through verbatim.
+type PolicySource struct {
+	Rules       []GenericRule
+	Constraints []GenericConstraint
+	Passthrough string
+}
+
+// ParsePolicy parses BloxGenerics source text. Statements containing "<--"
+// are generic rules, "-->" generic constraints; everything else is concrete
+// DatalogLB passed through.
+func ParsePolicy(src string) (*PolicySource, error) {
+	toks, err := datalog.Tokens(src)
+	if err != nil {
+		return nil, err
+	}
+	ps := &PolicySource{}
+	var pass strings.Builder
+
+	stmt := make([]datalog.Token, 0, 64)
+	flush := func() error {
+		if len(stmt) == 0 {
+			return nil
+		}
+		kind := 0
+		for _, t := range stmt {
+			switch t.Kind {
+			case datalog.TokArrowL2:
+				kind = 1
+			case datalog.TokArrowR2:
+				kind = 2
+			}
+		}
+		switch kind {
+		case 1:
+			r, err := parseGenericRule(stmt)
+			if err != nil {
+				return err
+			}
+			ps.Rules = append(ps.Rules, r)
+		case 2:
+			c, err := parseGenericConstraint(stmt)
+			if err != nil {
+				return err
+			}
+			ps.Constraints = append(ps.Constraints, c)
+		default:
+			pass.WriteString(renderTokens(stmt))
+			pass.WriteString(".\n")
+		}
+		stmt = stmt[:0]
+		return nil
+	}
+	for _, t := range toks {
+		switch t.Kind {
+		case datalog.TokEOF:
+			if len(stmt) != 0 {
+				return nil, fmt.Errorf("line %d: statement not terminated with '.'", t.Line)
+			}
+		case datalog.TokDot:
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		default:
+			stmt = append(stmt, t)
+		}
+	}
+	ps.Passthrough = pass.String()
+	return ps, nil
+}
+
+// metaTokenParser walks a token slice.
+type metaTokenParser struct {
+	toks []datalog.Token
+	pos  int
+}
+
+func (p *metaTokenParser) cur() datalog.Token {
+	if p.pos >= len(p.toks) {
+		return datalog.Token{Kind: datalog.TokEOF}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *metaTokenParser) next() datalog.Token {
+	t := p.cur()
+	p.pos++
+	return t
+}
+
+func (p *metaTokenParser) expect(k datalog.TokKind) (datalog.Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, fmt.Errorf("line %d: expected %s, found %s", t.Line, k, t.Kind)
+	}
+	p.pos++
+	return t, nil
+}
+
+// parseMetaArg parses a variable or 'name constant.
+func (p *metaTokenParser) parseMetaArg() (MetaArg, error) {
+	t := p.next()
+	switch t.Kind {
+	case datalog.TokVar:
+		return MetaArg{Name: t.Text}, nil
+	case datalog.TokQName:
+		return MetaArg{Name: t.Text, IsConst: true}, nil
+	case datalog.TokString:
+		return MetaArg{Name: t.Text, IsConst: true}, nil
+	default:
+		return MetaArg{}, fmt.Errorf("line %d: expected meta variable or 'name, found %s", t.Line, t.Kind)
+	}
+}
+
+// parseMetaAtom parses predicate(args...) or fn[args]=v.
+func (p *metaTokenParser) parseMetaAtom() (MetaAtom, error) {
+	name, err := p.expect(datalog.TokIdent)
+	if err != nil {
+		return MetaAtom{}, err
+	}
+	a := MetaAtom{Pred: name.Text}
+	switch p.cur().Kind {
+	case datalog.TokLParen:
+		p.next()
+		for p.cur().Kind != datalog.TokRParen {
+			arg, err := p.parseMetaArg()
+			if err != nil {
+				return a, err
+			}
+			a.Args = append(a.Args, arg)
+			if p.cur().Kind == datalog.TokComma {
+				p.next()
+			}
+		}
+		p.next() // )
+		return a, nil
+	case datalog.TokLBrack:
+		p.next()
+		for p.cur().Kind != datalog.TokRBrack {
+			arg, err := p.parseMetaArg()
+			if err != nil {
+				return a, err
+			}
+			a.Args = append(a.Args, arg)
+			if p.cur().Kind == datalog.TokComma {
+				p.next()
+			}
+		}
+		p.next() // ]
+		if _, err := p.expect(datalog.TokEq); err != nil {
+			return a, err
+		}
+		v, err := p.parseMetaArg()
+		if err != nil {
+			return a, err
+		}
+		a.Args = append(a.Args, v)
+		a.Functional = true
+		return a, nil
+	default:
+		return a, fmt.Errorf("line %d: expected ( or [ after meta predicate %s", name.Line, name.Text)
+	}
+}
+
+// parseMetaAtomList parses comma-separated meta atoms until the tokens end.
+func parseMetaAtomList(toks []datalog.Token) ([]MetaAtom, error) {
+	p := &metaTokenParser{toks: toks}
+	var out []MetaAtom
+	for p.cur().Kind != datalog.TokEOF {
+		a, err := p.parseMetaAtom()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+		if p.cur().Kind == datalog.TokComma {
+			p.next()
+		} else if p.cur().Kind != datalog.TokEOF {
+			return nil, fmt.Errorf("line %d: unexpected %s in meta atom list", p.cur().Line, p.cur().Kind)
+		}
+	}
+	return out, nil
+}
+
+func splitAt(toks []datalog.Token, kind datalog.TokKind) (left, right []datalog.Token) {
+	for i, t := range toks {
+		if t.Kind == kind {
+			return toks[:i], toks[i+1:]
+		}
+	}
+	return toks, nil
+}
+
+func parseGenericRule(stmt []datalog.Token) (GenericRule, error) {
+	left, right := splitAt(stmt, datalog.TokArrowL2)
+	r := GenericRule{Src: renderTokens(stmt) + "."}
+
+	// Head: a comma-separated mix of meta atoms and template blocks.
+	p := &metaTokenParser{toks: left}
+	for p.cur().Kind != datalog.TokEOF {
+		if p.cur().Kind == datalog.TokTemplate {
+			r.Templates = append(r.Templates, p.next().Text)
+		} else {
+			a, err := p.parseMetaAtom()
+			if err != nil {
+				return r, err
+			}
+			r.Heads = append(r.Heads, a)
+		}
+		if p.cur().Kind == datalog.TokComma {
+			p.next()
+		} else if p.cur().Kind != datalog.TokEOF {
+			return r, fmt.Errorf("line %d: unexpected %s in generic rule head", p.cur().Line, p.cur().Kind)
+		}
+	}
+	body, err := parseMetaAtomList(right)
+	if err != nil {
+		return r, err
+	}
+	r.Body = body
+	for _, a := range r.Body {
+		if a.Pred == "predicate" && len(a.Args) == 1 && !a.Args[0].IsConst {
+			r.SubjectVar = a.Args[0].Name
+			break
+		}
+	}
+	if r.SubjectVar == "" {
+		for _, a := range r.Body {
+			for _, arg := range a.Args {
+				if !arg.IsConst {
+					r.SubjectVar = arg.Name
+					break
+				}
+			}
+			if r.SubjectVar != "" {
+				break
+			}
+		}
+	}
+	if len(r.Body) == 0 {
+		return r, fmt.Errorf("generic rule has empty body: %s", r.Src)
+	}
+	return r, nil
+}
+
+func parseGenericConstraint(stmt []datalog.Token) (GenericConstraint, error) {
+	left, right := splitAt(stmt, datalog.TokArrowR2)
+	c := GenericConstraint{Src: renderTokens(stmt) + "."}
+	lhs, err := parseMetaAtomList(left)
+	if err != nil {
+		return c, err
+	}
+	rhs, err := parseMetaAtomList(right)
+	if err != nil {
+		return c, err
+	}
+	c.Lhs, c.Rhs = lhs, rhs
+	return c, nil
+}
+
+// renderTokens reconstructs source text from tokens (whitespace-normalized;
+// the result re-lexes to the same token stream).
+func renderTokens(toks []datalog.Token) string {
+	var sb strings.Builder
+	for i, t := range toks {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(renderToken(t))
+	}
+	return sb.String()
+}
+
+func renderToken(t datalog.Token) string {
+	switch t.Kind {
+	case datalog.TokIdent, datalog.TokVar:
+		return t.Text
+	case datalog.TokWild:
+		return "_"
+	case datalog.TokInt:
+		return strconv.FormatInt(t.Int, 10)
+	case datalog.TokString:
+		return strconv.Quote(t.Text)
+	case datalog.TokBytes:
+		return fmt.Sprintf("0x%x", t.Text)
+	case datalog.TokQName:
+		return "'" + t.Text
+	case datalog.TokNode:
+		return "@" + strconv.Quote(t.Text)
+	case datalog.TokPrin:
+		return "#" + strconv.Quote(t.Text)
+	case datalog.TokTrue:
+		return "true"
+	case datalog.TokFalse:
+		return "false"
+	case datalog.TokAgg:
+		return "agg"
+	case datalog.TokTemplate:
+		return "`{" + t.Text + "}"
+	case datalog.TokLParen:
+		return "("
+	case datalog.TokRParen:
+		return ")"
+	case datalog.TokLBrack:
+		return "["
+	case datalog.TokRBrack:
+		return "]"
+	case datalog.TokComma:
+		return ","
+	case datalog.TokDot:
+		return "."
+	case datalog.TokBang:
+		return "!"
+	case datalog.TokEq:
+		return "="
+	case datalog.TokNe:
+		return "!="
+	case datalog.TokLt:
+		return "<"
+	case datalog.TokLe:
+		return "<="
+	case datalog.TokGt:
+		return ">"
+	case datalog.TokGe:
+		return ">="
+	case datalog.TokPlus:
+		return "+"
+	case datalog.TokMinus:
+		return "-"
+	case datalog.TokStar:
+		return "*"
+	case datalog.TokSlash:
+		return "/"
+	case datalog.TokArrowL:
+		return "<-"
+	case datalog.TokArrowR:
+		return "->"
+	case datalog.TokArrowL2:
+		return "<--"
+	case datalog.TokArrowR2:
+		return "-->"
+	case datalog.TokShiftL:
+		return "<<"
+	case datalog.TokShiftR:
+		return ">>"
+	default:
+		return ""
+	}
+}

@@ -1,0 +1,164 @@
+// Package metrics collects the measurements the paper's evaluation reports:
+// per-node communication overhead, transaction durations, convergence times
+// and their cumulative distributions (Figures 4–12).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// NodeMetrics accumulates one node's runtime measurements.
+type NodeMetrics struct {
+	mu           sync.Mutex
+	txnCount     int64
+	txnTotal     time.Duration
+	completions  []time.Time
+	violations   int64
+	lastActivity time.Time
+}
+
+// RecordTxn adds one transaction's duration.
+func (m *NodeMetrics) RecordTxn(d time.Duration) {
+	m.mu.Lock()
+	m.txnCount++
+	m.txnTotal += d
+	m.lastActivity = time.Now()
+	m.completions = append(m.completions, m.lastActivity)
+	m.mu.Unlock()
+}
+
+// TxnCompletions returns the completion timestamps of every transaction,
+// the basis of the paper's Figures 10 and 11.
+func (m *NodeMetrics) TxnCompletions() []time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]time.Time(nil), m.completions...)
+}
+
+// RecordViolation counts a rejected (rolled-back) batch.
+func (m *NodeMetrics) RecordViolation() {
+	m.mu.Lock()
+	m.violations++
+	m.lastActivity = time.Now()
+	m.mu.Unlock()
+}
+
+// TxnStats returns the transaction count and mean duration.
+func (m *NodeMetrics) TxnStats() (count int64, mean time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.txnCount == 0 {
+		return 0, 0
+	}
+	return m.txnCount, m.txnTotal / time.Duration(m.txnCount)
+}
+
+// Violations returns the rejected-batch count.
+func (m *NodeMetrics) Violations() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.violations
+}
+
+// LastActivity returns the time of the node's last transaction — the
+// moment it "converged" if nothing arrives afterwards (paper §8:
+// "cumulative fraction of converged nodes").
+func (m *NodeMetrics) LastActivity() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastActivity
+}
+
+// CDF is an empirical cumulative distribution over durations.
+type CDF struct {
+	samples []time.Duration
+}
+
+// Add inserts a sample.
+func (c *CDF) Add(d time.Duration) { c.samples = append(c.samples, d) }
+
+// Len returns the sample count.
+func (c *CDF) Len() int { return len(c.samples) }
+
+// Points returns sorted (duration, cumulative fraction) pairs.
+func (c *CDF) Points() []CDFPoint {
+	s := append([]time.Duration(nil), c.samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	out := make([]CDFPoint, len(s))
+	for i, d := range s {
+		out[i] = CDFPoint{At: d, Fraction: float64(i+1) / float64(len(s))}
+	}
+	return out
+}
+
+// FractionBy returns the fraction of samples at or below d.
+func (c *CDF) FractionBy(d time.Duration) float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	n := 0
+	for _, s := range c.samples {
+		if s <= d {
+			n++
+		}
+	}
+	return float64(n) / float64(len(c.samples))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the samples.
+func (c *CDF) Quantile(q float64) time.Duration {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), c.samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(q * float64(len(s)-1))
+	return s[idx]
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	At       time.Duration
+	Fraction float64
+}
+
+// Series is one labelled line of a figure: x values (e.g. node counts)
+// mapped to measurements.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Table formats one or more series that share X values as the rows the
+// paper's figures plot, e.g.:
+//
+//	nodes  NoAuth  HMAC  RSA
+//	6      0.8     1.0   1.9
+func Table(xName string, series ...Series) string {
+	var sb strings.Builder
+	sb.WriteString(xName)
+	for _, s := range series {
+		sb.WriteString("\t" + s.Label)
+	}
+	sb.WriteByte('\n')
+	if len(series) == 0 {
+		return sb.String()
+	}
+	for i := range series[0].X {
+		fmt.Fprintf(&sb, "%g", series[0].X[i])
+		for _, s := range series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&sb, "\t%.3f", s.Y[i])
+			} else {
+				sb.WriteString("\t-")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNodeMetricsAccumulation(t *testing.T) {
+	var m NodeMetrics
+	m.RecordTxn(10 * time.Millisecond)
+	m.RecordTxn(30 * time.Millisecond)
+	cnt, mean := m.TxnStats()
+	if cnt != 2 || mean != 20*time.Millisecond {
+		t.Errorf("got %d, %v", cnt, mean)
+	}
+	if len(m.TxnCompletions()) != 2 {
+		t.Error("completions not recorded")
+	}
+	m.RecordViolation()
+	if m.Violations() != 1 {
+		t.Error("violation not counted")
+	}
+	if m.LastActivity().IsZero() {
+		t.Error("last activity not tracked")
+	}
+}
+
+func TestCDFPointsMonotoneQuick(t *testing.T) {
+	f := func(raw []int16) bool {
+		c := &CDF{}
+		for _, v := range raw {
+			c.Add(time.Duration(v) * time.Millisecond)
+		}
+		pts := c.Points()
+		if len(pts) != len(raw) {
+			return false
+		}
+		for i := 1; i < len(pts); i++ {
+			if pts[i].At < pts[i-1].At || pts[i].Fraction <= pts[i-1].Fraction {
+				return false
+			}
+		}
+		return len(pts) == 0 || pts[len(pts)-1].Fraction == 1.0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFQuantilesAndFraction(t *testing.T) {
+	c := &CDF{}
+	for i := 1; i <= 10; i++ {
+		c.Add(time.Duration(i) * time.Second)
+	}
+	if q := c.Quantile(0.5); q != 5*time.Second && q != 6*time.Second {
+		t.Errorf("median %v", q)
+	}
+	if f := c.FractionBy(3 * time.Second); f != 0.3 {
+		t.Errorf("FractionBy(3s) = %v", f)
+	}
+	if f := c.FractionBy(time.Hour); f != 1.0 {
+		t.Errorf("FractionBy(max) = %v", f)
+	}
+	var empty CDF
+	if empty.Quantile(0.5) != 0 || empty.FractionBy(time.Second) != 0 {
+		t.Error("empty CDF should return zeros")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	out := Table("nodes",
+		Series{Label: "NoAuth", X: []float64{6, 12}, Y: []float64{1.5, 3.25}},
+		Series{Label: "RSA", X: []float64{6, 12}, Y: []float64{2.5, 7}},
+	)
+	if !strings.Contains(out, "nodes\tNoAuth\tRSA") {
+		t.Errorf("header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "6\t1.500\t2.500") || !strings.Contains(out, "12\t3.250\t7.000") {
+		t.Errorf("rows wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,152 @@
+package transport
+
+import (
+	"sync"
+)
+
+// MemNetwork is an in-process simulated network: endpoints exchange
+// datagrams through unbounded queues, and the network keeps per-endpoint
+// traffic statistics plus an in-flight counter the distributed-fixpoint
+// detector uses. It stands in for the paper's Gigabit cluster; see
+// DESIGN.md for why the substitution preserves the evaluation's shape.
+type MemNetwork struct {
+	mu        sync.Mutex
+	endpoints map[string]*MemEndpoint
+	stats     map[string]*Stats
+
+	inflightMu sync.Mutex
+	inflight   int64
+	quiet      *sync.Cond
+
+	// OnDeliver, if set, is invoked (outside locks) for every delivered
+	// datagram — used by tests for fault injection.
+	OnDeliver func(from, to string, data []byte)
+}
+
+// NewMemNetwork returns an empty simulated network.
+func NewMemNetwork() *MemNetwork {
+	n := &MemNetwork{
+		endpoints: make(map[string]*MemEndpoint),
+		stats:     make(map[string]*Stats),
+	}
+	n.quiet = sync.NewCond(&n.inflightMu)
+	return n
+}
+
+// Endpoint registers (or returns) the endpoint with the given address.
+func (n *MemNetwork) Endpoint(addr string) *MemEndpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep, ok := n.endpoints[addr]; ok {
+		return ep
+	}
+	ep := &MemEndpoint{net: n, addr: addr, q: newQueue()}
+	n.endpoints[addr] = ep
+	n.stats[addr] = &Stats{}
+	return ep
+}
+
+// Stats returns a copy of the traffic counters for an address.
+func (n *MemNetwork) Stats(addr string) Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if s, ok := n.stats[addr]; ok {
+		return *s
+	}
+	return Stats{}
+}
+
+// TotalBytes returns the sum of bytes sent across all endpoints.
+func (n *MemNetwork) TotalBytes() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var total int64
+	for _, s := range n.stats {
+		total += s.BytesSent
+	}
+	return total
+}
+
+// AddWork increments the outstanding-work counter (messages in flight plus
+// work items being processed). Fixpoint detection waits for it to reach
+// zero.
+func (n *MemNetwork) AddWork(delta int64) {
+	n.inflightMu.Lock()
+	n.inflight += delta
+	if n.inflight == 0 {
+		n.quiet.Broadcast()
+	}
+	n.inflightMu.Unlock()
+}
+
+// WaitQuiescent blocks until no work is outstanding anywhere in the
+// network: the distributed fixpoint of the paper's §8 ("no new facts are
+// derived by any node in the system").
+func (n *MemNetwork) WaitQuiescent() {
+	n.inflightMu.Lock()
+	for n.inflight != 0 {
+		n.quiet.Wait()
+	}
+	n.inflightMu.Unlock()
+}
+
+// MemEndpoint is one node's attachment to a MemNetwork.
+type MemEndpoint struct {
+	net    *MemNetwork
+	addr   string
+	q      *queue
+	closed bool
+	mu     sync.Mutex
+}
+
+// Addr implements Transport.
+func (ep *MemEndpoint) Addr() string { return ep.addr }
+
+// Send implements Transport. The datagram counts as in-flight work until
+// the receiver dequeues and processes it (the receiver's loop calls
+// AddWork(-1)).
+func (ep *MemEndpoint) Send(to string, data []byte) error {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return ErrClosed
+	}
+	ep.mu.Unlock()
+
+	ep.net.mu.Lock()
+	dst, ok := ep.net.endpoints[to]
+	if !ok {
+		ep.net.mu.Unlock()
+		return ErrUnknownAddr
+	}
+	s := ep.net.stats[ep.addr]
+	s.BytesSent += int64(len(data))
+	s.MsgsSent++
+	rs := ep.net.stats[to]
+	rs.BytesRecv += int64(len(data))
+	rs.MsgsRecv++
+	cb := ep.net.OnDeliver
+	ep.net.mu.Unlock()
+
+	if cb != nil {
+		cb(ep.addr, to, data)
+	}
+	if !dst.q.push(InMsg{From: ep.addr, Data: data}) {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Receive implements Transport.
+func (ep *MemEndpoint) Receive() <-chan InMsg { return ep.q.out }
+
+// Close implements Transport.
+func (ep *MemEndpoint) Close() error {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if !ep.closed {
+		ep.closed = true
+		ep.q.close()
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+// Package transport provides the message-passing substrate for distributed
+// SecureBlox execution: a Transport interface, an in-process simulated
+// network (memnet) with per-node byte accounting used by the benchmark
+// harness, and a real UDP transport (udpnet) for multi-process deployments
+// — the paper's nodes exchange tuples over UDP (§5.1).
+package transport
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrClosed is returned by operations on a closed transport.
+var ErrClosed = errors.New("transport: closed")
+
+// ErrUnknownAddr is returned when sending to an unregistered address.
+var ErrUnknownAddr = errors.New("transport: unknown address")
+
+// InMsg is a received datagram.
+type InMsg struct {
+	From string
+	Data []byte
+}
+
+// Transport is one node's endpoint: datagram send plus a receive channel.
+type Transport interface {
+	// Addr is this endpoint's address ("host:port").
+	Addr() string
+	// Send transmits data to another endpoint.
+	Send(to string, data []byte) error
+	// Receive returns the channel of incoming datagrams. It is closed when
+	// the transport closes.
+	Receive() <-chan InMsg
+	// Close shuts the endpoint down.
+	Close() error
+}
+
+// Stats are cumulative traffic counters for one endpoint.
+type Stats struct {
+	BytesSent int64
+	BytesRecv int64
+	MsgsSent  int64
+	MsgsRecv  int64
+}
+
+// queue is an unbounded FIFO feeding a channel, so senders never block on a
+// slow receiver (which would deadlock symmetric protocols).
+type queue struct {
+	mu     sync.Mutex
+	items  []InMsg
+	out    chan InMsg
+	wake   chan struct{}
+	closed bool
+}
+
+func newQueue() *queue {
+	q := &queue{out: make(chan InMsg), wake: make(chan struct{}, 1)}
+	go q.pump()
+	return q
+}
+
+func (q *queue) push(m InMsg) bool {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	q.items = append(q.items, m)
+	q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+func (q *queue) pump() {
+	for {
+		q.mu.Lock()
+		for len(q.items) == 0 {
+			closed := q.closed
+			q.mu.Unlock()
+			if closed {
+				close(q.out)
+				return
+			}
+			<-q.wake
+			q.mu.Lock()
+		}
+		m := q.items[0]
+		q.items = q.items[1:]
+		q.mu.Unlock()
+		q.out <- m
+	}
+}
+
+func (q *queue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+}

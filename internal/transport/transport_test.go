@@ -1,0 +1,178 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMemNetworkDelivery(t *testing.T) {
+	net := NewMemNetwork()
+	a := net.Endpoint("a:1")
+	b := net.Endpoint("b:1")
+	if err := a.Send("b:1", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-b.Receive():
+		if m.From != "a:1" || string(m.Data) != "hello" {
+			t.Errorf("got %+v", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no delivery")
+	}
+	s := net.Stats("a:1")
+	if s.BytesSent != 5 || s.MsgsSent != 1 {
+		t.Errorf("sender stats wrong: %+v", s)
+	}
+	rs := net.Stats("b:1")
+	if rs.BytesRecv != 5 || rs.MsgsRecv != 1 {
+		t.Errorf("receiver stats wrong: %+v", rs)
+	}
+}
+
+func TestMemNetworkUnknownAddr(t *testing.T) {
+	net := NewMemNetwork()
+	a := net.Endpoint("a:1")
+	if err := a.Send("nowhere:1", []byte("x")); err != ErrUnknownAddr {
+		t.Errorf("want ErrUnknownAddr, got %v", err)
+	}
+}
+
+func TestMemEndpointClosed(t *testing.T) {
+	net := NewMemNetwork()
+	a := net.Endpoint("a:1")
+	net.Endpoint("b:1")
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b:1", []byte("x")); err != ErrClosed {
+		t.Errorf("want ErrClosed, got %v", err)
+	}
+	// receive channel must close
+	select {
+	case _, ok := <-a.Receive():
+		if ok {
+			t.Error("expected closed channel")
+		}
+	case <-time.After(2 * time.Second):
+		t.Error("receive channel did not close")
+	}
+}
+
+func TestUnboundedQueueNoSenderBlocking(t *testing.T) {
+	// A sender must never block on a receiver that is not draining —
+	// blocking would deadlock symmetric protocols.
+	net := NewMemNetwork()
+	a := net.Endpoint("a:1")
+	net.Endpoint("b:1")
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 10000; i++ {
+			if err := a.Send("b:1", []byte("x")); err != nil {
+				t.Error(err)
+				break
+			}
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("sender blocked on undrained receiver")
+	}
+}
+
+func TestQuiescenceCounter(t *testing.T) {
+	net := NewMemNetwork()
+	net.AddWork(2)
+	released := make(chan struct{})
+	go func() {
+		net.WaitQuiescent()
+		close(released)
+	}()
+	select {
+	case <-released:
+		t.Fatal("released too early")
+	case <-time.After(50 * time.Millisecond):
+	}
+	net.AddWork(-1)
+	net.AddWork(-1)
+	select {
+	case <-released:
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitQuiescent never released")
+	}
+}
+
+func TestMemNetworkConcurrentSends(t *testing.T) {
+	net := NewMemNetwork()
+	const peers = 8
+	eps := make([]*MemEndpoint, peers)
+	for i := range eps {
+		eps[i] = net.Endpoint(fmt.Sprintf("n%d:1", i))
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < peers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < peers; j++ {
+				if j != i {
+					_ = eps[i].Send(fmt.Sprintf("n%d:1", j), []byte{byte(i)})
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	var total int64
+	for i := 0; i < peers; i++ {
+		total += net.Stats(fmt.Sprintf("n%d:1", i)).MsgsRecv
+	}
+	if total != peers*(peers-1) {
+		t.Errorf("want %d deliveries, got %d", peers*(peers-1), total)
+	}
+}
+
+func TestUDPEndpointRoundTrip(t *testing.T) {
+	a, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if err := a.Send(b.Addr(), []byte("over udp")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-b.Receive():
+		if string(m.Data) != "over udp" {
+			t.Errorf("got %q", m.Data)
+		}
+		if m.From != a.Addr() {
+			t.Errorf("from %s, want %s", m.From, a.Addr())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("UDP datagram not delivered")
+	}
+	if s := a.Stats(); s.BytesSent == 0 {
+		t.Error("sender stats not recorded")
+	}
+}
+
+func TestUDPOversizeRejected(t *testing.T) {
+	a, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Send(a.Addr(), make([]byte, MaxDatagram+1)); err == nil {
+		t.Error("oversize datagram should be rejected")
+	}
+}

@@ -1,0 +1,109 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// MaxDatagram is the largest UDP payload this transport sends; callers
+// batching tuples must stay under it (dist.Node splits batches).
+const MaxDatagram = 60000
+
+// UDPEndpoint is a real UDP transport, used when SecureBlox instances run
+// as separate processes (the deployment mode of the paper's cluster).
+type UDPEndpoint struct {
+	conn   *net.UDPConn
+	addr   string
+	q      *queue
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	statsMu sync.Mutex
+	stats   Stats
+}
+
+// ListenUDP opens a UDP endpoint on addr ("127.0.0.1:0" picks a free port).
+func ListenUDP(addr string) (*UDPEndpoint, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, err
+	}
+	ep := &UDPEndpoint{conn: conn, addr: conn.LocalAddr().String(), q: newQueue()}
+	ep.wg.Add(1)
+	go ep.readLoop()
+	return ep, nil
+}
+
+func (ep *UDPEndpoint) readLoop() {
+	defer ep.wg.Done()
+	buf := make([]byte, MaxDatagram+1024)
+	for {
+		n, from, err := ep.conn.ReadFromUDP(buf)
+		if err != nil {
+			if ep.closed.Load() {
+				ep.q.close()
+				return
+			}
+			continue
+		}
+		data := make([]byte, n)
+		copy(data, buf[:n])
+		ep.statsMu.Lock()
+		ep.stats.BytesRecv += int64(n)
+		ep.stats.MsgsRecv++
+		ep.statsMu.Unlock()
+		ep.q.push(InMsg{From: from.String(), Data: data})
+	}
+}
+
+// Addr implements Transport.
+func (ep *UDPEndpoint) Addr() string { return ep.addr }
+
+// Send implements Transport.
+func (ep *UDPEndpoint) Send(to string, data []byte) error {
+	if ep.closed.Load() {
+		return ErrClosed
+	}
+	if len(data) > MaxDatagram {
+		return fmt.Errorf("transport: datagram of %d bytes exceeds limit %d", len(data), MaxDatagram)
+	}
+	ua, err := net.ResolveUDPAddr("udp", to)
+	if err != nil {
+		return err
+	}
+	n, err := ep.conn.WriteToUDP(data, ua)
+	if err != nil {
+		return err
+	}
+	ep.statsMu.Lock()
+	ep.stats.BytesSent += int64(n)
+	ep.stats.MsgsSent++
+	ep.statsMu.Unlock()
+	return nil
+}
+
+// Receive implements Transport.
+func (ep *UDPEndpoint) Receive() <-chan InMsg { return ep.q.out }
+
+// Stats returns this endpoint's traffic counters.
+func (ep *UDPEndpoint) Stats() Stats {
+	ep.statsMu.Lock()
+	defer ep.statsMu.Unlock()
+	return ep.stats
+}
+
+// Close implements Transport.
+func (ep *UDPEndpoint) Close() error {
+	if ep.closed.Swap(true) {
+		return nil
+	}
+	err := ep.conn.Close()
+	ep.wg.Wait()
+	return err
+}

@@ -1,0 +1,306 @@
+// Package udf provides the user-defined functions SecureBlox hooks into
+// rule and constraint execution (paper §3.2): serialization, SHA-1 hashing,
+// RSA / HMAC / no-op signing and verification, AES encryption, and
+// onion-circuit encryption for the anonymity policies. Each node registers
+// the library bound to its own KeyStore.
+package udf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"secureblox/internal/datalog"
+	"secureblox/internal/engine"
+	"secureblox/internal/seccrypto"
+	"secureblox/internal/wire"
+)
+
+// valueHandle converts a value used as a circuit identifier into a stable
+// string handle.
+func valueHandle(v datalog.Value) string {
+	if v.Kind == datalog.KindEntity {
+		return fmt.Sprintf("%s:%d", v.Str, v.Int)
+	}
+	return v.Str
+}
+
+// sigData returns the canonical signed bytes for a said fact: the base
+// predicate name (domain separation) plus the encoded values.
+func sigData(param string, vals []datalog.Value) []byte {
+	return wire.SigData(param, datalog.Tuple(vals))
+}
+
+// Register installs the full UDF library into a registry, bound to a
+// keystore (for key lookups) and a randomness source (for IVs; pass a
+// deterministic reader in tests).
+func Register(reg *engine.UDFRegistry, ks *seccrypto.KeyStore, rng io.Reader) error {
+	udfs := []engine.UDF{
+		sha1UDF{},
+		&serializeUDF{},
+		&deserializeUDF{},
+		&anonSerializeUDF{},
+		&anonDeserializeUDF{},
+		&engine.FuncUDF{FName: "rsa_sign", InArity: -1, OutArity: 1,
+			Fn: func(param string, in []datalog.Value) ([]datalog.Value, bool, error) {
+				priv, err := ks.ParsePriv(in[0].Bytes)
+				if err != nil {
+					return nil, false, fmt.Errorf("rsa_sign: bad private key: %w", err)
+				}
+				sig, err := seccrypto.RSASign(priv, sigData(param, in[1:]))
+				if err != nil {
+					return nil, false, err
+				}
+				return []datalog.Value{datalog.BytesV(sig)}, true, nil
+			}},
+		&engine.FuncUDF{FName: "rsa_verify", InArity: -1, OutArity: 0,
+			Fn: func(param string, in []datalog.Value) ([]datalog.Value, bool, error) {
+				pub, err := ks.ParsePub(in[0].Bytes)
+				if err != nil {
+					return nil, false, nil // unparseable key: fail the match
+				}
+				n := len(in)
+				ok := seccrypto.RSAVerify(pub, sigData(param, in[1:n-1]), in[n-1].Bytes)
+				return nil, ok, nil
+			}},
+		&engine.FuncUDF{FName: "hmac_sign", InArity: -1, OutArity: 1,
+			Fn: func(param string, in []datalog.Value) ([]datalog.Value, bool, error) {
+				tag := seccrypto.HMACSign(in[0].Bytes, sigData(param, in[1:]))
+				return []datalog.Value{datalog.BytesV(tag)}, true, nil
+			}},
+		&engine.FuncUDF{FName: "hmac_verify", InArity: -1, OutArity: 0,
+			Fn: func(param string, in []datalog.Value) ([]datalog.Value, bool, error) {
+				n := len(in)
+				ok := seccrypto.HMACVerify(in[0].Bytes, sigData(param, in[1:n-1]), in[n-1].Bytes)
+				return nil, ok, nil
+			}},
+		&engine.FuncUDF{FName: "noauth_sign", InArity: -1, OutArity: 1,
+			Fn: func(string, []datalog.Value) ([]datalog.Value, bool, error) {
+				return []datalog.Value{datalog.BytesV(nil)}, true, nil
+			}},
+		&engine.FuncUDF{FName: "noauth_verify", InArity: -1, OutArity: 0,
+			Fn: func(string, []datalog.Value) ([]datalog.Value, bool, error) {
+				return nil, true, nil
+			}},
+		&engine.FuncUDF{FName: "aesencrypt", InArity: 2, OutArity: 1,
+			Fn: func(_ string, in []datalog.Value) ([]datalog.Value, bool, error) {
+				// Deterministic IV keeps re-derivation idempotent (see
+				// seccrypto.AESEncryptDetIV).
+				ct, err := seccrypto.AESEncryptDetIV(in[1].Bytes, in[0].Bytes)
+				if err != nil {
+					return nil, false, err
+				}
+				return []datalog.Value{datalog.BytesV(ct)}, true, nil
+			}},
+		&engine.FuncUDF{FName: "aesdecrypt", InArity: 2, OutArity: 1,
+			Fn: func(_ string, in []datalog.Value) ([]datalog.Value, bool, error) {
+				pt, err := seccrypto.AESDecrypt(in[1].Bytes, in[0].Bytes)
+				if err != nil {
+					return nil, false, nil // corrupted ciphertext: no match
+				}
+				return []datalog.Value{datalog.BytesV(pt)}, true, nil
+			}},
+		&engine.FuncUDF{FName: "anon_encrypt", InArity: 2, OutArity: 1,
+			Fn: func(_ string, in []datalog.Value) ([]datalog.Value, bool, error) {
+				keys := ks.OnionKeys(valueHandle(in[0]))
+				if keys == nil {
+					return nil, false, fmt.Errorf("anon_encrypt: no onion keys for circuit %s", in[0])
+				}
+				ct, err := seccrypto.OnionEncrypt(keys, in[1].Bytes, rng)
+				if err != nil {
+					return nil, false, err
+				}
+				return []datalog.Value{datalog.BytesV(ct)}, true, nil
+			}},
+		&engine.FuncUDF{FName: "anon_encrypt_back", InArity: 2, OutArity: 1,
+			// One backward layer with this node's circuit key (replies
+			// accumulate a layer per hop toward the initiator).
+			Fn: func(_ string, in []datalog.Value) ([]datalog.Value, bool, error) {
+				key := ks.CircuitKey(valueHandle(in[0]))
+				if key == nil {
+					return nil, false, nil
+				}
+				ct, err := seccrypto.AESEncryptDetIV(key, in[1].Bytes)
+				if err != nil {
+					return nil, false, err
+				}
+				return []datalog.Value{datalog.BytesV(ct)}, true, nil
+			}},
+		&engine.FuncUDF{FName: "anon_decrypt_back", InArity: 2, OutArity: 1,
+			// The initiator peels every backward layer (first hop's key
+			// first — the outermost layer).
+			Fn: func(_ string, in []datalog.Value) ([]datalog.Value, bool, error) {
+				keys := ks.OnionKeys(valueHandle(in[0]))
+				if keys == nil {
+					return nil, false, nil
+				}
+				pt := in[1].Bytes
+				for _, k := range keys {
+					var err error
+					pt, err = seccrypto.AESDecrypt(k, pt)
+					if err != nil {
+						return nil, false, nil
+					}
+				}
+				return []datalog.Value{datalog.BytesV(pt)}, true, nil
+			}},
+		&engine.FuncUDF{FName: "anon_decrypt", InArity: 2, OutArity: 1,
+			Fn: func(_ string, in []datalog.Value) ([]datalog.Value, bool, error) {
+				key := ks.CircuitKey(valueHandle(in[0]))
+				if key == nil {
+					return nil, false, nil
+				}
+				pt, err := seccrypto.OnionPeel(key, in[1].Bytes)
+				if err != nil {
+					return nil, false, nil
+				}
+				return []datalog.Value{datalog.BytesV(pt)}, true, nil
+			}},
+	}
+	for _, u := range udfs {
+		if err := reg.Register(u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NewRegistry builds a fresh registry with the full library installed.
+func NewRegistry(ks *seccrypto.KeyStore, rng io.Reader) (*engine.UDFRegistry, error) {
+	reg := engine.NewUDFRegistry()
+	if err := Register(reg, ks, rng); err != nil {
+		return nil, err
+	}
+	return reg, nil
+}
+
+// sha1UDF implements sha1(X, H): H is the SHA-1 digest of X's canonical
+// encoding, truncated to a non-negative 63-bit integer so it can be
+// compared against hash-range boundaries (paper §7.2).
+type sha1UDF struct{}
+
+func (sha1UDF) Name() string { return "sha1" }
+
+func (sha1UDF) CanEval(bound []bool) bool { return len(bound) == 2 && bound[0] }
+
+func (sha1UDF) Eval(_ string, args []datalog.Value, bound []bool) ([][]datalog.Value, error) {
+	d := seccrypto.SHA1(wire.AppendValue(nil, args[0]))
+	h := int64(binary.BigEndian.Uint64(d[:8]) &^ (1 << 63))
+	out := datalog.Int64(h)
+	if bound[1] && !args[1].Equal(out) {
+		return nil, nil
+	}
+	return [][]datalog.Value{{args[0], out}}, nil
+}
+
+// serializeUDF implements serialize[P](S, T, V*): packs signature S and
+// values V* into payload T (paper §5.1).
+type serializeUDF struct{}
+
+func (*serializeUDF) Name() string { return "serialize" }
+
+func (*serializeUDF) CanEval(bound []bool) bool {
+	if len(bound) < 2 || !bound[0] {
+		return false
+	}
+	for _, b := range bound[2:] {
+		if !b {
+			return false
+		}
+	}
+	return true
+}
+
+func (*serializeUDF) Eval(param string, args []datalog.Value, bound []bool) ([][]datalog.Value, error) {
+	p := wire.Payload{Pred: param, Sig: args[0].Bytes, Vals: datalog.Tuple(args[2:])}
+	t := datalog.BytesV(wire.EncodePayload(p))
+	if bound[1] && !args[1].Equal(t) {
+		return nil, nil
+	}
+	full := append([]datalog.Value(nil), args...)
+	full[1] = t
+	return [][]datalog.Value{full}, nil
+}
+
+// deserializeUDF implements deserialize[P](S, T, V*): unpacks payload T
+// into signature S and values V*, matching only when the payload's
+// predicate equals the parameterization.
+type deserializeUDF struct{}
+
+func (*deserializeUDF) Name() string { return "deserialize" }
+
+func (*deserializeUDF) CanEval(bound []bool) bool { return len(bound) >= 2 && bound[1] }
+
+func (*deserializeUDF) Eval(param string, args []datalog.Value, bound []bool) ([][]datalog.Value, error) {
+	p, err := wire.DecodePayload(args[1].Bytes)
+	if err != nil {
+		return nil, nil // malformed payload: no match
+	}
+	if p.Pred != param || len(p.Vals) != len(args)-2 {
+		return nil, nil
+	}
+	full := append([]datalog.Value(nil), args...)
+	full[0] = datalog.BytesV(p.Sig)
+	copy(full[2:], p.Vals)
+	for i, b := range bound {
+		if b && !args[i].Equal(full[i]) {
+			return nil, nil
+		}
+	}
+	return [][]datalog.Value{full}, nil
+}
+
+// anonSerializeUDF implements anon_serialize[P](T, V*): serialization
+// without a signature argument — "it would be detrimental to a principal's
+// anonymity for her to identify herself as the author" (paper §6.2).
+type anonSerializeUDF struct{}
+
+func (*anonSerializeUDF) Name() string { return "anon_serialize" }
+
+func (*anonSerializeUDF) CanEval(bound []bool) bool {
+	if len(bound) < 1 {
+		return false
+	}
+	for _, b := range bound[1:] {
+		if !b {
+			return false
+		}
+	}
+	return true
+}
+
+func (*anonSerializeUDF) Eval(param string, args []datalog.Value, bound []bool) ([][]datalog.Value, error) {
+	p := wire.Payload{Pred: param, Vals: datalog.Tuple(args[1:])}
+	t := datalog.BytesV(wire.EncodePayload(p))
+	if bound[0] && !args[0].Equal(t) {
+		return nil, nil
+	}
+	full := append([]datalog.Value(nil), args...)
+	full[0] = t
+	return [][]datalog.Value{full}, nil
+}
+
+// anonDeserializeUDF implements anon_deserialize[P](T, V*).
+type anonDeserializeUDF struct{}
+
+func (*anonDeserializeUDF) Name() string { return "anon_deserialize" }
+
+func (*anonDeserializeUDF) CanEval(bound []bool) bool { return len(bound) >= 1 && bound[0] }
+
+func (*anonDeserializeUDF) Eval(param string, args []datalog.Value, bound []bool) ([][]datalog.Value, error) {
+	p, err := wire.DecodePayload(args[0].Bytes)
+	if err != nil {
+		return nil, nil
+	}
+	if p.Pred != param || len(p.Vals) != len(args)-1 {
+		return nil, nil
+	}
+	full := append([]datalog.Value(nil), args...)
+	copy(full[1:], p.Vals)
+	for i, b := range bound {
+		if b && !args[i].Equal(full[i]) {
+			return nil, nil
+		}
+	}
+	return [][]datalog.Value{full}, nil
+}

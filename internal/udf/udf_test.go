@@ -1,0 +1,248 @@
+package udf
+
+import (
+	"errors"
+	"testing"
+
+	"secureblox/internal/datalog"
+	"secureblox/internal/engine"
+	"secureblox/internal/seccrypto"
+)
+
+func newWS(t *testing.T, self string, src string) (*engine.Workspace, *seccrypto.KeyStore) {
+	t.Helper()
+	ts, err := seccrypto.NewTrustSetup([]string{"alice", "bob"}, seccrypto.NewDeterministicRand(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := ts.Stores[self]
+	reg, err := NewRegistry(ks, seccrypto.NewDeterministicRand(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := engine.NewWorkspace(reg)
+	prog, err := datalog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Install(prog); err != nil {
+		t.Fatal(err)
+	}
+	return w, ks
+}
+
+func TestSha1UDFDeterministicAndRanged(t *testing.T) {
+	w, _ := newWS(t, "alice", `
+		h(X, H) <- in(X), sha1(X, H).
+	`)
+	if _, err := w.AssertProgramFacts(`in("k1"). in("k2").`); err != nil {
+		t.Fatal(err)
+	}
+	tuples := w.Tuples("h")
+	if len(tuples) != 2 {
+		t.Fatalf("want 2 hashes, got %v", tuples)
+	}
+	for _, tp := range tuples {
+		if tp[1].Kind != datalog.KindInt || tp[1].Int < 0 {
+			t.Errorf("hash should be a non-negative int, got %s", tp[1])
+		}
+	}
+	// determinism: re-assert produces no new tuples
+	res, err := w.AssertProgramFacts(`in("k1").`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Inserted["h"]) != 0 {
+		t.Error("sha1 must be deterministic")
+	}
+}
+
+func TestSignSerializeDeserializeVerifyPipeline(t *testing.T) {
+	// The full paper §5.1 dataflow inside one workspace: sign, serialize,
+	// then deserialize and verify via constraint.
+	w, ks := newWS(t, "alice", `
+		sig(V1, V2, S) <- outgoing(V1, V2), private_key[]=K, rsa_sign['msg](K, V1, V2, S).
+		packed(T) <- outgoing(V1, V2), sig(V1, V2, S), serialize['msg](S, T, V1, V2).
+		unpacked(V1, V2, S) <- packed(T), deserialize['msg](S, T, V1, V2).
+		unpacked(V1, V2, S) -> public_key(P, K), rsa_verify['msg](K, V1, V2, S).
+	`)
+	if _, err := w.Assert([]engine.Fact{
+		{Pred: "private_key", Tuple: datalog.Tuple{datalog.BytesV(ks.PrivateKeyDER())}},
+		{Pred: "public_key", Tuple: datalog.Tuple{datalog.Prin("alice"), datalog.BytesV(ks.PublicKeyDER("alice"))}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AssertProgramFacts(`outgoing(1, 2).`); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count("unpacked") != 1 {
+		t.Fatalf("pipeline did not complete: packed=%d unpacked=%d", w.Count("packed"), w.Count("unpacked"))
+	}
+	up := w.Tuples("unpacked")[0]
+	if up[0].Int != 1 || up[1].Int != 2 || len(up[2].Bytes) != 128 {
+		t.Errorf("unpacked wrong: %s", up)
+	}
+}
+
+func TestBadSignatureRejectedByConstraint(t *testing.T) {
+	w, ks := newWS(t, "alice", `
+		incoming(V1, V2, S) <- arrived(T), deserialize['msg](S, T, V1, V2).
+		incoming(V1, V2, S) -> public_key(P, K), rsa_verify['msg](K, V1, V2, S).
+	`)
+	if _, err := w.Assert([]engine.Fact{
+		{Pred: "public_key", Tuple: datalog.Tuple{datalog.Prin("alice"), datalog.BytesV(ks.PublicKeyDER("alice"))}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// forge a payload with a garbage signature
+	forged := forgePayload(t, "msg", []byte("not a real signature"))
+	_, err := w.Assert([]engine.Fact{{Pred: "arrived", Tuple: datalog.Tuple{datalog.BytesV(forged)}}})
+	var cv *engine.ConstraintViolation
+	if !errors.As(err, &cv) {
+		t.Fatalf("forged signature must violate, got %v", err)
+	}
+	if w.Count("arrived") != 0 || w.Count("incoming") != 0 {
+		t.Error("rejected batch must be fully rolled back")
+	}
+}
+
+func forgePayload(t *testing.T, pred string, sig []byte) []byte {
+	t.Helper()
+	// reuse the serialize UDF through a scratch workspace
+	w, _ := newWS(t, "bob", `
+		out(T) <- seed(S), serialize['`+pred+`](S, T, 1, 2).
+	`)
+	if _, err := w.Assert([]engine.Fact{{Pred: "seed", Tuple: datalog.Tuple{datalog.BytesV(sig)}}}); err != nil {
+		t.Fatal(err)
+	}
+	return w.Tuples("out")[0][0].Bytes
+}
+
+func TestHMACSignVerifyUDFs(t *testing.T) {
+	w, ks := newWS(t, "alice", `
+		tagged(X, S) <- msg(X), my_secret[]=K, hmac_sign['m](K, X, S).
+		checked(X) <- tagged(X, S), my_secret[]=K, hmac_verify['m](K, X, S).
+	`)
+	secret := ks.Secret("bob")
+	if _, err := w.Assert([]engine.Fact{{Pred: "my_secret", Tuple: datalog.Tuple{datalog.BytesV(secret)}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AssertProgramFacts(`msg(42).`); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count("checked") != 1 {
+		t.Error("hmac round trip failed")
+	}
+	tag := w.Tuples("tagged")[0][1]
+	if len(tag.Bytes) != 20 {
+		t.Errorf("HMAC-SHA1 tag should be 20 bytes, got %d", len(tag.Bytes))
+	}
+}
+
+func TestAESEncryptDecryptUDFs(t *testing.T) {
+	w, ks := newWS(t, "alice", `
+		ct(C) <- pt(P), k[]=K, aesencrypt(P, K, C).
+		rt(P) <- ct(C), k[]=K, aesdecrypt(C, K, P).
+	`)
+	if _, err := w.Assert([]engine.Fact{
+		{Pred: "k", Tuple: datalog.Tuple{datalog.BytesV(ks.Secret("bob"))}},
+		{Pred: "pt", Tuple: datalog.Tuple{datalog.BytesV([]byte("secret tuple"))}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rt := w.Tuples("rt")
+	if len(rt) != 1 || string(rt[0][0].Bytes) != "secret tuple" {
+		t.Errorf("AES UDF round trip failed: %v", rt)
+	}
+	ct := w.Tuples("ct")[0][0].Bytes
+	if string(ct) == "secret tuple" {
+		t.Error("ciphertext equals plaintext")
+	}
+}
+
+func TestNoAuthUDFs(t *testing.T) {
+	w, _ := newWS(t, "alice", `
+		s(X, S) <- m(X), noauth_sign['p](X, S).
+		ok(X) <- s(X, S), noauth_verify['p](X, S).
+	`)
+	if _, err := w.AssertProgramFacts(`m(1).`); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count("ok") != 1 {
+		t.Error("noauth should always verify")
+	}
+	if len(w.Tuples("s")[0][1].Bytes) != 0 {
+		t.Error("noauth signature should be empty (zero bandwidth overhead)")
+	}
+}
+
+func TestOnionUDFs(t *testing.T) {
+	ts, _ := seccrypto.NewTrustSetup([]string{"init", "relay", "exit"}, seccrypto.NewDeterministicRand(21))
+	rng := seccrypto.NewDeterministicRand(22)
+	k1, _ := seccrypto.GenerateSecret(rng)
+	k2, _ := seccrypto.GenerateSecret(rng)
+	ts.Stores["init"].SetOnionKeys("c1", [][]byte{k1, k2})
+	ts.Stores["relay"].SetCircuitKey("c1", k1)
+	ts.Stores["exit"].SetCircuitKey("c1", k2)
+
+	mk := func(self, src string) *engine.Workspace {
+		reg, _ := NewRegistry(ts.Stores[self], seccrypto.NewDeterministicRand(23))
+		w := engine.NewWorkspace(reg)
+		prog, err := datalog.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Install(prog); err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	wi := mk("init", `onion(CT) <- msg(M), anon_encrypt("c1", M, CT).`)
+	if _, err := wi.Assert([]engine.Fact{{Pred: "msg", Tuple: datalog.Tuple{datalog.BytesV([]byte("q"))}}}); err != nil {
+		t.Fatal(err)
+	}
+	ct := wi.Tuples("onion")[0][0]
+
+	wr := mk("relay", `peeled(P) <- in(C), anon_decrypt("c1", C, P).`)
+	if _, err := wr.Assert([]engine.Fact{{Pred: "in", Tuple: datalog.Tuple{ct}}}); err != nil {
+		t.Fatal(err)
+	}
+	mid := wr.Tuples("peeled")[0][0]
+	if string(mid.Bytes) == "q" {
+		t.Fatal("relay should not see plaintext")
+	}
+
+	we := mk("exit", `peeled(P) <- in(C), anon_decrypt("c1", C, P).`)
+	if _, err := we.Assert([]engine.Fact{{Pred: "in", Tuple: datalog.Tuple{mid}}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := we.Tuples("peeled")[0][0]; string(got.Bytes) != "q" {
+		t.Errorf("exit should recover plaintext, got %q", got.Bytes)
+	}
+}
+
+func TestAnonSerializeHasNoSignature(t *testing.T) {
+	w, _ := newWS(t, "alice", `
+		out(T) <- q(X), anon_serialize['req](T, X).
+		back(X) <- out(T), anon_deserialize['req](T, X).
+	`)
+	if _, err := w.AssertProgramFacts(`q(5).`); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count("back") != 1 || w.Tuples("back")[0][0].Int != 5 {
+		t.Errorf("anon serialize round trip failed: %v", w.Tuples("back"))
+	}
+}
+
+func TestDeserializeWrongPredicateNoMatch(t *testing.T) {
+	w, _ := newWS(t, "alice", `
+		out(T) <- seed(S), serialize['alpha](S, T, 1).
+		got(X) <- out(T), deserialize['beta](S, T, X).
+	`)
+	if _, err := w.Assert([]engine.Fact{{Pred: "seed", Tuple: datalog.Tuple{datalog.BytesV(nil)}}}); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count("got") != 0 {
+		t.Error("deserialize must only match its own predicate")
+	}
+}

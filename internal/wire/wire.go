@@ -1,0 +1,243 @@
+// Package wire implements the deterministic binary encoding SecureBlox uses
+// on the network: values, tuples, the serialize/deserialize payload format
+// (predicate name + signature + argument values), and transport message
+// batches. All bandwidth numbers in the benchmarks are measured over these
+// real encoded bytes.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"secureblox/internal/datalog"
+)
+
+// ErrTruncated is returned when a buffer ends before a value is complete.
+var ErrTruncated = errors.New("wire: truncated input")
+
+func appendUvarint(buf []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(buf, tmp[:n]...)
+}
+
+func readUvarint(buf []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, nil, ErrTruncated
+	}
+	return v, buf[n:], nil
+}
+
+// AppendValue encodes one value.
+func AppendValue(buf []byte, v datalog.Value) []byte {
+	buf = append(buf, byte(v.Kind))
+	switch v.Kind {
+	case datalog.KindInt, datalog.KindBool:
+		buf = appendUvarint(buf, uint64(v.Int))
+	case datalog.KindString, datalog.KindName, datalog.KindNode, datalog.KindPrin:
+		buf = appendUvarint(buf, uint64(len(v.Str)))
+		buf = append(buf, v.Str...)
+	case datalog.KindBytes:
+		buf = appendUvarint(buf, uint64(len(v.Bytes)))
+		buf = append(buf, v.Bytes...)
+	case datalog.KindEntity:
+		buf = appendUvarint(buf, uint64(len(v.Str)))
+		buf = append(buf, v.Str...)
+		buf = appendUvarint(buf, uint64(v.Int))
+	}
+	return buf
+}
+
+// ReadValue decodes one value, returning it and the remaining bytes.
+func ReadValue(buf []byte) (datalog.Value, []byte, error) {
+	if len(buf) == 0 {
+		return datalog.Value{}, nil, ErrTruncated
+	}
+	kind := datalog.Kind(buf[0])
+	buf = buf[1:]
+	var v datalog.Value
+	v.Kind = kind
+	switch kind {
+	case datalog.KindInt, datalog.KindBool:
+		u, rest, err := readUvarint(buf)
+		if err != nil {
+			return v, nil, err
+		}
+		v.Int = int64(u)
+		return v, rest, nil
+	case datalog.KindString, datalog.KindName, datalog.KindNode, datalog.KindPrin:
+		u, rest, err := readUvarint(buf)
+		if err != nil {
+			return v, nil, err
+		}
+		if uint64(len(rest)) < u {
+			return v, nil, ErrTruncated
+		}
+		v.Str = string(rest[:u])
+		return v, rest[u:], nil
+	case datalog.KindBytes:
+		u, rest, err := readUvarint(buf)
+		if err != nil {
+			return v, nil, err
+		}
+		if uint64(len(rest)) < u {
+			return v, nil, ErrTruncated
+		}
+		v.Bytes = append([]byte(nil), rest[:u]...)
+		return v, rest[u:], nil
+	case datalog.KindEntity:
+		u, rest, err := readUvarint(buf)
+		if err != nil {
+			return v, nil, err
+		}
+		if uint64(len(rest)) < u {
+			return v, nil, ErrTruncated
+		}
+		v.Str = string(rest[:u])
+		id, rest2, err := readUvarint(rest[u:])
+		if err != nil {
+			return v, nil, err
+		}
+		v.Int = int64(id)
+		return v, rest2, nil
+	default:
+		return v, nil, fmt.Errorf("wire: bad value kind %d", kind)
+	}
+}
+
+// AppendTuple encodes a tuple with a leading count.
+func AppendTuple(buf []byte, t datalog.Tuple) []byte {
+	buf = appendUvarint(buf, uint64(len(t)))
+	for _, v := range t {
+		buf = AppendValue(buf, v)
+	}
+	return buf
+}
+
+// ReadTuple decodes a tuple.
+func ReadTuple(buf []byte) (datalog.Tuple, []byte, error) {
+	n, buf, err := readUvarint(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := make(datalog.Tuple, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var v datalog.Value
+		v, buf, err = ReadValue(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		t = append(t, v)
+	}
+	return t, buf, nil
+}
+
+// Payload is the self-describing unit produced by the serialize UDF and
+// consumed by deserialize: the said predicate, the signature over its
+// values, and the values themselves.
+type Payload struct {
+	Pred string
+	Sig  []byte
+	Vals datalog.Tuple
+}
+
+// EncodePayload serializes a payload.
+func EncodePayload(p Payload) []byte {
+	buf := appendUvarint(nil, uint64(len(p.Pred)))
+	buf = append(buf, p.Pred...)
+	buf = appendUvarint(buf, uint64(len(p.Sig)))
+	buf = append(buf, p.Sig...)
+	buf = AppendTuple(buf, p.Vals)
+	return buf
+}
+
+// DecodePayload parses a payload.
+func DecodePayload(buf []byte) (Payload, error) {
+	var p Payload
+	n, buf, err := readUvarint(buf)
+	if err != nil {
+		return p, err
+	}
+	if uint64(len(buf)) < n {
+		return p, ErrTruncated
+	}
+	p.Pred, buf = string(buf[:n]), buf[n:]
+	m, buf, err := readUvarint(buf)
+	if err != nil {
+		return p, err
+	}
+	if uint64(len(buf)) < m {
+		return p, ErrTruncated
+	}
+	p.Sig, buf = append([]byte(nil), buf[:m]...), buf[m:]
+	p.Vals, buf, err = ReadTuple(buf)
+	if err != nil {
+		return p, err
+	}
+	if len(buf) != 0 {
+		return p, fmt.Errorf("wire: %d trailing bytes after payload", len(buf))
+	}
+	return p, nil
+}
+
+// SigData returns the canonical bytes that signatures cover: the predicate
+// name (domain separation) followed by the encoded values.
+func SigData(pred string, vals datalog.Tuple) []byte {
+	buf := appendUvarint(nil, uint64(len(pred)))
+	buf = append(buf, pred...)
+	return AppendTuple(buf, vals)
+}
+
+// Message is one transport datagram: a batch of export tuples committed by
+// a single transaction, addressed from one node to another.
+type Message struct {
+	From     string   // sender node address
+	Payloads [][]byte // opaque export payloads (possibly encrypted)
+}
+
+// EncodeMessage serializes a message.
+func EncodeMessage(m Message) []byte {
+	buf := appendUvarint(nil, uint64(len(m.From)))
+	buf = append(buf, m.From...)
+	buf = appendUvarint(buf, uint64(len(m.Payloads)))
+	for _, p := range m.Payloads {
+		buf = appendUvarint(buf, uint64(len(p)))
+		buf = append(buf, p...)
+	}
+	return buf
+}
+
+// DecodeMessage parses a message.
+func DecodeMessage(buf []byte) (Message, error) {
+	var m Message
+	n, buf, err := readUvarint(buf)
+	if err != nil {
+		return m, err
+	}
+	if uint64(len(buf)) < n {
+		return m, ErrTruncated
+	}
+	m.From, buf = string(buf[:n]), buf[n:]
+	cnt, buf, err := readUvarint(buf)
+	if err != nil {
+		return m, err
+	}
+	for i := uint64(0); i < cnt; i++ {
+		var l uint64
+		l, buf, err = readUvarint(buf)
+		if err != nil {
+			return m, err
+		}
+		if uint64(len(buf)) < l {
+			return m, ErrTruncated
+		}
+		m.Payloads = append(m.Payloads, append([]byte(nil), buf[:l]...))
+		buf = buf[l:]
+	}
+	if len(buf) != 0 {
+		return m, fmt.Errorf("wire: %d trailing bytes after message", len(buf))
+	}
+	return m, nil
+}

@@ -1,0 +1,98 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+
+	"secureblox/internal/datalog"
+)
+
+func TestValueRoundTrip(t *testing.T) {
+	vals := []datalog.Value{
+		datalog.Int64(0), datalog.Int64(1 << 40), datalog.Bool(true),
+		datalog.String_(""), datalog.String_("héllo"), datalog.BytesV([]byte{0, 1, 2}),
+		datalog.Name("reachable"), datalog.NodeV("10.0.0.1:7001"),
+		datalog.Prin("alice"), datalog.Entity("pathvar", 42),
+	}
+	for _, v := range vals {
+		buf := AppendValue(nil, v)
+		got, rest, err := ReadValue(buf)
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		if len(rest) != 0 || !got.Equal(v) {
+			t.Errorf("round trip %s -> %s (rest %d)", v, got, len(rest))
+		}
+	}
+}
+
+func TestTupleRoundTripQuick(t *testing.T) {
+	f := func(a int64, s string, b []byte) bool {
+		in := datalog.Tuple{datalog.Int64(a), datalog.String_(s), datalog.BytesV(b)}
+		out, rest, err := ReadTuple(AppendTuple(nil, in))
+		return err == nil && len(rest) == 0 && out.Equal(in)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPayloadRoundTrip(t *testing.T) {
+	p := Payload{
+		Pred: "path",
+		Sig:  []byte{9, 9, 9},
+		Vals: datalog.Tuple{datalog.Prin("a"), datalog.Prin("b"), datalog.Int64(3)},
+	}
+	got, err := DecodePayload(EncodePayload(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Pred != p.Pred || string(got.Sig) != string(p.Sig) || !got.Vals.Equal(p.Vals) {
+		t.Errorf("payload round trip: %+v", got)
+	}
+}
+
+func TestPayloadRejectsTrailing(t *testing.T) {
+	buf := EncodePayload(Payload{Pred: "p"})
+	if _, err := DecodePayload(append(buf, 0xFF)); err == nil {
+		t.Error("trailing bytes should be rejected")
+	}
+	if _, err := DecodePayload(buf[:len(buf)-1]); err == nil {
+		t.Error("truncated payload should be rejected")
+	}
+	if _, err := DecodePayload(nil); err == nil {
+		t.Error("empty payload should be rejected")
+	}
+}
+
+func TestSigDataDomainSeparation(t *testing.T) {
+	vals := datalog.Tuple{datalog.Int64(1)}
+	if string(SigData("a", vals)) == string(SigData("b", vals)) {
+		t.Error("signatures must be domain-separated by predicate")
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	m := Message{From: "127.0.0.1:9000", Payloads: [][]byte{{1, 2}, {}, {3}}}
+	got, err := DecodeMessage(EncodeMessage(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.From != m.From || len(got.Payloads) != 3 || string(got.Payloads[0]) != "\x01\x02" {
+		t.Errorf("message round trip: %+v", got)
+	}
+}
+
+func TestMessageSizeReflectsSignatureOverhead(t *testing.T) {
+	// The bandwidth shape of Fig 6 comes from signature bytes: a payload
+	// with a 128-byte RSA signature must be ~108 bytes larger than one with
+	// a 20-byte HMAC, which is ~20 larger than none.
+	vals := datalog.Tuple{datalog.Prin("a"), datalog.Prin("b"), datalog.Int64(7)}
+	none := len(EncodePayload(Payload{Pred: "path", Vals: vals}))
+	hmac := len(EncodePayload(Payload{Pred: "path", Sig: make([]byte, 20), Vals: vals}))
+	rsa := len(EncodePayload(Payload{Pred: "path", Sig: make([]byte, 128), Vals: vals}))
+	// 108 signature bytes plus one extra varint length byte at 128.
+	if hmac-none != 20 || rsa-hmac != 109 {
+		t.Errorf("overhead deltas: hmac-none=%d rsa-hmac=%d", hmac-none, rsa-hmac)
+	}
+}
