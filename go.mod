@@ -1,0 +1,3 @@
+module secureblox
+
+go 1.24

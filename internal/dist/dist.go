@@ -1,0 +1,34 @@
+// Package dist is the distributed node runtime of SecureBlox (paper §5):
+// each Node owns one engine.Workspace running the compiled query+policy
+// program, one transport endpoint, and a metrics collector, and runs the
+// per-node transaction loop that turns derived export(N, L, Pkt) tuples
+// into wire messages and inbound wire messages back into asserted export
+// facts.
+//
+// The runtime is deliberately dumb about security: it ships opaque payload
+// bytes and asserts received ones. All authentication, authorization,
+// decryption and trust decisions happen inside the workspace, performed by
+// the compiled policy rules and constraints (says/sig/serialize of §3 and
+// §6) — a rejected batch is a constraint violation that rolls the whole
+// message transaction back, which the node records and exposes via
+// Violations.
+//
+// Work accounting: the node participates in distributed fixpoint detection
+// by calling its AddWork hook with +1 for every queued local assertion
+// batch and every message it puts on the wire, and -1 once the
+// corresponding work item has been fully processed. Wiring AddWork to
+// transport.MemNetwork.AddWork makes MemNetwork.WaitQuiescent block until
+// no transaction is outstanding and no message is in flight anywhere —
+// the paper's global fixpoint ("no new facts are derived by any node").
+package dist
+
+// ExportDecl is the BloxGenerics source declaring the export relation the
+// runtime and the policies share: export(N, L, Pkt) holds an opaque payload
+// Pkt addressed to node N, originating at node L. Policies derive export
+// tuples on the sender (serialize/sign/encrypt) and consume them on the
+// receiver (decrypt/deserialize/verify); the runtime ships any tuple whose
+// destination is not the local node and asserts inbound ones with N bound
+// to the local node and L to the sender's claimed address.
+const ExportDecl = `
+	export(N, L, Pkt) -> node(N), node(L), bytes(Pkt).
+`

@@ -1,0 +1,37 @@
+package dist
+
+import (
+	"secureblox/internal/datalog"
+	"secureblox/internal/engine"
+	"secureblox/internal/transport"
+	"secureblox/internal/wire"
+)
+
+// handleMessage applies one inbound wire message as one workspace
+// transaction: every payload becomes an export(self, from, Pkt) base fact,
+// and the compiled policy rules take it from there (decrypt, deserialize,
+// verify, import). The claimed source address in the message — not the
+// transport-level sender — binds L, because authentication is the
+// policy's job: under NoAuth a forged claim is accepted by design, under
+// HMAC/RSA the signature constraints reject it and the whole message rolls
+// back as a recorded violation.
+//
+// One message is one transaction (the sender committed it as one batch),
+// so a rejected forgery cannot roll back unrelated traffic.
+func (n *Node) handleMessage(in transport.InMsg) {
+	msg, err := wire.DecodeMessage(in.Data)
+	if err != nil || len(msg.Payloads) == 0 {
+		n.AddWork(-1) // malformed or empty datagram: drop it
+		return
+	}
+	self := datalog.NodeV(n.localAddr())
+	from := datalog.NodeV(msg.From)
+	facts := make([]engine.Fact, 0, len(msg.Payloads))
+	for _, p := range msg.Payloads {
+		facts = append(facts, engine.Fact{
+			Pred:  "export",
+			Tuple: datalog.Tuple{self, from, datalog.BytesV(p)},
+		})
+	}
+	n.commit(facts, 1)
+}

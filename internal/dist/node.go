@@ -1,0 +1,245 @@
+package dist
+
+import (
+	"sync"
+	"time"
+
+	"secureblox/internal/datalog"
+	"secureblox/internal/engine"
+	"secureblox/internal/metrics"
+	"secureblox/internal/transport"
+)
+
+// Node is one SecureBlox instance: a principal identity, the workspace
+// holding its database and compiled program, and a transport endpoint. Its
+// transaction loop (Start) applies queued local assertions and inbound wire
+// messages as workspace transactions and ships newly derived export tuples.
+type Node struct {
+	// Principal is the identity this node runs as (the value of self[]).
+	Principal string
+	// WS is the node's workspace. It must already have the compiled
+	// program installed; the loop is its only writer once Start is called.
+	WS *engine.Workspace
+	// Metrics accumulates transaction durations, violations and activity
+	// timestamps for the evaluation figures.
+	Metrics *metrics.NodeMetrics
+	// AddWork is the distributed work-accounting hook (see the package
+	// comment). It defaults to a no-op; the cluster driver wires it to
+	// transport.MemNetwork.AddWork. It must be safe for concurrent use.
+	AddWork func(delta int64)
+
+	ep transport.Transport
+
+	mu         sync.Mutex
+	pending    [][]engine.Fact
+	violations []error
+	stopped    bool
+
+	wake   chan struct{}
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+
+	// Loop-goroutine-only state (no locking needed).
+	sent     map[string]bool // export tuple keys already shipped
+	selfAddr string          // cached principal_node[self] address
+}
+
+// NewNode builds a node over an installed workspace and an open endpoint.
+// The node takes ownership of the endpoint: Stop closes it.
+func NewNode(principal string, ws *engine.Workspace, ep transport.Transport) *Node {
+	return &Node{
+		Principal: principal,
+		WS:        ws,
+		Metrics:   &metrics.NodeMetrics{},
+		AddWork:   func(int64) {},
+		ep:        ep,
+		wake:      make(chan struct{}, 1),
+		stopCh:    make(chan struct{}),
+		sent:      make(map[string]bool),
+	}
+}
+
+// Start launches the transaction loop. It is idempotent.
+func (n *Node) Start() {
+	n.startOnce.Do(func() {
+		n.wg.Add(1)
+		go n.run()
+	})
+}
+
+// Stop shuts the loop down, releases any still-queued work, and closes the
+// endpoint. It is idempotent and returns once the loop goroutine is gone.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() { close(n.stopCh) })
+	n.wg.Wait()
+	// If the loop ran, shutdown() already did this and the queue is
+	// empty; if the node was never Started, the queued work must still
+	// be released here or WaitQuiescent wedges.
+	n.mu.Lock()
+	n.stopped = true
+	dropped := int64(len(n.pending))
+	n.pending = nil
+	n.mu.Unlock()
+	if dropped > 0 {
+		n.AddWork(-dropped)
+	}
+	n.ep.Close()
+}
+
+// Assert enqueues a batch of base facts for the loop to apply as (part of)
+// a local transaction. The batch counts as outstanding work until applied.
+// Asserting against a stopped node drops the batch: the work count is
+// released again so late callers cannot wedge quiescence detection.
+func (n *Node) Assert(facts []engine.Fact) {
+	// The increment must precede making the batch visible to the loop, so
+	// the global work counter can never dip to zero between enqueue and
+	// processing.
+	n.AddWork(1)
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		n.AddWork(-1)
+		return
+	}
+	n.pending = append(n.pending, facts)
+	n.mu.Unlock()
+	select {
+	case n.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Violations returns the errors of all rejected (rolled-back) batches so
+// far, local and inbound.
+func (n *Node) Violations() []error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]error(nil), n.violations...)
+}
+
+// run is the per-node transaction loop of §5.2: drain local assertion
+// batches and inbound messages, apply each as an ACID workspace
+// transaction, and ship the export delta of successful commits.
+func (n *Node) run() {
+	defer n.wg.Done()
+	recv := n.ep.Receive()
+	for {
+		select {
+		case <-n.stopCh:
+			n.shutdown(recv)
+			return
+		case <-n.wake:
+			n.drainLocal()
+		case msg, ok := <-recv:
+			if !ok {
+				// Endpoint closed underneath us; serve local work
+				// until Stop.
+				recv = nil
+				continue
+			}
+			n.handleMessage(msg)
+		}
+	}
+}
+
+// drainLocal applies the queued local batches. Multiple batches are
+// coalesced into one workspace transaction (batching amortizes fixpoint
+// and constraint sweeps, paper footnote 2) — but if the merged
+// transaction is rejected, each batch is retried in isolation so one bad
+// batch cannot roll back unrelated valid ones.
+func (n *Node) drainLocal() {
+	n.mu.Lock()
+	batches := n.pending
+	n.pending = nil
+	n.mu.Unlock()
+	switch len(batches) {
+	case 0:
+		return
+	case 1:
+		n.commit(batches[0], 1)
+		return
+	}
+	total := 0
+	for _, b := range batches {
+		total += len(b)
+	}
+	facts := make([]engine.Fact, 0, total)
+	for _, b := range batches {
+		facts = append(facts, b...)
+	}
+	start := time.Now()
+	res, err := n.WS.Assert(facts)
+	if err == nil {
+		n.Metrics.RecordTxn(time.Since(start))
+		n.ship(res.Inserted["export"])
+		n.AddWork(int64(-len(batches)))
+		return
+	}
+	for _, b := range batches {
+		n.commit(b, 1)
+	}
+}
+
+// commit runs one transaction over the workspace. On success the export
+// delta is shipped; on rejection the violation is recorded (the workspace
+// has already rolled the whole batch back). Either way the consumed work
+// units are released — but only after any outgoing messages have been
+// counted, so the global work counter can never dip to zero while this
+// node still owes traffic.
+func (n *Node) commit(facts []engine.Fact, units int64) {
+	start := time.Now()
+	res, err := n.WS.Assert(facts)
+	if err != nil {
+		n.recordViolation(err)
+	} else {
+		n.Metrics.RecordTxn(time.Since(start))
+		n.ship(res.Inserted["export"])
+	}
+	n.AddWork(-units)
+}
+
+// recordViolation registers one rejected batch or dropped message.
+func (n *Node) recordViolation(err error) {
+	n.Metrics.RecordViolation()
+	n.mu.Lock()
+	n.violations = append(n.violations, err)
+	n.mu.Unlock()
+}
+
+// localAddr resolves (and caches) this node's own network address from the
+// principal directory, falling back to the endpoint address before the
+// directory is populated.
+func (n *Node) localAddr() string {
+	if n.selfAddr != "" {
+		return n.selfAddr
+	}
+	if v, ok := n.WS.LookupFn("principal_node", datalog.Prin(n.Principal)); ok && v.Kind == datalog.KindNode {
+		n.selfAddr = v.Str
+		return n.selfAddr
+	}
+	return n.ep.Addr()
+}
+
+// shutdown releases whatever work is still queued when the loop exits, so
+// a Stop mid-computation cannot wedge WaitQuiescent for other waiters.
+func (n *Node) shutdown(recv <-chan transport.InMsg) {
+	n.mu.Lock()
+	n.stopped = true // Asserts from here on release their own work count
+	dropped := int64(len(n.pending))
+	n.pending = nil
+	n.mu.Unlock()
+	if dropped > 0 {
+		n.AddWork(-dropped)
+	}
+	// Closing the endpoint ends the receive channel; every queued message
+	// was counted by its sender and must be released.
+	n.ep.Close()
+	if recv != nil {
+		for range recv {
+			n.AddWork(-1)
+		}
+	}
+}

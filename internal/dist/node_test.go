@@ -1,0 +1,305 @@
+package dist_test
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"secureblox/internal/datalog"
+	"secureblox/internal/dist"
+	"secureblox/internal/engine"
+	"secureblox/internal/transport"
+	"secureblox/internal/wire"
+)
+
+// testDecls is a minimal program exercising the runtime without the full
+// policy stack: pay holds an opaque payload, dest the destination address,
+// trigger fires the derivation, and got records successfully imported
+// payloads.
+const testDecls = `
+	pay(P) -> bytes(P).
+	trigger(X) -> int(X).
+	dest(N) -> node(N).
+	got(Pkt) -> bytes(Pkt).
+	got(Pkt) <- export(N, L, Pkt), principal_node[self[]]=N.
+`
+
+// deriveRule turns any trigger into one export tuple per (pay, dest) pair.
+// Distinct triggers re-derive the same tuples, which must not re-send.
+const deriveRule = `
+	export(N, L, Pkt) <- trigger(X), pay(Pkt), dest(N), principal_node[self[]]=L.
+`
+
+// echoRule bounces every received payload back to its origin.
+const echoRule = `
+	export(L, N, Pkt) <- export(N, L, Pkt), principal_node[self[]]=N.
+`
+
+// newTestNode builds a started-but-not-running node: workspace with the
+// program installed, the principal directory asserted, and the endpoint
+// registered on net with work accounting wired up.
+func newTestNode(t *testing.T, net *transport.MemNetwork, name, addr string, peers map[string]string, extra string) *dist.Node {
+	t.Helper()
+	ws := engine.NewWorkspace(nil)
+	prog, err := datalog.Parse(dist.ExportDecl + testDecls + extra)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := ws.Install(prog); err != nil {
+		t.Fatalf("install: %v", err)
+	}
+	facts := []engine.Fact{
+		{Pred: "self", Tuple: datalog.Tuple{datalog.Prin(name)}},
+		{Pred: "principal", Tuple: datalog.Tuple{datalog.Prin(name)}},
+		{Pred: "principal_node", Tuple: datalog.Tuple{datalog.Prin(name), datalog.NodeV(addr)}},
+	}
+	for p, a := range peers {
+		facts = append(facts,
+			engine.Fact{Pred: "principal", Tuple: datalog.Tuple{datalog.Prin(p)}},
+			engine.Fact{Pred: "principal_node", Tuple: datalog.Tuple{datalog.Prin(p), datalog.NodeV(a)}},
+		)
+	}
+	if _, err := ws.Assert(facts); err != nil {
+		t.Fatalf("setup assert: %v", err)
+	}
+	n := dist.NewNode(name, ws, net.Endpoint(addr))
+	n.AddWork = net.AddWork
+	return n
+}
+
+// waitQuiescent bounds WaitQuiescent so an accounting imbalance fails the
+// test instead of hanging it.
+func waitQuiescent(t *testing.T, net *transport.MemNetwork) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() { net.WaitQuiescent(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("WaitQuiescent did not release within 10s (work counter imbalance)")
+	}
+}
+
+const (
+	addrA = "10.0.0.1:7000"
+	addrB = "10.0.0.2:7000"
+)
+
+func TestTwoNodeExchangeReachesFixpoint(t *testing.T) {
+	net := transport.NewMemNetwork()
+	a := newTestNode(t, net, "a", addrA, map[string]string{"b": addrB}, deriveRule)
+	b := newTestNode(t, net, "b", addrB, map[string]string{"a": addrA}, echoRule)
+	a.Start()
+	b.Start()
+	defer a.Stop()
+	defer b.Stop()
+
+	payload := []byte("hello over the wire")
+	a.Assert([]engine.Fact{
+		{Pred: "pay", Tuple: datalog.Tuple{datalog.BytesV(payload)}},
+		{Pred: "dest", Tuple: datalog.Tuple{datalog.NodeV(addrB)}},
+		{Pred: "trigger", Tuple: datalog.Tuple{datalog.Int64(1)}},
+	})
+	waitQuiescent(t, net)
+
+	// B imported the payload; the echo rule bounced it back so A imported
+	// it too — a two-hop distributed fixpoint.
+	if got := b.WS.Count("got"); got != 1 {
+		t.Errorf("node b: got %d imported payloads, want 1", got)
+	}
+	if got := a.WS.Count("got"); got != 1 {
+		t.Errorf("node a: got %d echoed payloads, want 1", got)
+	}
+	for _, addr := range []string{addrA, addrB} {
+		if s := net.Stats(addr); s.MsgsSent == 0 || s.BytesSent == 0 {
+			t.Errorf("%s: no traffic recorded (%+v)", addr, s)
+		}
+	}
+	if v := append(a.Violations(), b.Violations()...); len(v) != 0 {
+		t.Errorf("unexpected violations: %v", v)
+	}
+}
+
+func TestRederivedExportsAreNotResent(t *testing.T) {
+	net := transport.NewMemNetwork()
+	a := newTestNode(t, net, "a", addrA, map[string]string{"b": addrB}, deriveRule)
+	b := newTestNode(t, net, "b", addrB, map[string]string{"a": addrA}, "")
+	a.Start()
+	b.Start()
+	defer a.Stop()
+	defer b.Stop()
+
+	a.Assert([]engine.Fact{
+		{Pred: "pay", Tuple: datalog.Tuple{datalog.BytesV([]byte("once"))}},
+		{Pred: "dest", Tuple: datalog.Tuple{datalog.NodeV(addrB)}},
+		{Pred: "trigger", Tuple: datalog.Tuple{datalog.Int64(1)}},
+	})
+	waitQuiescent(t, net)
+	first := net.Stats(addrA).MsgsSent
+	if first == 0 {
+		t.Fatal("first trigger produced no traffic")
+	}
+
+	// A different trigger re-derives exactly the same export tuple: the
+	// transaction commits, but the delta is empty and nothing is shipped.
+	a.Assert([]engine.Fact{{Pred: "trigger", Tuple: datalog.Tuple{datalog.Int64(2)}}})
+	waitQuiescent(t, net)
+	if again := net.Stats(addrA).MsgsSent; again != first {
+		t.Errorf("re-derivation re-sent traffic: %d -> %d messages", first, again)
+	}
+	if got := b.WS.Count("got"); got != 1 {
+		t.Errorf("node b: got %d payloads, want 1", got)
+	}
+}
+
+func TestStopIsIdempotentAndLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	net := transport.NewMemNetwork()
+	a := newTestNode(t, net, "a", addrA, map[string]string{"b": addrB}, deriveRule)
+	b := newTestNode(t, net, "b", addrB, map[string]string{"a": addrA}, "")
+	a.Start()
+	b.Start()
+	a.Assert([]engine.Fact{
+		{Pred: "pay", Tuple: datalog.Tuple{datalog.BytesV([]byte("x"))}},
+		{Pred: "dest", Tuple: datalog.Tuple{datalog.NodeV(addrB)}},
+		{Pred: "trigger", Tuple: datalog.Tuple{datalog.Int64(1)}},
+	})
+	waitQuiescent(t, net)
+
+	a.Stop()
+	b.Stop()
+	a.Stop() // idempotent
+	b.Stop()
+
+	// Asserting against a stopped node drops the batch but releases its
+	// work count, so quiescence detection cannot wedge.
+	a.Assert([]engine.Fact{{Pred: "trigger", Tuple: datalog.Tuple{datalog.Int64(9)}}})
+	waitQuiescent(t, net)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Errorf("goroutine leak after Stop: %d before, %d after", before, now)
+	}
+}
+
+func TestWorkBalanceSurvivesFailuresAndGarbage(t *testing.T) {
+	net := transport.NewMemNetwork()
+	// The destination address is never registered: every send fails, and
+	// the failed message's work count must be released immediately.
+	a := newTestNode(t, net, "a", addrA, map[string]string{"ghost": "10.9.9.9:1"}, deriveRule)
+	a.Start()
+	defer a.Stop()
+
+	a.Assert([]engine.Fact{
+		{Pred: "pay", Tuple: datalog.Tuple{datalog.BytesV([]byte("lost"))}},
+		{Pred: "dest", Tuple: datalog.Tuple{datalog.NodeV("10.9.9.9:1")}},
+		{Pred: "trigger", Tuple: datalog.Tuple{datalog.Int64(1)}},
+	})
+	waitQuiescent(t, net)
+	if v := a.Violations(); len(v) != 1 {
+		t.Errorf("dropped message should be recorded as a violation, got %v", v)
+	}
+
+	// A malformed datagram is dropped, but its in-flight count must still
+	// be released.
+	raw := net.Endpoint("6.6.6.6:666")
+	net.AddWork(1)
+	if err := raw.Send(addrA, []byte("not a wire message")); err != nil {
+		t.Fatal(err)
+	}
+	waitQuiescent(t, net)
+
+	// The node is still live afterwards: a real message round-trips.
+	net.AddWork(1)
+	msg := wire.EncodeMessage(wire.Message{From: "6.6.6.6:666", Payloads: [][]byte{[]byte("p")}})
+	if err := raw.Send(addrA, msg); err != nil {
+		t.Fatal(err)
+	}
+	waitQuiescent(t, net)
+	if got := a.WS.Count("got"); got != 1 {
+		t.Errorf("node a: got %d payloads after garbage, want 1", got)
+	}
+}
+
+func TestStopWithoutStartReleasesQueuedWork(t *testing.T) {
+	net := transport.NewMemNetwork()
+	a := newTestNode(t, net, "a", addrA, nil, "")
+	a.Assert([]engine.Fact{{Pred: "trigger", Tuple: datalog.Tuple{datalog.Int64(1)}}})
+	a.Stop() // never Started: the queued batch's work count must be released
+	a.Assert([]engine.Fact{{Pred: "trigger", Tuple: datalog.Tuple{datalog.Int64(2)}}})
+	waitQuiescent(t, net)
+}
+
+func TestMergedLocalBatchesIsolateOnViolation(t *testing.T) {
+	net := transport.NewMemNetwork()
+	// poison(X) requires blessed(X): asserting unblessed poison violates.
+	a := newTestNode(t, net, "a", addrA, map[string]string{"b": addrB}, deriveRule+`
+		blessed(X) -> int(X).
+		poison(X) -> blessed(X).
+	`)
+	b := newTestNode(t, net, "b", addrB, map[string]string{"a": addrA}, "")
+
+	// Queue both batches before Start so the loop coalesces them into one
+	// transaction; the merged rejection must fall back to per-batch
+	// isolation instead of rolling back the valid batch.
+	a.Assert([]engine.Fact{
+		{Pred: "pay", Tuple: datalog.Tuple{datalog.BytesV([]byte("good"))}},
+		{Pred: "dest", Tuple: datalog.Tuple{datalog.NodeV(addrB)}},
+		{Pred: "trigger", Tuple: datalog.Tuple{datalog.Int64(1)}},
+	})
+	a.Assert([]engine.Fact{{Pred: "poison", Tuple: datalog.Tuple{datalog.Int64(666)}}})
+	a.Start()
+	b.Start()
+	defer a.Stop()
+	defer b.Stop()
+	waitQuiescent(t, net)
+
+	if v := a.Violations(); len(v) != 1 {
+		t.Fatalf("want exactly 1 violation for the poison batch, got %v", v)
+	}
+	if got := a.WS.Count("poison"); got != 0 {
+		t.Errorf("poison batch should have rolled back, %d tuples remain", got)
+	}
+	if got := b.WS.Count("got"); got != 1 {
+		t.Errorf("valid batch should have survived isolation: b got %d payloads, want 1", got)
+	}
+}
+
+func TestRejectedBatchRollsBackAndIsRecorded(t *testing.T) {
+	net := transport.NewMemNetwork()
+	a := newTestNode(t, net, "a", addrA, map[string]string{"b": addrB}, deriveRule)
+	// B only accepts payloads it has pre-approved; anything else violates
+	// the constraint and the whole message transaction rolls back.
+	b := newTestNode(t, net, "b", addrB, map[string]string{"a": addrA}, `
+		approved(P) -> bytes(P).
+		got(Pkt) -> approved(Pkt).
+	`)
+	a.Start()
+	b.Start()
+	defer a.Stop()
+	defer b.Stop()
+
+	a.Assert([]engine.Fact{
+		{Pred: "pay", Tuple: datalog.Tuple{datalog.BytesV([]byte("unapproved"))}},
+		{Pred: "dest", Tuple: datalog.Tuple{datalog.NodeV(addrB)}},
+		{Pred: "trigger", Tuple: datalog.Tuple{datalog.Int64(1)}},
+	})
+	waitQuiescent(t, net)
+
+	if v := b.Violations(); len(v) != 1 {
+		t.Fatalf("node b: want exactly 1 recorded violation, got %v", v)
+	}
+	if got := b.WS.Count("got"); got != 0 {
+		t.Errorf("rejected payload leaked into got: %d tuples", got)
+	}
+	if got := b.WS.Count("export"); got != 0 {
+		t.Errorf("rejected message left export residue: %d tuples", got)
+	}
+	if v := a.Violations(); len(v) != 0 {
+		t.Errorf("sender should be unaffected, got violations: %v", v)
+	}
+}

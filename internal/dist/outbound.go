@@ -1,0 +1,80 @@
+package dist
+
+import (
+	"fmt"
+
+	"secureblox/internal/datalog"
+	"secureblox/internal/transport"
+	"secureblox/internal/wire"
+)
+
+// ship sends the export tuples a transaction newly derived. The Inserted
+// delta already excludes tuples that were present before the transaction,
+// and the sent-set excludes anything shipped by an earlier transaction —
+// re-derivations of known facts therefore produce no traffic, which is
+// what lets distributed fixpoints terminate. Tuples addressed to this node
+// (inbound assertions and local loopbacks) are skipped.
+func (n *Node) ship(exports []datalog.Tuple) {
+	if len(exports) == 0 {
+		return
+	}
+	self := n.localAddr()
+	type route struct{ to, from string }
+	var order []route
+	grouped := make(map[route][][]byte)
+	for _, t := range exports {
+		if len(t) != 3 || t[0].Kind != datalog.KindNode || t[2].Kind != datalog.KindBytes {
+			continue // not a well-formed export(N, L, Pkt) tuple
+		}
+		key := t.Key()
+		if n.sent[key] {
+			continue
+		}
+		n.sent[key] = true
+		to := t[0].Str
+		if to == self || to == n.ep.Addr() {
+			continue
+		}
+		r := route{to: to, from: t[1].Str}
+		if _, ok := grouped[r]; !ok {
+			order = append(order, r)
+		}
+		grouped[r] = append(grouped[r], t[2].Bytes)
+	}
+	for _, r := range order {
+		n.sendBatched(r.to, r.from, grouped[r])
+	}
+}
+
+// sendBatched ships one destination's payloads, splitting the batch into
+// as many messages as needed to stay under the transport datagram limit.
+// Every message put on the wire is counted as in-flight work; a failed
+// send (unknown address, closed destination, oversized datagram) releases
+// its count immediately and is recorded as a violation so the loss is
+// observable — the runtime has no retry (see ROADMAP.md).
+func (n *Node) sendBatched(to, from string, payloads [][]byte) {
+	header := wire.MessageOverhead(from)
+	var batch [][]byte
+	size := header
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		data := wire.EncodeMessage(wire.Message{From: from, Payloads: batch})
+		n.AddWork(1)
+		if err := n.ep.Send(to, data); err != nil {
+			n.AddWork(-1)
+			n.recordViolation(fmt.Errorf("dist: dropped %d-payload message to %s: %w", len(batch), to, err))
+		}
+		batch, size = nil, header
+	}
+	for _, p := range payloads {
+		sz := wire.PayloadOverhead + len(p)
+		if len(batch) > 0 && size+sz > transport.MaxDatagram {
+			flush()
+		}
+		batch = append(batch, p)
+		size += sz
+	}
+	flush()
+}

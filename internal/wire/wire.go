@@ -197,6 +197,19 @@ type Message struct {
 	Payloads [][]byte // opaque export payloads (possibly encrypted)
 }
 
+// PayloadOverhead upper-bounds the framing bytes EncodeMessage adds per
+// payload (one uvarint length prefix).
+const PayloadOverhead = binary.MaxVarintLen64
+
+// MessageOverhead upper-bounds the encoded size of a message from the
+// given sender, excluding the payloads and their framing. Callers sizing
+// batches against a datagram limit should sum this with PayloadOverhead +
+// len(p) per payload, so the size estimate stays in lockstep with the
+// actual encoding.
+func MessageOverhead(from string) int {
+	return binary.MaxVarintLen64 + len(from) + binary.MaxVarintLen64
+}
+
 // EncodeMessage serializes a message.
 func EncodeMessage(m Message) []byte {
 	buf := appendUvarint(nil, uint64(len(m.From)))
