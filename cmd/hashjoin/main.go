@@ -37,6 +37,7 @@ func main() {
 	trials := flag.Int("trials", 3, "trials per size (paper: 10)")
 	cdfSizes := flag.String("cdf", "6,18", "sizes for the completion CDFs (Figures 10/11)")
 	seed := flag.Int64("seed", 1, "base random seed")
+	transportFlag := flag.String("transport", "mem", "cluster transport: mem (in-process) or udp (real loopback sockets)")
 	flag.Parse()
 
 	sizes, err := parseSizes(*sizesFlag)
@@ -54,7 +55,9 @@ func main() {
 	}
 
 	run := func(n int, p core.PolicyConfig, trial int) *apps.HashJoinResult {
-		res, err := apps.RunHashJoin(apps.DefaultHashJoinConfig(n, p, *seed+int64(trial)*1000+int64(n)))
+		cfg := apps.DefaultHashJoinConfig(n, p, *seed+int64(trial)*1000+int64(n))
+		cfg.Transport = *transportFlag
+		res, err := apps.RunHashJoin(cfg)
 		if err != nil {
 			log.Fatalf("n=%d %s: %v", n, p.Name(), err)
 		}

@@ -39,6 +39,7 @@ func main() {
 	degree := flag.Float64("degree", 3, "average node degree")
 	cdfSize := flag.Int("cdf", 36, "network size for the convergence CDF (Figures 8/9); 0 disables")
 	seed := flag.Int64("seed", 1, "base random seed")
+	transportFlag := flag.String("transport", "mem", "cluster transport: mem (in-process) or udp (real loopback sockets)")
 	flag.Parse()
 
 	sizes, err := parseSizes(*sizesFlag)
@@ -60,7 +61,8 @@ func main() {
 	run := func(n int, p core.PolicyConfig, trial int) *apps.PathVectorResult {
 		res, err := apps.RunPathVector(apps.PathVectorConfig{
 			N: n, AvgDegree: *degree, Policy: p,
-			Seed: *seed + int64(trial)*1000 + int64(n),
+			Seed:      *seed + int64(trial)*1000 + int64(n),
+			Transport: *transportFlag,
 		})
 		if err != nil {
 			log.Fatalf("n=%d %s: %v", n, p.Name(), err)

@@ -1,93 +1,61 @@
-// Distnet: two SecureBlox nodes exchanging facts over REAL UDP — the
-// paper's deployment mode (§5.1), without the in-process simulated
-// network the benchmarks use. Each internal/dist Node owns a workspace
-// and a transport.UDPEndpoint; a derived export(N, L, Pkt) tuple at
-// alice becomes a datagram, and bob's runtime asserts it back into his
-// workspace where the import rule picks it up.
-//
-// There is no MemNetwork here, so no global work counter: quiescence is
-// observed by polling, as a real deployment would (or by layering a
-// distributed termination protocol — see ROADMAP.md).
+// Distnet: a SecureBlox cluster exchanging facts over REAL UDP — the
+// paper's deployment mode (§5.1), run through the same transport-agnostic
+// cluster driver the benchmarks use. The only difference from a simulated
+// run is the transport.Network handed to core.NewCluster: endpoints bind
+// loopback UDP ports (with the reliable ack/retransmit layer underneath),
+// the principal directory carries the real bound addresses, and
+// WaitFixpoint observes quiescence via the wire-level termination-detection
+// protocol — no shared in-process state of any kind.
 package main
 
 import (
 	"fmt"
 	"log"
-	"time"
 
+	"secureblox/internal/core"
 	"secureblox/internal/datalog"
-	"secureblox/internal/dist"
 	"secureblox/internal/engine"
 	"secureblox/internal/transport"
 )
 
+// Each node says its greeting to every other principal; the import rule
+// files received greetings into the local inbox.
 const program = `
-	greeting(P) -> bytes(P).
-	dest(N) -> node(N).
-	inbox(Pkt) -> bytes(Pkt).
+	greeting(G) -> string(G).
+	inbox(G) -> string(G).
+	exportable('greeting).
 
-	export(N, L, Pkt) <- greeting(Pkt), dest(N), principal_node[self[]]=L.
-	inbox(Pkt) <- export(N, L, Pkt), principal_node[self[]]=N.
+	says['greeting](self[], U, G) <- greeting(G), principal(U), U != self[].
+	inbox(G) <- says['greeting](U, self[], G).
 `
 
-func newNode(name string, ep transport.Transport) *dist.Node {
-	ws := engine.NewWorkspace(nil)
-	prog, err := datalog.Parse(dist.ExportDecl + program)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := ws.Install(prog); err != nil {
-		log.Fatal(err)
-	}
-	return dist.NewNode(name, ws, ep)
-}
-
 func main() {
-	epA, err := transport.ListenUDP("127.0.0.1:0")
-	if err != nil {
-		log.Fatal(err)
-	}
-	epB, err := transport.ListenUDP("127.0.0.1:0")
-	if err != nil {
-		log.Fatal(err)
-	}
-	alice := newNode("alice", epA)
-	bob := newNode("bob", epB)
-
-	// The out-of-band principal directory (§3): real addresses are only
-	// known after binding, so assert them post-listen.
-	for _, n := range []*dist.Node{alice, bob} {
-		if _, err := n.WS.Assert([]engine.Fact{
-			{Pred: "self", Tuple: datalog.Tuple{datalog.Prin(n.Principal)}},
-			{Pred: "principal", Tuple: datalog.Tuple{datalog.Prin("alice")}},
-			{Pred: "principal", Tuple: datalog.Tuple{datalog.Prin("bob")}},
-			{Pred: "principal_node", Tuple: datalog.Tuple{datalog.Prin("alice"), datalog.NodeV(epA.Addr())}},
-			{Pred: "principal_node", Tuple: datalog.Tuple{datalog.Prin("bob"), datalog.NodeV(epB.Addr())}},
-		}); err != nil {
-			log.Fatal(err)
-		}
-	}
-
-	alice.Start()
-	bob.Start()
-	defer alice.Stop()
-	defer bob.Stop()
-
-	alice.Assert([]engine.Fact{
-		{Pred: "greeting", Tuple: datalog.Tuple{datalog.BytesV([]byte("hello bob, over UDP"))}},
-		{Pred: "dest", Tuple: datalog.Tuple{datalog.NodeV(epB.Addr())}},
+	c, err := core.NewCluster(core.ClusterConfig{
+		N:      2,
+		Policy: core.PolicyConfig{Auth: core.AuthHMAC, Delegation: core.DelegateNone},
+		Query:  program,
+		Seed:   1,
+		Net:    transport.NewUDPNetwork(),
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Stop()
 
-	deadline := time.Now().Add(5 * time.Second)
-	for bob.WS.Count("inbox") == 0 {
-		if time.Now().After(deadline) {
-			log.Fatal("bob never received the greeting")
-		}
-		time.Sleep(5 * time.Millisecond)
+	c.Start()
+	c.AssertAt(0, []engine.Fact{
+		{Pred: "greeting", Tuple: datalog.Tuple{datalog.String_("hello bob, over UDP")}},
+	})
+	c.WaitFixpoint()
+
+	if v := c.Violations(); len(v) != 0 {
+		log.Fatalf("violations: %v", v)
 	}
-	for _, t := range bob.WS.Tuples("inbox") {
-		fmt.Printf("bob (%s) received: %s\n", epB.Addr(), t[0].Bytes)
+	for _, t := range c.Query(1, "inbox") {
+		fmt.Printf("node 1 (%s) received: %s\n", c.Addrs[1], t[0].Str)
 	}
-	fmt.Printf("alice (%s) sent %d message(s), %d bytes\n",
-		epA.Addr(), epA.Stats().MsgsSent, epA.Stats().BytesSent)
+	tr := c.Nodes[0].Metrics.Traffic()
+	fmt.Printf("node 0 (%s) shipped %d HMAC-signed message(s), %d bytes, over real UDP\n",
+		c.Addrs[0], tr.MsgsSent, tr.BytesSent)
+	fmt.Println("fixpoint was detected by counting-wave probes on the same sockets.")
 }

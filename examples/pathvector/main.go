@@ -31,9 +31,9 @@ func main() {
 			log.Fatalf("routing tables wrong: %v", err)
 		}
 		fmt.Println("routing table of node 0 (dst -> hops):")
-		me := datalog.NodeV(core.NodeAddr(0))
+		me := datalog.NodeV(res.Cluster.Addrs[0])
 		for j := 1; j < 8; j++ {
-			cost, ok := res.Cluster.Nodes[0].WS.LookupFn("bestcost", me, datalog.NodeV(core.NodeAddr(j)))
+			cost, ok := res.Cluster.Nodes[0].WS.LookupFn("bestcost", me, datalog.NodeV(res.Cluster.Addrs[j]))
 			if ok {
 				fmt.Printf("  node %d: %d hop(s)\n", j, cost.Int)
 			}

@@ -134,6 +134,9 @@ type AnonJoinConfig struct {
 	PublicRows int // remote table size
 	Overlap    int // how many interests have matches
 	Seed       int64
+	// Transport selects the cluster substrate ("", "mem" or "udp"); see
+	// core.NewNetwork.
+	Transport string
 }
 
 // AnonJoinResult carries one run's outcome.
@@ -154,16 +157,29 @@ func RunAnonJoin(cfg AnonJoinConfig) (*AnonJoinResult, error) {
 	}
 	n := cfg.Relays + 2
 	endpoint := n - 1
+	net, err := core.NewNetwork(cfg.Transport)
+	if err != nil {
+		return nil, err
+	}
 	c, err := core.NewCluster(core.ClusterConfig{
 		N:             n,
 		Policy:        core.PolicyConfig{Auth: core.AuthNone, Delegation: core.DelegateNone},
 		Query:         AnonJoinQuery,
 		ExtraPolicies: []string{AnonPolicy},
 		Seed:          cfg.Seed,
+		Net:           net,
 	})
 	if err != nil {
 		return nil, err
 	}
+	// On a setup failure below, release the cluster (sockets, goroutines)
+	// — the caller only Stops it on success.
+	ok := false
+	defer func() {
+		if !ok {
+			c.Stop()
+		}
+	}()
 
 	// Circuit instantiation (out of band, as in the paper): one layer key
 	// per hop 1..endpoint, link-local ids per link.
@@ -188,7 +204,7 @@ func RunAnonJoin(cfg AnonJoinConfig) (*AnonJoinResult, error) {
 	initFacts := []engine.Fact{
 		fact("anon_path", datalog.Prin(core.PrincipalName(endpoint)), cv),
 		fact("anon_path_forward_id", cv, datalog.Int64(linkID(0))),
-		fact("anon_path_nexthop", cv, datalog.NodeV(core.NodeAddr(1))),
+		fact("anon_path_nexthop", cv, datalog.NodeV(c.Addrs[1])),
 		fact("anon_path_origin", cv, datalog.Bool(true)),
 		fact("table_owner", datalog.Prin(core.PrincipalName(endpoint))),
 	}
@@ -200,8 +216,8 @@ func RunAnonJoin(cfg AnonJoinConfig) (*AnonJoinResult, error) {
 		facts := []engine.Fact{
 			fact("anon_path_backward_id", cv, datalog.Int64(linkID(i-1))),
 			fact("anon_path_forward_id", cv, datalog.Int64(linkID(i))),
-			fact("anon_path_nexthop", cv, datalog.NodeV(core.NodeAddr(i+1))),
-			fact("anon_path_prevhop", cv, datalog.NodeV(core.NodeAddr(i-1))),
+			fact("anon_path_nexthop", cv, datalog.NodeV(c.Addrs[i+1])),
+			fact("anon_path_prevhop", cv, datalog.NodeV(c.Addrs[i-1])),
 		}
 		if _, err := c.Nodes[i].WS.Assert(facts); err != nil {
 			return nil, fmt.Errorf("anonjoin: relay %d setup: %w", i, err)
@@ -211,7 +227,7 @@ func RunAnonJoin(cfg AnonJoinConfig) (*AnonJoinResult, error) {
 	endFacts := []engine.Fact{
 		fact("anon_path_backward_id", cv, datalog.Int64(linkID(endpoint-1))),
 		fact("anon_path_endpoint", cv, datalog.Bool(true)),
-		fact("anon_path_prevhop", cv, datalog.NodeV(core.NodeAddr(endpoint-1))),
+		fact("anon_path_prevhop", cv, datalog.NodeV(c.Addrs[endpoint-1])),
 	}
 	if _, err := c.Nodes[endpoint].WS.Assert(endFacts); err != nil {
 		return nil, fmt.Errorf("anonjoin: endpoint setup: %w", err)
@@ -236,6 +252,7 @@ func RunAnonJoin(cfg AnonJoinConfig) (*AnonJoinResult, error) {
 	c.AssertAt(0, ints)
 
 	dur := c.WaitFixpoint()
+	ok = true
 	return &AnonJoinResult{
 		Results:  len(c.Query(0, "result")),
 		Expected: cfg.Overlap,

@@ -3,6 +3,7 @@ package apps
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"secureblox/internal/core"
 	"secureblox/internal/datalog"
@@ -11,12 +12,12 @@ import (
 
 // wirePayload builds a raw message carrying one 'anonwrap payload with the
 // given link id and ciphertext, as an attacker could inject.
-func wirePayload(pred string, id int64, ct []byte) []byte {
+func wirePayload(c *core.Cluster, pred string, id int64, ct []byte) []byte {
 	p := wire.EncodePayload(wire.Payload{
 		Pred: pred,
 		Vals: datalog.Tuple{datalog.Int64(id), datalog.BytesV(ct)},
 	})
-	return wire.EncodeMessage(wire.Message{From: core.NodeAddr(0), Payloads: [][]byte{p}})
+	return wire.EncodeMessage(wire.Message{From: c.Addrs[0], Payloads: [][]byte{p}})
 }
 
 func TestAnonJoinCorrectness(t *testing.T) {
@@ -55,8 +56,8 @@ func TestAnonJoinEndpointDoesNotLearnInitiator(t *testing.T) {
 	}
 	defer res.Cluster.Stop()
 	endpoint := len(res.Cluster.Nodes) - 1
-	endAddr := core.NodeAddr(endpoint)
-	initAddr := core.NodeAddr(0)
+	endAddr := res.Cluster.Addrs[endpoint]
+	initAddr := res.Cluster.Addrs[0]
 
 	// Every export fact at the endpoint must name the predecessor relay as
 	// its source, never the initiator.
@@ -98,9 +99,9 @@ func TestAnonJoinRelaySeesOnlyCiphertext(t *testing.T) {
 	var toEndpoint, atRelay [][]byte
 	for _, tp := range relayExports {
 		switch tp[0].Str {
-		case core.NodeAddr(2):
+		case res.Cluster.Addrs[2]:
 			toEndpoint = append(toEndpoint, tp[2].Bytes)
-		case core.NodeAddr(1):
+		case res.Cluster.Addrs[1]:
 			atRelay = append(atRelay, tp[2].Bytes)
 		}
 	}
@@ -149,16 +150,24 @@ func TestAnonJoinGarbageCiphertextInert(t *testing.T) {
 	defer res.Cluster.Stop()
 	before := res.Results
 
-	garbage := wirePayload("anonwrap", 1000, []byte("not a valid onion ciphertext"))
-	evil := res.Cluster.Net.Endpoint("6.6.6.6:666")
-	res.Cluster.Net.AddWork(1)
-	if err := evil.Send(core.NodeAddr(1), garbage); err != nil {
+	garbage := wirePayload(res.Cluster, "anonwrap", 1000, []byte("not a valid onion ciphertext"))
+	evil := res.Cluster.MemNet().Endpoint("6.6.6.6:666")
+	processed := res.Cluster.Nodes[1].Metrics.MsgsProcessed()
+	if err := evil.Send(res.Cluster.Addrs[1], garbage); err != nil {
 		t.Fatal(err)
+	}
+	// Out-of-band injections are invisible to the termination detector, so
+	// wait for the relay to consume the datagram before settling.
+	deadline := time.Now().Add(10 * time.Second)
+	for res.Cluster.Nodes[1].Metrics.MsgsProcessed() < processed+1 {
+		if time.Now().After(deadline) {
+			t.Fatal("relay never consumed the injected datagram")
+		}
+		time.Sleep(time.Millisecond)
 	}
 	res.Cluster.WaitFixpoint()
 
 	if got := len(res.Cluster.Query(0, "result")); got != before {
 		t.Errorf("tampering changed results: %d -> %d", before, got)
 	}
-
 }

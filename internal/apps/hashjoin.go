@@ -55,6 +55,9 @@ type HashJoinConfig struct {
 	JoinValues int
 	Policy     core.PolicyConfig
 	Seed       int64
+	// Transport selects the cluster substrate ("", "mem" or "udp"); see
+	// core.NewNetwork.
+	Transport string
 }
 
 // DefaultHashJoinConfig returns the paper's workload parameters.
@@ -82,15 +85,28 @@ func RunHashJoin(cfg HashJoinConfig) (*HashJoinResult, error) {
 		return nil, fmt.Errorf("hashjoin: need at least one node")
 	}
 	cfg.Policy.Delegation = core.DelegateNone
+	net, err := core.NewNetwork(cfg.Transport)
+	if err != nil {
+		return nil, err
+	}
 	c, err := core.NewCluster(core.ClusterConfig{
 		N:      cfg.N,
 		Policy: cfg.Policy,
 		Query:  HashJoinQuery,
 		Seed:   cfg.Seed,
+		Net:    net,
 	})
 	if err != nil {
 		return nil, err
 	}
+	// On a setup failure below, release the cluster (sockets, goroutines)
+	// — the caller only Stops it on success.
+	ok := false
+	defer func() {
+		if !ok {
+			c.Stop()
+		}
+	}()
 
 	// Generate tables: join attribute drawn uniformly from JoinValues
 	// distinct values (randomized per trial, §8.2).
@@ -169,6 +185,7 @@ func RunHashJoin(cfg HashJoinConfig) (*HashJoinResult, error) {
 	for _, ts := range c.Nodes[0].Metrics.TxnCompletions() {
 		cdf.Add(ts.Sub(c.StartTime()))
 	}
+	ok = true
 	return &HashJoinResult{
 		Duration:      dur,
 		PerNodeKB:     c.MeanNodeTrafficKB(),

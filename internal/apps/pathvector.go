@@ -66,6 +66,10 @@ type PathVectorConfig struct {
 	AvgDegree float64
 	Policy    core.PolicyConfig
 	Seed      int64
+	// Transport selects the cluster substrate: "" or "mem" for the
+	// in-process network, "udp" for real loopback sockets (see
+	// core.NewNetwork). The scenario and its results are identical.
+	Transport string
 }
 
 // PathVectorResult carries the metrics of one run (paper §8.1).
@@ -85,24 +89,31 @@ type PathVectorResult struct {
 func RunPathVector(cfg PathVectorConfig) (*PathVectorResult, error) {
 	g := graph.RandomConnected(cfg.N, cfg.AvgDegree, cfg.Seed)
 	cfg.Policy.Delegation = core.DelegateNone // the query imports itself
+	net, err := core.NewNetwork(cfg.Transport)
+	if err != nil {
+		return nil, err
+	}
 	c, err := core.NewCluster(core.ClusterConfig{
 		N:      cfg.N,
 		Policy: cfg.Policy,
 		Query:  PathVectorQuery,
 		Seed:   cfg.Seed,
+		Net:    net,
 	})
 	if err != nil {
 		return nil, err
 	}
 	c.Start()
-	// Distribute initial links to all nodes simultaneously (§8.1).
+	// Distribute initial links to all nodes simultaneously (§8.1). Links
+	// are expressed over the endpoints' real addresses so the scenario is
+	// transport-agnostic.
 	for i := 0; i < cfg.N; i++ {
 		var facts []engine.Fact
-		me := datalog.NodeV(core.NodeAddr(i))
+		me := datalog.NodeV(c.Addrs[i])
 		for _, nb := range g.Neighbors(i) {
 			facts = append(facts, engine.Fact{
 				Pred:  "link",
-				Tuple: datalog.Tuple{me, datalog.NodeV(core.NodeAddr(nb))},
+				Tuple: datalog.Tuple{me, datalog.NodeV(c.Addrs[nb])},
 			})
 		}
 		if len(facts) > 0 {
@@ -126,12 +137,12 @@ func RunPathVector(cfg PathVectorConfig) (*PathVectorResult, error) {
 func (r *PathVectorResult) ValidateShortestPaths() error {
 	for i := 0; i < r.Graph.N; i++ {
 		truth := r.Graph.ShortestPaths(i)
-		me := datalog.NodeV(core.NodeAddr(i))
+		me := datalog.NodeV(r.Cluster.Addrs[i])
 		for j, want := range truth {
 			if j == i || want < 0 {
 				continue
 			}
-			got, ok := r.Cluster.Nodes[i].WS.LookupFn("bestcost", me, datalog.NodeV(core.NodeAddr(j)))
+			got, ok := r.Cluster.Nodes[i].WS.LookupFn("bestcost", me, datalog.NodeV(r.Cluster.Addrs[j]))
 			if !ok {
 				return fmt.Errorf("node %d: no bestcost to node %d (want %d)", i, j, want)
 			}

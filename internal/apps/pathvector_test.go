@@ -44,6 +44,42 @@ func TestPathVectorComputesShortestPaths(t *testing.T) {
 	}
 }
 
+func TestPathVectorOverUDP(t *testing.T) {
+	// The Figure 4 scenario over real loopback sockets: same protocol,
+	// same ground-truth shortest paths, termination detected purely via
+	// wire-level control messages across the reliable UDP layer.
+	res, err := RunPathVector(PathVectorConfig{N: 5, AvgDegree: 3, Seed: 3, Transport: "udp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Cluster.Stop()
+	if res.Violations != 0 {
+		t.Fatalf("violations: %v", res.Cluster.Violations()[:1])
+	}
+	if err := res.ValidateShortestPaths(); err != nil {
+		t.Fatal(err)
+	}
+	if res.PerNodeKB <= 0 {
+		t.Error("no traffic measured over UDP")
+	}
+}
+
+func TestHashJoinOverUDP(t *testing.T) {
+	res, err := RunHashJoin(HashJoinConfig{
+		N: 3, SizeA: 60, SizeB: 50, JoinValues: 12, Seed: 9, Transport: "udp",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Cluster.Stop()
+	if res.Violations != 0 {
+		t.Fatalf("violations: %v", res.Cluster.Violations()[:1])
+	}
+	if res.ResultCount != res.ExpectedCount {
+		t.Fatalf("join over UDP returned %d rows, want %d", res.ResultCount, res.ExpectedCount)
+	}
+}
+
 func TestPathVectorUnderRSA(t *testing.T) {
 	res, err := RunPathVector(PathVectorConfig{
 		N: 6, AvgDegree: 3, Seed: 4,

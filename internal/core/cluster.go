@@ -1,6 +1,7 @@
 package core
 
 import (
+	"crypto/rsa"
 	"fmt"
 	"time"
 
@@ -15,8 +16,9 @@ import (
 	"secureblox/internal/wire"
 )
 
-// ClusterConfig describes a distributed SecureBlox deployment over the
-// in-process simulated network.
+// ClusterConfig describes a distributed SecureBlox deployment over any
+// transport.Network — the in-process simulated network by default, real
+// UDP sockets via transport.NewUDPNetwork().
 type ClusterConfig struct {
 	// N is the number of SecureBlox instances (one principal each).
 	N int
@@ -37,21 +39,33 @@ type ClusterConfig struct {
 	// GrantWriteAccess, with Policy.Authorization, grants
 	// writeAccess[T](P) for every exportable T and cluster principal P.
 	GrantWriteAccess bool
+	// Net is the transport the cluster runs over. Nil means a fresh
+	// in-process MemNetwork. The cluster takes ownership: Stop closes it.
+	Net transport.Network
 }
 
-// Cluster is a set of SecureBlox nodes over one simulated network, plus
-// the compiled program they all run.
+// Cluster is a set of SecureBlox nodes over one network, plus the compiled
+// program they all run. Fixpoint detection is fully distributed: a
+// wire-level termination detector shares the nodes' transport and no
+// in-process state.
 type Cluster struct {
 	Cfg        ClusterConfig
-	Net        *transport.MemNetwork
+	Net        transport.Network
 	Nodes      []*dist.Node
 	Principals []string
-	Addrs      []string
-	Compiled   *generics.Result
+	// Addrs are the nodes' actual transport addresses (indexed like
+	// Nodes). Over memnet they equal NodeAddr(i); over real sockets they
+	// are whatever the endpoints bound, so always prefer Addrs over
+	// NodeAddr when building address-valued facts.
+	Addrs    []string
+	Compiled *generics.Result
 	// KeyStores holds each node's key material (indexed like Nodes), so
 	// applications can install additional keys (e.g. onion-circuit keys)
 	// before Start.
 	KeyStores []*seccrypto.KeyStore
+
+	det  *dist.Detector
+	pool *seccrypto.VerifyPool
 
 	started  bool
 	startAt  time.Time
@@ -61,21 +75,75 @@ type Cluster struct {
 // PrincipalName returns the i-th cluster principal's identity.
 func PrincipalName(i int) string { return fmt.Sprintf("p%d", i) }
 
-// NodeAddr returns the i-th node's simulated address.
+// NodeAddr returns the i-th node's address hint. Memnet honours it
+// verbatim; socket-backed networks bind their own address instead.
 func NodeAddr(i int) string { return fmt.Sprintf("10.0.0.%d:7000", i+1) }
 
-// NewCluster compiles the query with the policy via BloxGenerics, builds N
-// workspaces with per-node keystore-bound UDFs, installs the program, and
-// asserts the principal directory and key material.
+// detectorAddr is the address hint for the termination detector's own
+// endpoint, outside the NodeAddr range.
+const detectorAddr = "10.0.255.254:7999"
+
+// NewNetwork builds a transport.Network by name: "" or "mem" for the
+// in-process simulated network, "udp" for real loopback UDP sockets with
+// the reliable ack/retransmit layer. This is the single switch the
+// benchmark CLIs expose as -transport.
+func NewNetwork(name string) (transport.Network, error) {
+	switch name {
+	case "", "mem":
+		return transport.NewMemNetwork(), nil
+	case "udp":
+		return transport.NewUDPNetwork(), nil
+	default:
+		return nil, fmt.Errorf("core: unknown transport %q (want mem or udp)", name)
+	}
+}
+
+// NewCluster compiles the query with the policy via BloxGenerics, opens one
+// endpoint per node on the configured network (plus one for the
+// termination detector), builds N workspaces with per-node keystore-bound
+// UDFs, installs the program, and asserts the principal directory and key
+// material. The directory carries the endpoints' real bound addresses, so
+// the same scenario runs unchanged over memnet and UDP.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.N <= 0 {
 		return nil, fmt.Errorf("cluster: N must be positive, got %d", cfg.N)
 	}
-	c := &Cluster{Cfg: cfg, Net: transport.NewMemNetwork()}
-	for i := 0; i < cfg.N; i++ {
-		c.Principals = append(c.Principals, PrincipalName(i))
-		c.Addrs = append(c.Addrs, NodeAddr(i))
+	net := cfg.Net
+	if net == nil {
+		net = transport.NewMemNetwork()
 	}
+	c := &Cluster{Cfg: cfg, Net: net}
+	// On any construction error, release what was already acquired: the
+	// network owns every endpoint handed out (including the detector's),
+	// and the verify pool owns worker goroutines. Callers only get the
+	// error, so nothing else could clean these up.
+	built := false
+	defer func() {
+		if !built {
+			net.Close()
+			if c.pool != nil {
+				c.pool.Close()
+			}
+		}
+	}()
+
+	// Endpoints first: socket-backed networks only know their addresses
+	// after binding, and the principal directory must carry real ones.
+	var eps []transport.Transport
+	for i := 0; i < cfg.N; i++ {
+		ep, err := net.Listen(NodeAddr(i))
+		if err != nil {
+			return nil, fmt.Errorf("cluster: listen for node %d: %w", i, err)
+		}
+		eps = append(eps, ep)
+		c.Principals = append(c.Principals, PrincipalName(i))
+		c.Addrs = append(c.Addrs, ep.Addr())
+	}
+	detEp, err := net.Listen(detectorAddr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen for detector: %w", err)
+	}
+	c.det = dist.NewDetector(detEp, c.Addrs)
 
 	// Compile once: the program is identical on every node.
 	gc := generics.NewCompiler()
@@ -108,9 +176,17 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		exportables = append(exportables, t[0])
 	}
 
+	var preVerify func(string, [][]byte)
+	if cfg.Policy.Auth == AuthRSA {
+		c.pool = seccrypto.NewVerifyPool(0)
+		// Public key material is identical in every keystore, so one
+		// address→key map (and one shared hook) serves all nodes.
+		preVerify = c.preVerifier(ts.Stores[c.Principals[0]])
+	}
+
 	for i := 0; i < cfg.N; i++ {
 		ks := ts.Stores[c.Principals[i]]
-		reg, err := udf.NewRegistry(ks, seccrypto.NewDeterministicRand(cfg.Seed+2))
+		reg, err := udf.NewRegistryWithVerifier(ks, seccrypto.NewDeterministicRand(cfg.Seed+2), c.pool)
 		if err != nil {
 			return nil, err
 		}
@@ -122,13 +198,59 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		if err := c.assertSetup(ws, i, ks, exportables); err != nil {
 			return nil, fmt.Errorf("cluster: setup on node %d: %w", i, err)
 		}
-		ep := c.Net.Endpoint(c.Addrs[i])
-		n := dist.NewNode(c.Principals[i], ws, ep)
-		n.AddWork = c.Net.AddWork
+		n := dist.NewNode(c.Principals[i], ws, eps[i])
+		n.SetPeers(c.Addrs)
+		n.PreVerify = preVerify
 		c.Nodes = append(c.Nodes, n)
 		c.KeyStores = append(c.KeyStores, ks)
 	}
+	built = true
 	return c, nil
+}
+
+// preVerifier builds a node's inbound pre-verification hook: payloads from
+// a known peer address are decoded speculatively and their signatures
+// submitted to the shared worker pool against the claimed sender's public
+// key — the same key the sigRSA policy's verification constraint will look
+// up, so the cached result is exactly what the transaction consumes.
+// Encrypted or undecodable payloads are skipped; they verify inline inside
+// the transaction as before. This is an accelerator only: acceptance is
+// still decided by the compiled policy constraints.
+func (c *Cluster) preVerifier(ks *seccrypto.KeyStore) func(string, [][]byte) {
+	type pubEntry struct {
+		pub *rsa.PublicKey
+		der []byte
+	}
+	byAddr := make(map[string]pubEntry, len(c.Principals))
+	for j, p := range c.Principals {
+		der := ks.PublicKeyDER(p)
+		pub, err := ks.ParsePub(der)
+		if err != nil {
+			continue
+		}
+		byAddr[c.Addrs[j]] = pubEntry{pub: pub, der: der}
+	}
+	pool := c.pool
+	return func(from string, payloads [][]byte) {
+		pe, ok := byAddr[from]
+		if !ok {
+			return
+		}
+		for _, pl := range payloads {
+			p, err := wire.DecodePayload(pl)
+			if err != nil || len(p.Sig) == 0 {
+				continue
+			}
+			pool.Warm(pe.pub, pe.der, wire.SigData(p.Pred, p.Vals), p.Sig)
+		}
+	}
+}
+
+// MemNet returns the underlying MemNetwork when the cluster runs over the
+// simulated transport, nil otherwise. Tests use it for fault injection.
+func (c *Cluster) MemNet() *transport.MemNetwork {
+	m, _ := c.Net.(*transport.MemNetwork)
+	return m
 }
 
 // assertSetup installs the principal directory and per-scheme key material
@@ -189,7 +311,7 @@ func (c *Cluster) Start() {
 	}
 }
 
-// Stop shuts all nodes down.
+// Stop shuts all nodes, the detector and the network down.
 func (c *Cluster) Stop() {
 	if c.stopOnce {
 		return
@@ -198,32 +320,48 @@ func (c *Cluster) Stop() {
 	for _, n := range c.Nodes {
 		n.Stop()
 	}
+	c.det.Close()
+	c.Net.Close()
+	if c.pool != nil {
+		c.pool.Close()
+	}
 }
 
-// AssertAt enqueues base facts at node i (counted as outstanding work by
-// the node itself).
+// AssertAt enqueues base facts at node i.
 func (c *Cluster) AssertAt(i int, facts []engine.Fact) {
 	c.Nodes[i].Assert(facts)
 }
 
-// WaitFixpoint blocks until no node has outstanding work and no message is
-// in flight, returning the elapsed time since Start — the paper's fixpoint
-// latency metric.
+// RetractAt enqueues a base-fact retraction at node i.
+func (c *Cluster) RetractAt(i int, facts []engine.Fact) {
+	c.Nodes[i].Retract(facts)
+}
+
+// WaitFixpoint blocks until the wire-level termination detector proves
+// that no node has outstanding work and no message is in flight, returning
+// the elapsed time since Start — the paper's fixpoint latency metric. It
+// must not be called after Stop; if Stop races the wait and closes the
+// detector first, no fixpoint was proven and the returned duration is
+// zero rather than a fake measurement.
 func (c *Cluster) WaitFixpoint() time.Duration {
-	c.Net.WaitQuiescent()
+	if !c.det.Wait() {
+		return 0
+	}
 	return time.Since(c.startAt)
 }
 
 // StartTime returns the experiment start timestamp.
 func (c *Cluster) StartTime() time.Time { return c.startAt }
 
-// PerNodeTraffic returns, per node, the sum of bytes sent and received —
-// the paper's per-node communication overhead metric.
+// PerNodeTraffic returns, per node, the sum of application bytes sent and
+// received — the paper's per-node communication overhead metric. Control
+// traffic (termination probes, transport acks) is excluded, so the numbers
+// are comparable across transports.
 func (c *Cluster) PerNodeTraffic() []int64 {
 	out := make([]int64, len(c.Nodes))
-	for i, a := range c.Addrs {
-		s := c.Net.Stats(a)
-		out[i] = s.BytesSent + s.BytesRecv
+	for i, n := range c.Nodes {
+		tr := n.Metrics.Traffic()
+		out[i] = tr.BytesSent + tr.BytesRecv
 	}
 	return out
 }

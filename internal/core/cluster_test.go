@@ -1,12 +1,15 @@
 package core
 
 import (
+	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"secureblox/internal/datalog"
 	"secureblox/internal/engine"
+	"secureblox/internal/transport"
 	"secureblox/internal/wire"
 )
 
@@ -26,23 +29,29 @@ const reachableQuery = `
 		link(Z, X), principal_node[U]=X, U != self[].
 `
 
-// buildChain creates an N-node cluster and asserts symmetric chain links.
-func buildChain(t *testing.T, n int, policy PolicyConfig) *Cluster {
+// buildChainOn creates an N-node cluster over the given network and
+// asserts symmetric chain links between the nodes' real addresses.
+func buildChainOn(t *testing.T, n int, policy PolicyConfig, net transport.Network) *Cluster {
 	t.Helper()
-	c, err := NewCluster(ClusterConfig{N: n, Policy: policy, Query: reachableQuery, Seed: 7})
+	c, err := NewCluster(ClusterConfig{N: n, Policy: policy, Query: reachableQuery, Seed: 7, Net: net})
 	if err != nil {
 		t.Fatalf("NewCluster: %v", err)
 	}
 	c.Start()
 	for i := 0; i < n-1; i++ {
-		a, b := datalog.NodeV(NodeAddr(i)), datalog.NodeV(NodeAddr(i+1))
+		a, b := datalog.NodeV(c.Addrs[i]), datalog.NodeV(c.Addrs[i+1])
 		c.AssertAt(i, []engine.Fact{{Pred: "link", Tuple: datalog.Tuple{a, b}}})
 		c.AssertAt(i+1, []engine.Fact{{Pred: "link", Tuple: datalog.Tuple{b, a}}})
 	}
 	return c
 }
 
-// waitFixpoint bounds WaitFixpoint so an accounting bug fails the test
+func buildChain(t *testing.T, n int, policy PolicyConfig) *Cluster {
+	t.Helper()
+	return buildChainOn(t, n, policy, nil)
+}
+
+// waitFixpoint bounds WaitFixpoint so a detection bug fails the test
 // instead of hanging it.
 func waitFixpoint(t *testing.T, c *Cluster) time.Duration {
 	t.Helper()
@@ -57,6 +66,20 @@ func waitFixpoint(t *testing.T, c *Cluster) time.Duration {
 	}
 }
 
+// waitProcessed polls until node i has consumed at least want inbound
+// datagrams — used to synchronize with out-of-band injections, which the
+// termination detector deliberately does not track.
+func waitProcessed(t *testing.T, c *Cluster, i int, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Nodes[i].Metrics.MsgsProcessed() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("node %d processed %d messages, want %d", i, c.Nodes[i].Metrics.MsgsProcessed(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 // checkFullReachability verifies that every node has learned a route from
 // itself to every other node (self-loops via symmetric links also exist and
 // are excluded from the count).
@@ -65,7 +88,7 @@ func checkFullReachability(t *testing.T, c *Cluster, n int) {
 	for i := 0; i < n; i++ {
 		dests := map[string]bool{}
 		for _, tp := range c.Query(i, "reachable") {
-			if tp[0].Str == NodeAddr(i) && tp[1].Str != NodeAddr(i) {
+			if tp[0].Str == c.Addrs[i] && tp[1].Str != c.Addrs[i] {
 				dests[tp[1].Str] = true
 			}
 		}
@@ -99,6 +122,57 @@ func TestDistributedReachableAllSchemes(t *testing.T) {
 	}
 }
 
+// TestClusterOverUDPMatchesMemnet is the acceptance check for the
+// transport-agnostic driver: the same scenario, run over the in-process
+// network and over real UDP loopback sockets, reaches the same fixpoint —
+// with termination detected purely via wire-level control messages in both
+// cases.
+func TestClusterOverUDPMatchesMemnet(t *testing.T) {
+	const n = 3
+	for _, p := range []PolicyConfig{{Auth: AuthNone}, {Auth: AuthRSA}} {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			// relabel maps each cluster's concrete addresses onto stable
+			// node indices so results are comparable across transports.
+			relabel := func(c *Cluster) []string {
+				idx := map[string]string{}
+				for i, a := range c.Addrs {
+					idx[a] = PrincipalName(i)
+				}
+				var out []string
+				for i := 0; i < n; i++ {
+					for _, tp := range c.Query(i, "reachable") {
+						out = append(out, idx[tp[0].Str]+"->"+idx[tp[1].Str]+"@"+PrincipalName(i))
+					}
+				}
+				sort.Strings(out)
+				return out
+			}
+			mem := buildChainOn(t, n, p, nil)
+			defer mem.Stop()
+			waitFixpoint(t, mem)
+
+			udp := buildChainOn(t, n, p, transport.NewUDPNetwork())
+			defer udp.Stop()
+			waitFixpoint(t, udp)
+
+			if v := append(mem.Violations(), udp.Violations()...); len(v) != 0 {
+				t.Fatalf("violations: %v", v)
+			}
+			checkFullReachability(t, udp, n)
+			got, want := relabel(udp), relabel(mem)
+			if len(got) != len(want) {
+				t.Fatalf("udp derived %d reachable facts, memnet %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("fixpoint mismatch at %d: udp %s, memnet %s", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
 func TestBandwidthOrderingAcrossSchemes(t *testing.T) {
 	traffic := map[string]float64{}
 	for _, p := range []PolicyConfig{{Auth: AuthNone}, {Auth: AuthHMAC}, {Auth: AuthRSA}} {
@@ -117,6 +191,7 @@ func TestForgedSignatureRejectedUnderRSA(t *testing.T) {
 	defer c.Stop()
 	waitFixpoint(t, c)
 	before := len(c.Query(0, "reachable"))
+	processed := c.Nodes[0].Metrics.MsgsProcessed()
 
 	// An attacker forges an advertisement claiming to come from p1's node
 	// with a bogus signature and delivers it straight to node 0's endpoint.
@@ -127,12 +202,12 @@ func TestForgedSignatureRejectedUnderRSA(t *testing.T) {
 		Sig:  []byte("forged signature bytes"),
 		Vals: datalog.Tuple{datalog.NodeV("6.6.6.6:666"), datalog.NodeV("6.6.6.6:666")},
 	})
-	evil := c.Net.Endpoint("6.6.6.6:666")
-	c.Net.AddWork(1)
-	msg := wire.EncodeMessage(wire.Message{From: NodeAddr(1), Payloads: [][]byte{forged}})
-	if err := evil.Send(NodeAddr(0), msg); err != nil {
+	evil := c.MemNet().Endpoint("6.6.6.6:666")
+	msg := wire.EncodeMessage(wire.Message{From: c.Addrs[1], Payloads: [][]byte{forged}})
+	if err := evil.Send(c.Addrs[0], msg); err != nil {
 		t.Fatal(err)
 	}
+	waitProcessed(t, c, 0, processed+1)
 	waitFixpoint(t, c)
 
 	if len(c.Nodes[0].Violations()) != 1 {
@@ -155,17 +230,18 @@ func TestForgedAdvertisementAcceptedUnderNoAuth(t *testing.T) {
 	c := buildChain(t, 3, PolicyConfig{Auth: AuthNone})
 	defer c.Stop()
 	waitFixpoint(t, c)
+	processed := c.Nodes[0].Metrics.MsgsProcessed()
 
 	forged := wire.EncodePayload(wire.Payload{
 		Pred: "reachable",
-		Vals: datalog.Tuple{datalog.NodeV(NodeAddr(1)), datalog.NodeV("6.6.6.6:666")},
+		Vals: datalog.Tuple{datalog.NodeV(c.Addrs[1]), datalog.NodeV("6.6.6.6:666")},
 	})
-	evil := c.Net.Endpoint("6.6.6.6:666")
-	c.Net.AddWork(1)
-	msg := wire.EncodeMessage(wire.Message{From: NodeAddr(1), Payloads: [][]byte{forged}})
-	if err := evil.Send(NodeAddr(0), msg); err != nil {
+	evil := c.MemNet().Endpoint("6.6.6.6:666")
+	msg := wire.EncodeMessage(wire.Message{From: c.Addrs[1], Payloads: [][]byte{forged}})
+	if err := evil.Send(c.Addrs[0], msg); err != nil {
 		t.Fatal(err)
 	}
+	waitProcessed(t, c, 0, processed+1)
 	waitFixpoint(t, c)
 
 	found := false
@@ -190,17 +266,18 @@ func TestMessageFromUnknownNodeIgnored(t *testing.T) {
 	defer c.Stop()
 	waitFixpoint(t, c)
 	before := len(c.Query(0, "reachable"))
+	processed := c.Nodes[0].Metrics.MsgsProcessed()
 
 	forged := wire.EncodePayload(wire.Payload{
 		Pred: "reachable",
-		Vals: datalog.Tuple{datalog.NodeV(NodeAddr(1)), datalog.NodeV("6.6.6.6:666")},
+		Vals: datalog.Tuple{datalog.NodeV(c.Addrs[1]), datalog.NodeV("6.6.6.6:666")},
 	})
-	evil := c.Net.Endpoint("6.6.6.6:666")
-	c.Net.AddWork(1)
+	evil := c.MemNet().Endpoint("6.6.6.6:666")
 	msg := wire.EncodeMessage(wire.Message{From: "6.6.6.6:666", Payloads: [][]byte{forged}})
-	if err := evil.Send(NodeAddr(0), msg); err != nil {
+	if err := evil.Send(c.Addrs[0], msg); err != nil {
 		t.Fatal(err)
 	}
+	waitProcessed(t, c, 0, processed+1)
 	waitFixpoint(t, c)
 	if got := len(c.Query(0, "reachable")); got != before {
 		t.Errorf("message from unknown node changed reachable: %d -> %d", before, got)
@@ -209,30 +286,41 @@ func TestMessageFromUnknownNodeIgnored(t *testing.T) {
 
 func TestEncryptedPayloadsAreOpaque(t *testing.T) {
 	// With AES the wire bytes must not contain the plaintext payload
-	// structure (predicate name "reachable").
+	// structure (predicate name "reachable"). Control probes flow over the
+	// same network, so only data messages are inspected.
+	var deliverMu sync.Mutex
 	var sawPlain, sawMsgs bool
-	c, err := NewCluster(ClusterConfig{N: 3, Policy: PolicyConfig{Auth: AuthNone, Encrypt: true}, Query: reachableQuery, Seed: 9})
-	if err != nil {
-		t.Fatal(err)
-	}
-	c.Net.OnDeliver = func(_, _ string, data []byte) {
+	net := transport.NewMemNetwork()
+	net.OnDeliver = func(_, _ string, data []byte) {
+		if msg, err := wire.DecodeMessage(data); err != nil || msg.Kind != wire.MsgData {
+			return
+		}
+		deliverMu.Lock()
+		defer deliverMu.Unlock()
 		sawMsgs = true
 		if strings.Contains(string(data), "reachable") {
 			sawPlain = true
 		}
 	}
+	c, err := NewCluster(ClusterConfig{N: 3, Policy: PolicyConfig{Auth: AuthNone, Encrypt: true}, Query: reachableQuery, Seed: 9, Net: net})
+	if err != nil {
+		t.Fatal(err)
+	}
 	c.Start()
 	for i := 0; i < 2; i++ {
-		a, b := datalog.NodeV(NodeAddr(i)), datalog.NodeV(NodeAddr(i+1))
+		a, b := datalog.NodeV(c.Addrs[i]), datalog.NodeV(c.Addrs[i+1])
 		c.AssertAt(i, []engine.Fact{{Pred: "link", Tuple: datalog.Tuple{a, b}}})
 		c.AssertAt(i+1, []engine.Fact{{Pred: "link", Tuple: datalog.Tuple{b, a}}})
 	}
 	defer c.Stop()
 	waitFixpoint(t, c)
-	if !sawMsgs {
+	deliverMu.Lock()
+	gotMsgs, gotPlain := sawMsgs, sawPlain
+	deliverMu.Unlock()
+	if !gotMsgs {
 		t.Fatal("no messages observed")
 	}
-	if sawPlain {
+	if gotPlain {
 		t.Error("AES-encrypted payloads leaked plaintext predicate names")
 	}
 	if len(c.Violations()) != 0 {
@@ -240,6 +328,24 @@ func TestEncryptedPayloadsAreOpaque(t *testing.T) {
 	}
 	if got := len(c.Query(0, "reachable")); got == 0 {
 		t.Error("encrypted pipeline derived nothing")
+	}
+}
+
+func TestRetractionPrunesClusterSentSets(t *testing.T) {
+	// Cluster-level retraction: dropping a link retracts the derived
+	// advertisements, and the nodes' export-dedup sets shrink with the
+	// export extent instead of growing forever (ROADMAP follow-up).
+	c := buildChain(t, 3, PolicyConfig{Auth: AuthNone})
+	defer c.Stop()
+	waitFixpoint(t, c)
+	if c.Nodes[0].SentSetSize() == 0 {
+		t.Fatal("node 0 shipped nothing")
+	}
+	a, b := datalog.NodeV(c.Addrs[0]), datalog.NodeV(c.Addrs[1])
+	c.RetractAt(0, []engine.Fact{{Pred: "link", Tuple: datalog.Tuple{a, b}}})
+	waitFixpoint(t, c)
+	if got := c.Nodes[0].SentSetSize(); got != 0 {
+		t.Errorf("node 0 sent-set not pruned after losing its only link: %d entries", got)
 	}
 }
 
@@ -259,7 +365,7 @@ func TestAuthorizationWriteAccess(t *testing.T) {
 	}
 	c.Start()
 	defer c.Stop()
-	a, b := datalog.NodeV(NodeAddr(0)), datalog.NodeV(NodeAddr(1))
+	a, b := datalog.NodeV(c.Addrs[0]), datalog.NodeV(c.Addrs[1])
 	c.AssertAt(0, []engine.Fact{{Pred: "link", Tuple: datalog.Tuple{a, b}}})
 	c.AssertAt(1, []engine.Fact{{Pred: "link", Tuple: datalog.Tuple{b, a}}})
 	waitFixpoint(t, c)
@@ -275,8 +381,9 @@ func TestAuthorizationWriteAccess(t *testing.T) {
 	}
 	c2.Start()
 	defer c2.Stop()
-	c2.AssertAt(0, []engine.Fact{{Pred: "link", Tuple: datalog.Tuple{a, b}}})
-	c2.AssertAt(1, []engine.Fact{{Pred: "link", Tuple: datalog.Tuple{b, a}}})
+	a2, b2 := datalog.NodeV(c2.Addrs[0]), datalog.NodeV(c2.Addrs[1])
+	c2.AssertAt(0, []engine.Fact{{Pred: "link", Tuple: datalog.Tuple{a2, b2}}})
+	c2.AssertAt(1, []engine.Fact{{Pred: "link", Tuple: datalog.Tuple{b2, a2}}})
 	waitFixpoint(t, c2)
 	if v := c2.Violations(); len(v) != 0 {
 		t.Fatalf("granted cluster should not violate: %v", v)

@@ -13,13 +13,16 @@
 // message transaction back, which the node records and exposes via
 // Violations.
 //
-// Work accounting: the node participates in distributed fixpoint detection
-// by calling its AddWork hook with +1 for every queued local assertion
-// batch and every message it puts on the wire, and -1 once the
-// corresponding work item has been fully processed. Wiring AddWork to
-// transport.MemNetwork.AddWork makes MemNetwork.WaitQuiescent block until
-// no transaction is outstanding and no message is in flight anywhere —
-// the paper's global fixpoint ("no new facts are derived by any node").
+// Termination: there is no shared work counter. Each node keeps monotone
+// counters of the application messages it has shipped to and fully
+// processed from its cluster peers, and answers wire-level termination
+// probes with a snapshot of those counters plus whether local work is
+// queued. A Detector broadcasts probe waves over the same transport the
+// data uses; two consecutive all-passive waves with identical, balanced
+// counter sums prove the distributed fixpoint ("no new facts are derived
+// by any node") — over the in-process memnet and over real UDP alike,
+// where the reliable layer's retransmissions keep the counters honest
+// under datagram loss.
 package dist
 
 // ExportDecl is the BloxGenerics source declaring the export relation the

@@ -7,23 +7,36 @@ import (
 	"secureblox/internal/wire"
 )
 
-// handleMessage applies one inbound wire message as one workspace
-// transaction: every payload becomes an export(self, from, Pkt) base fact,
-// and the compiled policy rules take it from there (decrypt, deserialize,
-// verify, import). The claimed source address in the message — not the
-// transport-level sender — binds L, because authentication is the
+// handleMessage consumes one inbound datagram. Control messages are
+// answered in line (see handleProbe); data messages are applied as one
+// workspace transaction: every payload becomes an export(self, from, Pkt)
+// base fact, and the compiled policy rules take it from there (decrypt,
+// deserialize, verify, import). The claimed source address in the message —
+// not the transport-level sender — binds L, because authentication is the
 // policy's job: under NoAuth a forged claim is accepted by design, under
 // HMAC/RSA the signature constraints reject it and the whole message rolls
 // back as a recorded violation.
 //
 // One message is one transaction (the sender committed it as one batch),
 // so a rejected forgery cannot roll back unrelated traffic.
-func (n *Node) handleMessage(in transport.InMsg) {
-	msg, err := wire.DecodeMessage(in.Data)
-	if err != nil || len(msg.Payloads) == 0 {
-		n.AddWork(-1) // malformed or empty datagram: drop it
+//
+// The termination counter, by contrast, keys on the transport-level sender:
+// only datagrams from counted peers contribute to recv, mirroring how only
+// sends to counted peers contribute to sent. Counting happens whether or
+// not the message decodes, so peer counters stay balanced.
+func (n *Node) handleMessage(in transport.InMsg, msg wire.Message, err error) {
+	if err == nil && msg.Kind == wire.MsgControl {
+		n.handleProbe(in.From, msg)
 		return
 	}
+	if n.countsPeer(in.From) {
+		n.ctrRecv.Add(1)
+	}
+	n.Metrics.RecordMsgProcessed()
+	if err != nil || len(msg.Payloads) == 0 {
+		return // malformed or empty datagram: drop it
+	}
+	n.Metrics.RecordRecv(len(in.Data))
 	self := datalog.NodeV(n.localAddr())
 	from := datalog.NodeV(msg.From)
 	facts := make([]engine.Fact, 0, len(msg.Payloads))
@@ -33,5 +46,35 @@ func (n *Node) handleMessage(in transport.InMsg) {
 			Tuple: datalog.Tuple{self, from, datalog.BytesV(p)},
 		})
 	}
-	n.commit(facts, 1)
+	n.commit(facts)
+}
+
+// handleProbe answers a termination-detection probe with a local snapshot:
+// the monotone peer-message counters plus whether local work is queued.
+// Because probes are served by the transaction loop itself, a report is
+// always taken between transactions, never mid-commit.
+func (n *Node) handleProbe(replyTo string, msg wire.Message) {
+	if len(msg.Payloads) != 1 {
+		return
+	}
+	c, err := wire.DecodeControl(msg.Payloads[0])
+	if err != nil || c.Type != wire.CtrlProbe {
+		return
+	}
+	n.mu.Lock()
+	active := len(n.pending) > 0
+	n.mu.Unlock()
+	report := wire.Control{
+		Type:   wire.CtrlReport,
+		Wave:   c.Wave,
+		Sent:   n.ctrSent.Load(),
+		Recv:   n.ctrRecv.Load(),
+		Active: active,
+	}
+	data := wire.EncodeMessage(wire.Message{
+		Kind:     wire.MsgControl,
+		From:     n.localAddr(),
+		Payloads: [][]byte{wire.EncodeControl(report)},
+	})
+	_ = n.ep.Send(replyTo, data) // best effort: the detector re-probes
 }

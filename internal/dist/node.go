@@ -2,12 +2,14 @@ package dist
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"secureblox/internal/datalog"
 	"secureblox/internal/engine"
 	"secureblox/internal/metrics"
 	"secureblox/internal/transport"
+	"secureblox/internal/wire"
 )
 
 // Node is one SecureBlox instance: a principal identity, the workspace
@@ -20,18 +22,20 @@ type Node struct {
 	// WS is the node's workspace. It must already have the compiled
 	// program installed; the loop is its only writer once Start is called.
 	WS *engine.Workspace
-	// Metrics accumulates transaction durations, violations and activity
-	// timestamps for the evaluation figures.
+	// Metrics accumulates transaction durations, violations, traffic and
+	// activity timestamps for the evaluation figures.
 	Metrics *metrics.NodeMetrics
-	// AddWork is the distributed work-accounting hook (see the package
-	// comment). It defaults to a no-op; the cluster driver wires it to
-	// transport.MemNetwork.AddWork. It must be safe for concurrent use.
-	AddWork func(delta int64)
+	// PreVerify, if set, is called for every inbound data message before
+	// the transaction loop processes it, with the claimed source address
+	// and the opaque payloads. The cluster driver uses it to warm a
+	// signature-verification worker pool while earlier transactions are
+	// still committing; it must be cheap and must not block.
+	PreVerify func(from string, payloads [][]byte)
 
 	ep transport.Transport
 
 	mu         sync.Mutex
-	pending    [][]engine.Fact
+	pending    []batch
 	violations []error
 	stopped    bool
 
@@ -42,9 +46,26 @@ type Node struct {
 	startOnce sync.Once
 	stopOnce  sync.Once
 
+	// Termination-detection state. The counters are monotone counts of
+	// application messages exchanged with cluster peers; they are written
+	// only by the loop goroutine but read by external inspectors, hence
+	// atomics. peers is fixed before Start.
+	peers   map[string]bool
+	ctrSent atomic.Uint64
+	ctrRecv atomic.Uint64
+
 	// Loop-goroutine-only state (no locking needed).
 	sent     map[string]bool // export tuple keys already shipped
 	selfAddr string          // cached principal_node[self] address
+
+	sentSize atomic.Int64 // mirror of len(sent) for external inspection
+}
+
+// batch is one queued unit of local work: a transaction's base facts,
+// either asserted or retracted.
+type batch struct {
+	facts   []engine.Fact
+	retract bool
 }
 
 // NewNode builds a node over an installed workspace and an open endpoint.
@@ -54,13 +75,41 @@ func NewNode(principal string, ws *engine.Workspace, ep transport.Transport) *No
 		Principal: principal,
 		WS:        ws,
 		Metrics:   &metrics.NodeMetrics{},
-		AddWork:   func(int64) {},
 		ep:        ep,
 		wake:      make(chan struct{}, 1),
 		stopCh:    make(chan struct{}),
 		sent:      make(map[string]bool),
 	}
 }
+
+// SetPeers fixes the cluster membership this node's termination counters
+// cover: only application messages to and from these transport addresses
+// are counted, so traffic injected by out-of-band endpoints (which has no
+// counted sender) cannot wedge detection. It must be called before Start.
+// With no peer set, every address counts.
+func (n *Node) SetPeers(addrs []string) {
+	n.peers = make(map[string]bool, len(addrs))
+	for _, a := range addrs {
+		n.peers[a] = true
+	}
+}
+
+// countsPeer reports whether traffic with addr participates in the
+// termination counters.
+func (n *Node) countsPeer(addr string) bool {
+	return n.peers == nil || n.peers[addr]
+}
+
+// Counters returns the node's termination-detection counters: cumulative
+// application messages shipped to and processed from cluster peers.
+func (n *Node) Counters() (sent, recv uint64) {
+	return n.ctrSent.Load(), n.ctrRecv.Load()
+}
+
+// SentSetSize returns the current size of the export-dedup set — the
+// retraction-aware pruning keeps it proportional to the live export extent
+// rather than to everything ever shipped.
+func (n *Node) SentSetSize() int { return int(n.sentSize.Load()) }
 
 // Start launches the transaction loop. It is idempotent.
 func (n *Node) Start() {
@@ -70,41 +119,42 @@ func (n *Node) Start() {
 	})
 }
 
-// Stop shuts the loop down, releases any still-queued work, and closes the
-// endpoint. It is idempotent and returns once the loop goroutine is gone.
+// Stop shuts the loop down, discards any still-queued work, and closes the
+// endpoint. It is idempotent and returns once all node goroutines are gone.
+// A stopped node no longer answers termination probes, so WaitFixpoint
+// must not be called for a cluster with stopped members.
 func (n *Node) Stop() {
 	n.stopOnce.Do(func() { close(n.stopCh) })
-	n.wg.Wait()
-	// If the loop ran, shutdown() already did this and the queue is
-	// empty; if the node was never Started, the queued work must still
-	// be released here or WaitQuiescent wedges.
 	n.mu.Lock()
 	n.stopped = true
-	dropped := int64(len(n.pending))
 	n.pending = nil
 	n.mu.Unlock()
-	if dropped > 0 {
-		n.AddWork(-dropped)
-	}
+	n.wg.Wait()
 	n.ep.Close()
 }
 
 // Assert enqueues a batch of base facts for the loop to apply as (part of)
-// a local transaction. The batch counts as outstanding work until applied.
-// Asserting against a stopped node drops the batch: the work count is
-// released again so late callers cannot wedge quiescence detection.
+// a local transaction. Asserting against a stopped node drops the batch.
 func (n *Node) Assert(facts []engine.Fact) {
-	// The increment must precede making the batch visible to the loop, so
-	// the global work counter can never dip to zero between enqueue and
-	// processing.
-	n.AddWork(1)
+	n.enqueue(batch{facts: facts})
+}
+
+// Retract enqueues a batch of base facts for the loop to retract as one
+// transaction. Derived data is maintained incrementally (DRed), and export
+// tuples that are no longer derivable are pruned from the shipped-set, so
+// a later re-derivation ships again. Retractions are local: no
+// anti-message is sent for tuples already shipped.
+func (n *Node) Retract(facts []engine.Fact) {
+	n.enqueue(batch{facts: facts, retract: true})
+}
+
+func (n *Node) enqueue(b batch) {
 	n.mu.Lock()
 	if n.stopped {
 		n.mu.Unlock()
-		n.AddWork(-1)
 		return
 	}
-	n.pending = append(n.pending, facts)
+	n.pending = append(n.pending, b)
 	n.mu.Unlock()
 	select {
 	case n.wake <- struct{}{}:
@@ -120,34 +170,101 @@ func (n *Node) Violations() []error {
 	return append([]error(nil), n.violations...)
 }
 
-// run is the per-node transaction loop of §5.2: drain local assertion
-// batches and inbound messages, apply each as an ACID workspace
-// transaction, and ship the export delta of successful commits.
+// envelope is one inbound datagram plus its (single) wire decode.
+type envelope struct {
+	in  transport.InMsg
+	msg wire.Message
+	err error
+}
+
+// run is the per-node transaction loop of §5.2: drain local batches and
+// inbound messages, apply each as an ACID workspace transaction, and ship
+// the export delta of successful commits. Termination probes arrive on the
+// same channel as data and are answered in line, which guarantees a probe
+// reply is always a between-transactions snapshot.
 func (n *Node) run() {
 	defer n.wg.Done()
-	recv := n.ep.Receive()
+	// With a PreVerify hook the pump stage decodes each datagram (once)
+	// and pre-warms signature checks; without it the loop decodes inline.
+	var rawCh <-chan transport.InMsg
+	var envCh <-chan envelope
+	if n.PreVerify != nil {
+		envCh = n.pump(n.ep.Receive())
+	} else {
+		rawCh = n.ep.Receive()
+	}
 	for {
 		select {
 		case <-n.stopCh:
-			n.shutdown(recv)
+			// Closing the endpoint ends the receive stream; drain what
+			// was already queued so the transport's delivery goroutine
+			// (blocked handing us the next datagram) can exit too.
+			n.ep.Close()
+			if rawCh != nil {
+				for range rawCh {
+				}
+			}
+			if envCh != nil {
+				for range envCh {
+				}
+			}
 			return
 		case <-n.wake:
 			n.drainLocal()
-		case msg, ok := <-recv:
+		case m, ok := <-rawCh:
 			if !ok {
 				// Endpoint closed underneath us; serve local work
 				// until Stop.
-				recv = nil
+				rawCh = nil
 				continue
 			}
-			n.handleMessage(msg)
+			msg, err := wire.DecodeMessage(m.Data)
+			n.handleMessage(m, msg, err)
+		case e, ok := <-envCh:
+			if !ok {
+				envCh = nil
+				continue
+			}
+			n.handleMessage(e.in, e.msg, e.err)
 		}
 	}
 }
 
-// drainLocal applies the queued local batches. Multiple batches are
-// coalesced into one workspace transaction (batching amortizes fixpoint
-// and constraint sweeps, paper footnote 2) — but if the merged
+// pump is the inbound pre-verification stage: it decodes and forwards
+// datagrams to the loop in order, handing data-message payloads to
+// PreVerify first so signature checks overlap with transactions still
+// committing.
+func (n *Node) pump(in <-chan transport.InMsg) <-chan envelope {
+	out := make(chan envelope, 16)
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		// On an early exit (Stop mid-computation) keep draining the
+		// endpoint until it closes, so the transport's delivery
+		// goroutine is released rather than left blocked forever.
+		defer func() {
+			for range in {
+			}
+		}()
+		defer close(out)
+		for m := range in {
+			msg, err := wire.DecodeMessage(m.Data)
+			if err == nil && msg.Kind == wire.MsgData {
+				n.PreVerify(msg.From, msg.Payloads)
+			}
+			select {
+			case out <- envelope{in: m, msg: msg, err: err}:
+			case <-n.stopCh:
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// drainLocal applies the queued local batches in order. Runs of same-kind
+// batches are coalesced into one workspace transaction (batching amortizes
+// fixpoint and constraint sweeps, paper footnote 2) — but if the merged
 // transaction is rejected, each batch is retried in isolation so one bad
 // batch cannot roll back unrelated valid ones.
 func (n *Node) drainLocal() {
@@ -155,50 +272,120 @@ func (n *Node) drainLocal() {
 	batches := n.pending
 	n.pending = nil
 	n.mu.Unlock()
-	switch len(batches) {
-	case 0:
-		return
-	case 1:
-		n.commit(batches[0], 1)
-		return
+	for i := 0; i < len(batches); {
+		j := i
+		for j < len(batches) && batches[j].retract == batches[i].retract {
+			j++
+		}
+		if batches[i].retract {
+			n.retractRun(batches[i:j])
+		} else {
+			n.commitRun(batches[i:j])
+		}
+		i = j
 	}
+}
+
+// mergeFacts concatenates a run's batches into one fact slice.
+func mergeFacts(run []batch) []engine.Fact {
 	total := 0
-	for _, b := range batches {
-		total += len(b)
+	for _, b := range run {
+		total += len(b.facts)
 	}
 	facts := make([]engine.Fact, 0, total)
-	for _, b := range batches {
-		facts = append(facts, b...)
+	for _, b := range run {
+		facts = append(facts, b.facts...)
+	}
+	return facts
+}
+
+// commitRun commits a run of assertion batches, merged when possible.
+func (n *Node) commitRun(run []batch) {
+	if len(run) == 1 {
+		n.commit(run[0].facts)
+		return
 	}
 	start := time.Now()
-	res, err := n.WS.Assert(facts)
+	res, err := n.WS.Assert(mergeFacts(run))
 	if err == nil {
 		n.Metrics.RecordTxn(time.Since(start))
 		n.ship(res.Inserted["export"])
-		n.AddWork(int64(-len(batches)))
 		return
 	}
-	for _, b := range batches {
-		n.commit(b, 1)
+	for _, b := range run {
+		n.commit(b.facts)
 	}
 }
 
 // commit runs one transaction over the workspace. On success the export
 // delta is shipped; on rejection the violation is recorded (the workspace
-// has already rolled the whole batch back). Either way the consumed work
-// units are released — but only after any outgoing messages have been
-// counted, so the global work counter can never dip to zero while this
-// node still owes traffic.
-func (n *Node) commit(facts []engine.Fact, units int64) {
+// has already rolled the whole batch back).
+func (n *Node) commit(facts []engine.Fact) {
 	start := time.Now()
 	res, err := n.WS.Assert(facts)
 	if err != nil {
 		n.recordViolation(err)
-	} else {
-		n.Metrics.RecordTxn(time.Since(start))
-		n.ship(res.Inserted["export"])
+		return
 	}
-	n.AddWork(-units)
+	n.Metrics.RecordTxn(time.Since(start))
+	n.ship(res.Inserted["export"])
+}
+
+// retractRun retracts a run of batches, merged when possible (with the
+// same per-batch isolation fallback as commitRun), then reconciles the
+// export state once for the whole run.
+func (n *Node) retractRun(run []batch) {
+	applied := false
+	if len(run) == 1 {
+		applied = n.retractOnce(run[0].facts)
+	} else {
+		start := time.Now()
+		if err := n.WS.Retract(mergeFacts(run)); err == nil {
+			n.Metrics.RecordTxn(time.Since(start))
+			applied = true
+		} else {
+			for _, b := range run {
+				applied = n.retractOnce(b.facts) || applied
+			}
+		}
+	}
+	if applied {
+		n.syncExports()
+	}
+}
+
+// retractOnce removes one batch's base facts in a single transaction.
+func (n *Node) retractOnce(facts []engine.Fact) bool {
+	start := time.Now()
+	if err := n.WS.Retract(facts); err != nil {
+		n.recordViolation(err)
+		return false
+	}
+	n.Metrics.RecordTxn(time.Since(start))
+	return true
+}
+
+// syncExports reconciles shipping state with the post-retraction export
+// extent in one scan. Dedup entries whose tuple is no longer derivable are
+// dropped, so the set tracks the live extent instead of growing without
+// bound (ROADMAP follow-up). The live extent is then re-offered to ship:
+// DRed rederivation through aggregates or negation can derive
+// advertisements that did not exist before the retraction (e.g. losing
+// the best route promotes the second-best), and ship's dedup sends
+// exactly those while skipping everything already on the wire.
+func (n *Node) syncExports() {
+	tuples := n.WS.Tuples("export")
+	live := make(map[string]bool, len(tuples))
+	for _, t := range tuples {
+		live[t.Key()] = true
+	}
+	for k := range n.sent {
+		if !live[k] {
+			delete(n.sent, k)
+		}
+	}
+	n.sentSize.Store(int64(len(n.sent)))
+	n.ship(tuples)
 }
 
 // recordViolation registers one rejected batch or dropped message.
@@ -221,25 +408,4 @@ func (n *Node) localAddr() string {
 		return n.selfAddr
 	}
 	return n.ep.Addr()
-}
-
-// shutdown releases whatever work is still queued when the loop exits, so
-// a Stop mid-computation cannot wedge WaitQuiescent for other waiters.
-func (n *Node) shutdown(recv <-chan transport.InMsg) {
-	n.mu.Lock()
-	n.stopped = true // Asserts from here on release their own work count
-	dropped := int64(len(n.pending))
-	n.pending = nil
-	n.mu.Unlock()
-	if dropped > 0 {
-		n.AddWork(-dropped)
-	}
-	// Closing the endpoint ends the receive channel; every queued message
-	// was counted by its sender and must be released.
-	n.ep.Close()
-	if recv != nil {
-		for range recv {
-			n.AddWork(-1)
-		}
-	}
 }

@@ -35,60 +35,65 @@ const echoRule = `
 	export(L, N, Pkt) <- export(N, L, Pkt), principal_node[self[]]=N.
 `
 
+const (
+	addrA   = "10.0.0.1:7000"
+	addrB   = "10.0.0.2:7000"
+	addrDet = "10.0.0.99:7999" // the detector's own endpoint
+)
+
 // newTestNode builds a started-but-not-running node: workspace with the
-// program installed, the principal directory asserted, and the endpoint
-// registered on net with work accounting wired up.
+// program installed, the principal directory asserted, the endpoint
+// registered on net, and the termination counters scoped to the cluster
+// addresses.
 func newTestNode(t *testing.T, net *transport.MemNetwork, name, addr string, peers map[string]string, extra string) *dist.Node {
 	t.Helper()
-	ws := engine.NewWorkspace(nil)
-	prog, err := datalog.Parse(dist.ExportDecl + testDecls + extra)
-	if err != nil {
-		t.Fatalf("parse: %v", err)
-	}
-	if err := ws.Install(prog); err != nil {
-		t.Fatalf("install: %v", err)
-	}
-	facts := []engine.Fact{
-		{Pred: "self", Tuple: datalog.Tuple{datalog.Prin(name)}},
-		{Pred: "principal", Tuple: datalog.Tuple{datalog.Prin(name)}},
-		{Pred: "principal_node", Tuple: datalog.Tuple{datalog.Prin(name), datalog.NodeV(addr)}},
-	}
-	for p, a := range peers {
-		facts = append(facts,
-			engine.Fact{Pred: "principal", Tuple: datalog.Tuple{datalog.Prin(p)}},
-			engine.Fact{Pred: "principal_node", Tuple: datalog.Tuple{datalog.Prin(p), datalog.NodeV(a)}},
-		)
-	}
-	if _, err := ws.Assert(facts); err != nil {
-		t.Fatalf("setup assert: %v", err)
-	}
-	n := dist.NewNode(name, ws, net.Endpoint(addr))
-	n.AddWork = net.AddWork
-	return n
+	return nodeOverEndpoint(t, name, addr, peers, extra, net.Endpoint(addr))
 }
 
-// waitQuiescent bounds WaitQuiescent so an accounting imbalance fails the
-// test instead of hanging it.
-func waitQuiescent(t *testing.T, net *transport.MemNetwork) {
+// newDetector wires a termination detector over its own memnet endpoint.
+func newDetector(t *testing.T, net *transport.MemNetwork, nodes ...string) *dist.Detector {
 	t.Helper()
-	done := make(chan struct{})
-	go func() { net.WaitQuiescent(); close(done) }()
+	det := dist.NewDetector(net.Endpoint(addrDet), nodes)
+	det.ReplyTimeout = 100 * time.Millisecond
+	t.Cleanup(func() { det.Close() })
+	return det
+}
+
+// waitFixpoint bounds Detector.Wait so a protocol bug fails the test
+// instead of hanging it.
+func waitFixpoint(t *testing.T, det *dist.Detector) {
+	t.Helper()
+	done := make(chan bool, 1)
+	go func() { done <- det.Wait() }()
 	select {
-	case <-done:
+	case ok := <-done:
+		if !ok {
+			t.Fatal("detector closed before termination")
+		}
 	case <-time.After(10 * time.Second):
-		t.Fatal("WaitQuiescent did not release within 10s (work counter imbalance)")
+		t.Fatal("distributed termination not detected within 10s")
 	}
 }
 
-const (
-	addrA = "10.0.0.1:7000"
-	addrB = "10.0.0.2:7000"
-)
+// waitProcessed polls until the node has consumed at least want inbound
+// datagrams — how tests synchronize with out-of-band injections that are
+// invisible to the termination counters.
+func waitProcessed(t *testing.T, n *dist.Node, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for n.Metrics.MsgsProcessed() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("node processed %d messages, want %d", n.Metrics.MsgsProcessed(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
 
 func TestTwoNodeExchangeReachesFixpoint(t *testing.T) {
 	net := transport.NewMemNetwork()
 	a := newTestNode(t, net, "a", addrA, map[string]string{"b": addrB}, deriveRule)
 	b := newTestNode(t, net, "b", addrB, map[string]string{"a": addrA}, echoRule)
+	det := newDetector(t, net, addrA, addrB)
 	a.Start()
 	b.Start()
 	defer a.Stop()
@@ -100,7 +105,7 @@ func TestTwoNodeExchangeReachesFixpoint(t *testing.T) {
 		{Pred: "dest", Tuple: datalog.Tuple{datalog.NodeV(addrB)}},
 		{Pred: "trigger", Tuple: datalog.Tuple{datalog.Int64(1)}},
 	})
-	waitQuiescent(t, net)
+	waitFixpoint(t, det)
 
 	// B imported the payload; the echo rule bounced it back so A imported
 	// it too — a two-hop distributed fixpoint.
@@ -110,10 +115,18 @@ func TestTwoNodeExchangeReachesFixpoint(t *testing.T) {
 	if got := a.WS.Count("got"); got != 1 {
 		t.Errorf("node a: got %d echoed payloads, want 1", got)
 	}
-	for _, addr := range []string{addrA, addrB} {
-		if s := net.Stats(addr); s.MsgsSent == 0 || s.BytesSent == 0 {
-			t.Errorf("%s: no traffic recorded (%+v)", addr, s)
+	for _, n := range []*dist.Node{a, b} {
+		if tr := n.Metrics.Traffic(); tr.MsgsSent == 0 || tr.BytesSent == 0 {
+			t.Errorf("%s: no traffic recorded (%+v)", n.Principal, tr)
 		}
+	}
+	// The counters that drove detection must balance: every message A and
+	// B shipped was processed.
+	aSent, aRecv := a.Counters()
+	bSent, bRecv := b.Counters()
+	if aSent+bSent != aRecv+bRecv {
+		t.Errorf("termination counters unbalanced at fixpoint: sent %d+%d, recv %d+%d",
+			aSent, bSent, aRecv, bRecv)
 	}
 	if v := append(a.Violations(), b.Violations()...); len(v) != 0 {
 		t.Errorf("unexpected violations: %v", v)
@@ -124,6 +137,7 @@ func TestRederivedExportsAreNotResent(t *testing.T) {
 	net := transport.NewMemNetwork()
 	a := newTestNode(t, net, "a", addrA, map[string]string{"b": addrB}, deriveRule)
 	b := newTestNode(t, net, "b", addrB, map[string]string{"a": addrA}, "")
+	det := newDetector(t, net, addrA, addrB)
 	a.Start()
 	b.Start()
 	defer a.Stop()
@@ -134,8 +148,8 @@ func TestRederivedExportsAreNotResent(t *testing.T) {
 		{Pred: "dest", Tuple: datalog.Tuple{datalog.NodeV(addrB)}},
 		{Pred: "trigger", Tuple: datalog.Tuple{datalog.Int64(1)}},
 	})
-	waitQuiescent(t, net)
-	first := net.Stats(addrA).MsgsSent
+	waitFixpoint(t, det)
+	first := a.Metrics.Traffic().MsgsSent
 	if first == 0 {
 		t.Fatal("first trigger produced no traffic")
 	}
@@ -143,12 +157,57 @@ func TestRederivedExportsAreNotResent(t *testing.T) {
 	// A different trigger re-derives exactly the same export tuple: the
 	// transaction commits, but the delta is empty and nothing is shipped.
 	a.Assert([]engine.Fact{{Pred: "trigger", Tuple: datalog.Tuple{datalog.Int64(2)}}})
-	waitQuiescent(t, net)
-	if again := net.Stats(addrA).MsgsSent; again != first {
+	waitFixpoint(t, det)
+	if again := a.Metrics.Traffic().MsgsSent; again != first {
 		t.Errorf("re-derivation re-sent traffic: %d -> %d messages", first, again)
 	}
 	if got := b.WS.Count("got"); got != 1 {
 		t.Errorf("node b: got %d payloads, want 1", got)
+	}
+}
+
+func TestRetractionPrunesSentSetAndReships(t *testing.T) {
+	net := transport.NewMemNetwork()
+	a := newTestNode(t, net, "a", addrA, map[string]string{"b": addrB}, deriveRule)
+	b := newTestNode(t, net, "b", addrB, map[string]string{"a": addrA}, "")
+	det := newDetector(t, net, addrA, addrB)
+	a.Start()
+	b.Start()
+	defer a.Stop()
+	defer b.Stop()
+
+	pay := engine.Fact{Pred: "pay", Tuple: datalog.Tuple{datalog.BytesV([]byte("volatile"))}}
+	a.Assert([]engine.Fact{
+		pay,
+		{Pred: "dest", Tuple: datalog.Tuple{datalog.NodeV(addrB)}},
+		{Pred: "trigger", Tuple: datalog.Tuple{datalog.Int64(1)}},
+	})
+	waitFixpoint(t, det)
+	if got := a.SentSetSize(); got != 1 {
+		t.Fatalf("sent set size after ship: %d, want 1", got)
+	}
+	first := a.Metrics.Traffic().MsgsSent
+
+	// Retracting the base fact makes the export underivable; the dedup
+	// entry must go with it instead of lingering forever.
+	a.Retract([]engine.Fact{pay})
+	waitFixpoint(t, det)
+	if got := a.SentSetSize(); got != 0 {
+		t.Errorf("sent set not pruned after retraction: %d entries", got)
+	}
+	if got := a.WS.Count("export"); got != 0 {
+		t.Errorf("export not retracted: %d tuples", got)
+	}
+
+	// Re-asserting re-derives the same tuple — and because the dedup entry
+	// was pruned, it ships again.
+	a.Assert([]engine.Fact{pay})
+	waitFixpoint(t, det)
+	if again := a.Metrics.Traffic().MsgsSent; again != first+1 {
+		t.Errorf("re-derived export after retraction: %d -> %d messages, want one more", first, again)
+	}
+	if got := a.SentSetSize(); got != 1 {
+		t.Errorf("sent set size after re-ship: %d, want 1", got)
 	}
 }
 
@@ -158,6 +217,7 @@ func TestStopIsIdempotentAndLeaksNoGoroutines(t *testing.T) {
 	net := transport.NewMemNetwork()
 	a := newTestNode(t, net, "a", addrA, map[string]string{"b": addrB}, deriveRule)
 	b := newTestNode(t, net, "b", addrB, map[string]string{"a": addrA}, "")
+	det := newDetector(t, net, addrA, addrB)
 	a.Start()
 	b.Start()
 	a.Assert([]engine.Fact{
@@ -165,17 +225,16 @@ func TestStopIsIdempotentAndLeaksNoGoroutines(t *testing.T) {
 		{Pred: "dest", Tuple: datalog.Tuple{datalog.NodeV(addrB)}},
 		{Pred: "trigger", Tuple: datalog.Tuple{datalog.Int64(1)}},
 	})
-	waitQuiescent(t, net)
+	waitFixpoint(t, det)
 
 	a.Stop()
 	b.Stop()
 	a.Stop() // idempotent
 	b.Stop()
+	det.Close()
 
-	// Asserting against a stopped node drops the batch but releases its
-	// work count, so quiescence detection cannot wedge.
+	// Asserting against a stopped node drops the batch harmlessly.
 	a.Assert([]engine.Fact{{Pred: "trigger", Tuple: datalog.Tuple{datalog.Int64(9)}}})
-	waitQuiescent(t, net)
 
 	deadline := time.Now().Add(5 * time.Second)
 	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
@@ -186,11 +245,21 @@ func TestStopIsIdempotentAndLeaksNoGoroutines(t *testing.T) {
 	}
 }
 
-func TestWorkBalanceSurvivesFailuresAndGarbage(t *testing.T) {
+func TestStopWithoutStartIsClean(t *testing.T) {
 	net := transport.NewMemNetwork()
-	// The destination address is never registered: every send fails, and
-	// the failed message's work count must be released immediately.
+	a := newTestNode(t, net, "a", addrA, nil, "")
+	a.Assert([]engine.Fact{{Pred: "trigger", Tuple: datalog.Tuple{datalog.Int64(1)}}})
+	a.Stop() // never Started: must not hang or leak
+	a.Assert([]engine.Fact{{Pred: "trigger", Tuple: datalog.Tuple{datalog.Int64(2)}}})
+}
+
+func TestDetectorSurvivesFailedSendsAndGarbage(t *testing.T) {
+	net := transport.NewMemNetwork()
+	// The destination address is never registered: every send fails and is
+	// recorded as a violation, and because a failed send is not counted,
+	// termination detection still converges.
 	a := newTestNode(t, net, "a", addrA, map[string]string{"ghost": "10.9.9.9:1"}, deriveRule)
+	det := newDetector(t, net, addrA)
 	a.Start()
 	defer a.Stop()
 
@@ -199,39 +268,80 @@ func TestWorkBalanceSurvivesFailuresAndGarbage(t *testing.T) {
 		{Pred: "dest", Tuple: datalog.Tuple{datalog.NodeV("10.9.9.9:1")}},
 		{Pred: "trigger", Tuple: datalog.Tuple{datalog.Int64(1)}},
 	})
-	waitQuiescent(t, net)
+	waitFixpoint(t, det)
 	if v := a.Violations(); len(v) != 1 {
 		t.Errorf("dropped message should be recorded as a violation, got %v", v)
 	}
 
-	// A malformed datagram is dropped, but its in-flight count must still
-	// be released.
+	// A malformed datagram from an address outside the cluster is dropped
+	// without touching the termination counters.
 	raw := net.Endpoint("6.6.6.6:666")
-	net.AddWork(1)
+	processed := a.Metrics.MsgsProcessed()
 	if err := raw.Send(addrA, []byte("not a wire message")); err != nil {
 		t.Fatal(err)
 	}
-	waitQuiescent(t, net)
+	waitProcessed(t, a, processed+1)
+	waitFixpoint(t, det)
 
-	// The node is still live afterwards: a real message round-trips.
-	net.AddWork(1)
+	// The node is still live afterwards: a real message is imported.
 	msg := wire.EncodeMessage(wire.Message{From: "6.6.6.6:666", Payloads: [][]byte{[]byte("p")}})
 	if err := raw.Send(addrA, msg); err != nil {
 		t.Fatal(err)
 	}
-	waitQuiescent(t, net)
+	waitProcessed(t, a, processed+2)
+	waitFixpoint(t, det)
 	if got := a.WS.Count("got"); got != 1 {
 		t.Errorf("node a: got %d payloads after garbage, want 1", got)
 	}
+	if _, recv := a.Counters(); recv != 0 {
+		t.Errorf("out-of-band traffic leaked into termination counters: recv=%d", recv)
+	}
 }
 
-func TestStopWithoutStartReleasesQueuedWork(t *testing.T) {
+func TestDetectorNotFooledByInFlightWork(t *testing.T) {
+	// Queue work before starting the nodes: the first waves see passive
+	// nodes with zero counters, but the queued batch must keep the node
+	// reporting active until it actually commits and its sends settle.
+	net := transport.NewMemNetwork()
+	a := newTestNode(t, net, "a", addrA, map[string]string{"b": addrB}, deriveRule)
+	b := newTestNode(t, net, "b", addrB, map[string]string{"a": addrA}, echoRule)
+	det := newDetector(t, net, addrA, addrB)
+
+	a.Assert([]engine.Fact{
+		{Pred: "pay", Tuple: datalog.Tuple{datalog.BytesV([]byte("queued early"))}},
+		{Pred: "dest", Tuple: datalog.Tuple{datalog.NodeV(addrB)}},
+		{Pred: "trigger", Tuple: datalog.Tuple{datalog.Int64(1)}},
+	})
+	a.Start()
+	b.Start()
+	defer a.Stop()
+	defer b.Stop()
+	waitFixpoint(t, det)
+	if got := b.WS.Count("got"); got != 1 {
+		t.Errorf("fixpoint declared before queued work completed: b got %d", got)
+	}
+	if got := a.WS.Count("got"); got != 1 {
+		t.Errorf("fixpoint declared before echo completed: a got %d", got)
+	}
+}
+
+func TestDetectorWaitAfterCloseReturnsFalse(t *testing.T) {
 	net := transport.NewMemNetwork()
 	a := newTestNode(t, net, "a", addrA, nil, "")
-	a.Assert([]engine.Fact{{Pred: "trigger", Tuple: datalog.Tuple{datalog.Int64(1)}}})
-	a.Stop() // never Started: the queued batch's work count must be released
-	a.Assert([]engine.Fact{{Pred: "trigger", Tuple: datalog.Tuple{datalog.Int64(2)}}})
-	waitQuiescent(t, net)
+	a.Start()
+	defer a.Stop()
+	det := dist.NewDetector(net.Endpoint(addrDet), []string{addrA})
+	det.Close()
+	done := make(chan bool, 1)
+	go func() { done <- det.Wait() }()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Error("Wait on a closed detector should return false")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait did not return after Close")
+	}
 }
 
 func TestMergedLocalBatchesIsolateOnViolation(t *testing.T) {
@@ -242,6 +352,7 @@ func TestMergedLocalBatchesIsolateOnViolation(t *testing.T) {
 		poison(X) -> blessed(X).
 	`)
 	b := newTestNode(t, net, "b", addrB, map[string]string{"a": addrA}, "")
+	det := newDetector(t, net, addrA, addrB)
 
 	// Queue both batches before Start so the loop coalesces them into one
 	// transaction; the merged rejection must fall back to per-batch
@@ -256,7 +367,7 @@ func TestMergedLocalBatchesIsolateOnViolation(t *testing.T) {
 	b.Start()
 	defer a.Stop()
 	defer b.Stop()
-	waitQuiescent(t, net)
+	waitFixpoint(t, det)
 
 	if v := a.Violations(); len(v) != 1 {
 		t.Fatalf("want exactly 1 violation for the poison batch, got %v", v)
@@ -278,6 +389,7 @@ func TestRejectedBatchRollsBackAndIsRecorded(t *testing.T) {
 		approved(P) -> bytes(P).
 		got(Pkt) -> approved(Pkt).
 	`)
+	det := newDetector(t, net, addrA, addrB)
 	a.Start()
 	b.Start()
 	defer a.Stop()
@@ -288,7 +400,7 @@ func TestRejectedBatchRollsBackAndIsRecorded(t *testing.T) {
 		{Pred: "dest", Tuple: datalog.Tuple{datalog.NodeV(addrB)}},
 		{Pred: "trigger", Tuple: datalog.Tuple{datalog.Int64(1)}},
 	})
-	waitQuiescent(t, net)
+	waitFixpoint(t, det)
 
 	if v := b.Violations(); len(v) != 1 {
 		t.Fatalf("node b: want exactly 1 recorded violation, got %v", v)
@@ -302,4 +414,70 @@ func TestRejectedBatchRollsBackAndIsRecorded(t *testing.T) {
 	if v := a.Violations(); len(v) != 0 {
 		t.Errorf("sender should be unaffected, got violations: %v", v)
 	}
+}
+
+func TestTerminationOverReliableLossyTransport(t *testing.T) {
+	// The same protocol must stay sound when datagrams are dropped and
+	// duplicated: the reliable layer retransmits until delivery, so the
+	// counters eventually balance and never balance early.
+	rawNet := transport.NewMemNetwork()
+	cfg := transport.ReliableConfig{RetransmitInterval: 2 * time.Millisecond}
+	wrap := func(addr string, seed int64) transport.Transport {
+		return transport.NewReliable(transport.NewLossy(rawNet.Endpoint(addr), seed, 0.25, 0.25, 0), cfg)
+	}
+	epA, epB, epD := wrap(addrA, 1), wrap(addrB, 2), wrap(addrDet, 3)
+	a := nodeOverEndpoint(t, "a", addrA, map[string]string{"b": addrB}, deriveRule, epA)
+	b := nodeOverEndpoint(t, "b", addrB, map[string]string{"a": addrA}, echoRule, epB)
+	det := dist.NewDetector(epD, []string{addrA, addrB})
+	det.ReplyTimeout = 100 * time.Millisecond
+	a.Start()
+	b.Start()
+	defer a.Stop()
+	defer b.Stop()
+	defer det.Close()
+
+	a.Assert([]engine.Fact{
+		{Pred: "pay", Tuple: datalog.Tuple{datalog.BytesV([]byte("lossy hello"))}},
+		{Pred: "dest", Tuple: datalog.Tuple{datalog.NodeV(addrB)}},
+		{Pred: "trigger", Tuple: datalog.Tuple{datalog.Int64(1)}},
+	})
+	waitFixpoint(t, det)
+	if got := b.WS.Count("got"); got != 1 {
+		t.Errorf("node b: got %d payloads over lossy transport, want 1", got)
+	}
+	if got := a.WS.Count("got"); got != 1 {
+		t.Errorf("node a: got %d echoes over lossy transport, want 1", got)
+	}
+}
+
+// nodeOverEndpoint is newTestNode for a caller-supplied endpoint.
+func nodeOverEndpoint(t *testing.T, name, addr string, peers map[string]string, extra string, ep transport.Transport) *dist.Node {
+	t.Helper()
+	ws := engine.NewWorkspace(nil)
+	prog, err := datalog.Parse(dist.ExportDecl + testDecls + extra)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := ws.Install(prog); err != nil {
+		t.Fatalf("install: %v", err)
+	}
+	facts := []engine.Fact{
+		{Pred: "self", Tuple: datalog.Tuple{datalog.Prin(name)}},
+		{Pred: "principal", Tuple: datalog.Tuple{datalog.Prin(name)}},
+		{Pred: "principal_node", Tuple: datalog.Tuple{datalog.Prin(name), datalog.NodeV(addr)}},
+	}
+	cluster := []string{addr}
+	for p, a := range peers {
+		facts = append(facts,
+			engine.Fact{Pred: "principal", Tuple: datalog.Tuple{datalog.Prin(p)}},
+			engine.Fact{Pred: "principal_node", Tuple: datalog.Tuple{datalog.Prin(p), datalog.NodeV(a)}},
+		)
+		cluster = append(cluster, a)
+	}
+	if _, err := ws.Assert(facts); err != nil {
+		t.Fatalf("setup assert: %v", err)
+	}
+	n := dist.NewNode(name, ws, ep)
+	n.SetPeers(cluster)
+	return n
 }

@@ -30,17 +30,18 @@ func (n *Node) ship(exports []datalog.Tuple) {
 		if n.sent[key] {
 			continue
 		}
-		n.sent[key] = true
 		to := t[0].Str
 		if to == self || to == n.ep.Addr() {
-			continue
+			continue // inbound assertions and loopbacks never need dedup
 		}
+		n.sent[key] = true
 		r := route{to: to, from: t[1].Str}
 		if _, ok := grouped[r]; !ok {
 			order = append(order, r)
 		}
 		grouped[r] = append(grouped[r], t[2].Bytes)
 	}
+	n.sentSize.Store(int64(len(n.sent)))
 	for _, r := range order {
 		n.sendBatched(r.to, r.from, grouped[r])
 	}
@@ -48,10 +49,12 @@ func (n *Node) ship(exports []datalog.Tuple) {
 
 // sendBatched ships one destination's payloads, splitting the batch into
 // as many messages as needed to stay under the transport datagram limit.
-// Every message put on the wire is counted as in-flight work; a failed
-// send (unknown address, closed destination, oversized datagram) releases
-// its count immediately and is recorded as a violation so the loss is
-// observable — the runtime has no retry (see ROADMAP.md).
+// Each message put on the wire increments the termination counter (when
+// the destination is a counted peer) and the traffic metrics; a failed
+// send (unknown address, closed destination, oversized datagram) is
+// recorded as a violation so the loss is observable — over UDP the
+// reliable layer below retransmits until delivery, over memnet delivery
+// is immediate.
 func (n *Node) sendBatched(to, from string, payloads [][]byte) {
 	header := wire.MessageOverhead(from)
 	var batch [][]byte
@@ -61,10 +64,13 @@ func (n *Node) sendBatched(to, from string, payloads [][]byte) {
 			return
 		}
 		data := wire.EncodeMessage(wire.Message{From: from, Payloads: batch})
-		n.AddWork(1)
 		if err := n.ep.Send(to, data); err != nil {
-			n.AddWork(-1)
 			n.recordViolation(fmt.Errorf("dist: dropped %d-payload message to %s: %w", len(batch), to, err))
+		} else {
+			if n.countsPeer(to) {
+				n.ctrSent.Add(1)
+			}
+			n.Metrics.RecordSent(len(data))
 		}
 		batch, size = nil, header
 	}

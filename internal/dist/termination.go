@@ -1,0 +1,153 @@
+package dist
+
+import (
+	"sync"
+	"time"
+
+	"secureblox/internal/transport"
+	"secureblox/internal/wire"
+)
+
+// Detector observes distributed termination purely through wire-level
+// control messages — Mattern's counting-wave method. It owns one transport
+// endpoint and repeatedly broadcasts probe waves to every node; each node
+// answers with a snapshot of its monotone peer-message counters (sent,
+// recv) and whether it holds queued local work. Two consecutive waves in
+// which every node is passive and the summed counters are identical and
+// balanced (ΣSent == ΣRecv) prove that no message was in flight and no
+// work happened between the waves, i.e. the distributed fixpoint of §8
+// ("no new facts are derived by any node in the system") — with no shared
+// in-process state whatsoever.
+//
+// Soundness sketch: the counters never decrease, so identical sums across
+// two waves mean no node's counter moved between its two snapshots; with
+// ΣSent == ΣRecv every counted message had been fully processed by its
+// receiver at snapshot time; and passive nodes with no traffic in flight
+// and no queued work cannot become active again. (This is why counters
+// must only cover reliable peer channels: the UDP path retransmits until
+// delivery, so a counted message always arrives eventually.)
+type Detector struct {
+	// ReplyTimeout is how long one wave waits for stragglers before
+	// re-probing nodes that have not answered. Zero means 1s.
+	ReplyTimeout time.Duration
+
+	ep     transport.Transport
+	nodes  []string
+	member map[string]bool
+
+	mu   sync.Mutex // serializes Wait callers
+	wave uint64
+}
+
+// NewDetector builds a detector over its own endpoint and the transport
+// addresses of every cluster node.
+func NewDetector(ep transport.Transport, nodes []string) *Detector {
+	d := &Detector{ep: ep, nodes: append([]string(nil), nodes...), member: make(map[string]bool, len(nodes))}
+	for _, a := range d.nodes {
+		d.member[a] = true
+	}
+	return d
+}
+
+// Close shuts the detector's endpoint down; a concurrent or later Wait
+// returns false once it observes the closed endpoint. Close deliberately
+// does not take the Wait mutex — it is the only way to unblock a Wait
+// whose fixpoint is unreachable.
+func (d *Detector) Close() error {
+	return d.ep.Close()
+}
+
+// waveSum aggregates one wave's reports.
+type waveSum struct {
+	sent, recv uint64
+	active     bool
+}
+
+// Wait blocks until two consecutive probe waves prove global quiescence,
+// returning true; it returns false only if the detector is closed. Every
+// call runs fresh waves, so work enqueued before the call is always
+// observed.
+func (d *Detector) Wait() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	prev, ok := d.collect()
+	delay := time.Millisecond
+	for {
+		if !ok {
+			return false
+		}
+		cur, curOK := d.collect()
+		if !curOK {
+			return false
+		}
+		if !prev.active && !cur.active &&
+			prev.sent == cur.sent && prev.recv == cur.recv &&
+			cur.sent == cur.recv {
+			return true
+		}
+		prev = cur
+		// Back off a little between unsuccessful wave pairs so an idle
+		// wait (e.g. a message crossing a slow link) doesn't spin.
+		time.Sleep(delay)
+		if delay < 20*time.Millisecond {
+			delay = delay * 3 / 2
+		}
+	}
+}
+
+// collect runs one complete wave: probe every node, gather one report per
+// node for this wave number, re-probing stragglers on a timeout. It only
+// fails (ok=false) when the detector endpoint closes.
+func (d *Detector) collect() (sum waveSum, ok bool) {
+	d.wave++
+	wave := d.wave
+	probe := wire.EncodeMessage(wire.Message{
+		Kind:     wire.MsgControl,
+		From:     d.ep.Addr(),
+		Payloads: [][]byte{wire.EncodeControl(wire.Control{Type: wire.CtrlProbe, Wave: wave})},
+	})
+	timeout := d.ReplyTimeout
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+	reports := make(map[string]wire.Control, len(d.nodes))
+	for len(reports) < len(d.nodes) {
+		for _, addr := range d.nodes {
+			if _, done := reports[addr]; !done {
+				_ = d.ep.Send(addr, probe)
+			}
+		}
+		deadline := time.NewTimer(timeout)
+	recv:
+		for len(reports) < len(d.nodes) {
+			select {
+			case in, open := <-d.ep.Receive():
+				if !open {
+					deadline.Stop()
+					return sum, false
+				}
+				msg, err := wire.DecodeMessage(in.Data)
+				if err != nil || msg.Kind != wire.MsgControl || len(msg.Payloads) != 1 {
+					continue
+				}
+				c, err := wire.DecodeControl(msg.Payloads[0])
+				if err != nil || c.Type != wire.CtrlReport || c.Wave != wave {
+					continue // stale wave or not a report
+				}
+				if !d.member[in.From] {
+					continue // a spoofed report must not complete a wave
+				}
+				reports[in.From] = c
+			case <-deadline.C:
+				break recv // re-probe whoever has not answered
+			}
+		}
+		deadline.Stop()
+	}
+	for _, c := range reports {
+		sum.sent += c.Sent
+		sum.recv += c.Recv
+		sum.active = sum.active || c.Active
+	}
+	return sum, true
+}

@@ -19,6 +19,59 @@ type NodeMetrics struct {
 	completions  []time.Time
 	violations   int64
 	lastActivity time.Time
+	traffic      Traffic
+	msgsIn       int64
+}
+
+// Traffic is one node's application-level traffic: the encoded bytes and
+// message counts of export batches it shipped and received. Runtime control
+// traffic (termination probes, transport-level acks and retransmissions) is
+// deliberately excluded, so these are the paper's per-node communication
+// overhead numbers regardless of transport.
+type Traffic struct {
+	MsgsSent  int64
+	BytesSent int64
+	MsgsRecv  int64
+	BytesRecv int64
+}
+
+// RecordSent adds one shipped application message of the given size.
+func (m *NodeMetrics) RecordSent(bytes int) {
+	m.mu.Lock()
+	m.traffic.MsgsSent++
+	m.traffic.BytesSent += int64(bytes)
+	m.mu.Unlock()
+}
+
+// RecordRecv adds one received application message of the given size.
+func (m *NodeMetrics) RecordRecv(bytes int) {
+	m.mu.Lock()
+	m.traffic.MsgsRecv++
+	m.traffic.BytesRecv += int64(bytes)
+	m.mu.Unlock()
+}
+
+// Traffic returns the application-level traffic counters.
+func (m *NodeMetrics) Traffic() Traffic {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.traffic
+}
+
+// RecordMsgProcessed counts one inbound datagram fully consumed by the
+// transaction loop (including malformed ones that were dropped).
+func (m *NodeMetrics) RecordMsgProcessed() {
+	m.mu.Lock()
+	m.msgsIn++
+	m.mu.Unlock()
+}
+
+// MsgsProcessed returns how many inbound datagrams the loop has consumed —
+// tests use it to wait for out-of-band injections to be handled.
+func (m *NodeMetrics) MsgsProcessed() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.msgsIn
 }
 
 // RecordTxn adds one transaction's duration.

@@ -1,0 +1,59 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// LossyTransport wraps a Transport with deterministic fault injection:
+// outgoing datagrams are dropped, duplicated, or corrupted with the
+// configured probabilities. It models what raw UDP can do to traffic, so
+// the reliable layer and the termination-detection protocol can be
+// exercised against loss without depending on real packet behaviour.
+type LossyTransport struct {
+	Transport
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	drop   float64
+	dup    float64
+	garble float64
+}
+
+// NewLossy builds a fault-injecting wrapper with per-send probabilities of
+// dropping, duplicating, and corrupting a datagram, driven by a seeded
+// generator so runs are reproducible.
+func NewLossy(inner Transport, seed int64, drop, dup, garble float64) *LossyTransport {
+	return &LossyTransport{
+		Transport: inner,
+		rng:       rand.New(rand.NewSource(seed)),
+		drop:      drop, dup: dup, garble: garble,
+	}
+}
+
+// Send implements Transport with faults applied.
+func (l *LossyTransport) Send(to string, data []byte) error {
+	l.mu.Lock()
+	doDrop := l.rng.Float64() < l.drop
+	doDup := l.rng.Float64() < l.dup
+	doGarble := l.rng.Float64() < l.garble
+	flip := l.rng.Intn(len(data) + 1)
+	l.mu.Unlock()
+	if doDrop {
+		return nil // silently lost
+	}
+	if doGarble {
+		corrupted := append([]byte(nil), data...)
+		if flip < len(corrupted) {
+			corrupted[flip] ^= 0xFF
+		} else {
+			corrupted = append(corrupted, 0xFF)
+		}
+		data = corrupted
+	}
+	err := l.Transport.Send(to, data)
+	if doDup {
+		_ = l.Transport.Send(to, data)
+	}
+	return err
+}

@@ -1,22 +1,22 @@
 package transport
 
 import (
+	"fmt"
 	"sync"
 )
 
 // MemNetwork is an in-process simulated network: endpoints exchange
 // datagrams through unbounded queues, and the network keeps per-endpoint
-// traffic statistics plus an in-flight counter the distributed-fixpoint
-// detector uses. It stands in for the paper's Gigabit cluster; see
+// traffic statistics. It stands in for the paper's Gigabit cluster; see
 // DESIGN.md for why the substitution preserves the evaluation's shape.
+// Quiescence of a computation running over it is observed the same way as
+// over real sockets — by the wire-level termination-detection protocol in
+// internal/dist — so swapping MemNetwork for UDPNetwork changes nothing
+// above the Transport interface.
 type MemNetwork struct {
 	mu        sync.Mutex
 	endpoints map[string]*MemEndpoint
 	stats     map[string]*Stats
-
-	inflightMu sync.Mutex
-	inflight   int64
-	quiet      *sync.Cond
 
 	// OnDeliver, if set, is invoked (outside locks) for every delivered
 	// datagram — used by tests for fault injection.
@@ -25,12 +25,10 @@ type MemNetwork struct {
 
 // NewMemNetwork returns an empty simulated network.
 func NewMemNetwork() *MemNetwork {
-	n := &MemNetwork{
+	return &MemNetwork{
 		endpoints: make(map[string]*MemEndpoint),
 		stats:     make(map[string]*Stats),
 	}
-	n.quiet = sync.NewCond(&n.inflightMu)
-	return n
 }
 
 // Endpoint registers (or returns) the endpoint with the given address.
@@ -44,6 +42,36 @@ func (n *MemNetwork) Endpoint(addr string) *MemEndpoint {
 	n.endpoints[addr] = ep
 	n.stats[addr] = &Stats{}
 	return ep
+}
+
+// Listen implements Network: the simulated network honours the hinted
+// address exactly, failing like a real bind would if it is already taken.
+// Check and registration share one critical section so concurrent Listens
+// with the same hint cannot both succeed.
+func (n *MemNetwork) Listen(hint string) (Transport, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, taken := n.endpoints[hint]; taken {
+		return nil, fmt.Errorf("%w: %s", ErrAddrInUse, hint)
+	}
+	ep := &MemEndpoint{net: n, addr: hint, q: newQueue()}
+	n.endpoints[hint] = ep
+	n.stats[hint] = &Stats{}
+	return ep, nil
+}
+
+// Close implements Network, closing every registered endpoint.
+func (n *MemNetwork) Close() error {
+	n.mu.Lock()
+	eps := make([]*MemEndpoint, 0, len(n.endpoints))
+	for _, ep := range n.endpoints {
+		eps = append(eps, ep)
+	}
+	n.mu.Unlock()
+	for _, ep := range eps {
+		ep.Close()
+	}
+	return nil
 }
 
 // Stats returns a copy of the traffic counters for an address.
@@ -67,29 +95,6 @@ func (n *MemNetwork) TotalBytes() int64 {
 	return total
 }
 
-// AddWork increments the outstanding-work counter (messages in flight plus
-// work items being processed). Fixpoint detection waits for it to reach
-// zero.
-func (n *MemNetwork) AddWork(delta int64) {
-	n.inflightMu.Lock()
-	n.inflight += delta
-	if n.inflight == 0 {
-		n.quiet.Broadcast()
-	}
-	n.inflightMu.Unlock()
-}
-
-// WaitQuiescent blocks until no work is outstanding anywhere in the
-// network: the distributed fixpoint of the paper's §8 ("no new facts are
-// derived by any node in the system").
-func (n *MemNetwork) WaitQuiescent() {
-	n.inflightMu.Lock()
-	for n.inflight != 0 {
-		n.quiet.Wait()
-	}
-	n.inflightMu.Unlock()
-}
-
 // MemEndpoint is one node's attachment to a MemNetwork.
 type MemEndpoint struct {
 	net    *MemNetwork
@@ -102,9 +107,7 @@ type MemEndpoint struct {
 // Addr implements Transport.
 func (ep *MemEndpoint) Addr() string { return ep.addr }
 
-// Send implements Transport. The datagram counts as in-flight work until
-// the receiver dequeues and processes it (the receiver's loop calls
-// AddWork(-1)).
+// Send implements Transport.
 func (ep *MemEndpoint) Send(to string, data []byte) error {
 	ep.mu.Lock()
 	if ep.closed {

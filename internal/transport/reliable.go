@@ -1,0 +1,306 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"time"
+)
+
+// Reliable-layer frame types. Distinctive bytes keep random garbage from
+// parsing as a frame by accident (a CRC check backstops the rest).
+const (
+	frameData = 0x44 // 'D'
+	frameAck  = 0x41 // 'A'
+)
+
+// reliableOverhead is the framing the reliable layer adds to a payload:
+// type byte + CRC32 + sequence varint.
+const reliableOverhead = 1 + 4 + binary.MaxVarintLen64
+
+// ReliableConfig tunes the acknowledge/retransmit layer.
+type ReliableConfig struct {
+	// RetransmitInterval is how often unacknowledged frames are re-sent.
+	// Zero means the 50ms default.
+	RetransmitInterval time.Duration
+	// MaxAttempts bounds retransmissions per frame; once exceeded the
+	// frame is dropped and counted as a loss. Zero means retry forever —
+	// the right default for termination detection, which relies on every
+	// counted message eventually arriving.
+	MaxAttempts int
+}
+
+func (c ReliableConfig) interval() time.Duration {
+	if c.RetransmitInterval <= 0 {
+		return 50 * time.Millisecond
+	}
+	return c.RetransmitInterval
+}
+
+// ReliableEndpoint layers message-level reliability over a lossy datagram
+// Transport (udpnet in practice): every frame carries a per-destination
+// sequence number and a CRC; receivers acknowledge each data frame and
+// deduplicate redeliveries, senders retransmit until acknowledged. Corrupted
+// frames fail the CRC and are dropped, which turns garbling into loss and
+// loss into latency — exactly what the termination-detection counters need
+// to stay balanced over real UDP.
+type ReliableEndpoint struct {
+	inner Transport
+	cfg   ReliableConfig
+	q     *queue
+
+	mu      sync.Mutex
+	nextSeq map[string]uint64              // per-destination last used seq
+	pending map[string]map[uint64]*unacked // per-destination unacked frames
+	seen    map[string]*dedupState         // per-source delivery dedup
+	losses  int64                          // frames dropped after MaxAttempts
+	closed  bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+type unacked struct {
+	frame    []byte
+	attempts int
+}
+
+// dedupWindow bounds the out-of-order set per source. A sender that gave
+// up on a frame (bounded MaxAttempts, or a permanent Send failure) leaves
+// a hole no retransmission will ever fill; without a bound that hole would
+// pin the floor and grow the set by one entry per later message forever.
+const dedupWindow = 4096
+
+// dedupState tracks which sequence numbers from one source were delivered:
+// everything at or below floor, plus the sparse out-of-order set above it.
+// Advancing the floor prunes the set, so memory stays proportional to the
+// reordering window rather than to the connection's lifetime.
+type dedupState struct {
+	floor uint64
+	above map[uint64]bool
+}
+
+// advance pulls the floor over every contiguous delivered sequence, then —
+// if an unfillable hole has let the sparse set outgrow the window — slides
+// the floor to the oldest delivered sequence beyond the hole. A frame
+// older than the window that still arrives afterwards would be delivered
+// twice; with retransmissions every few tens of milliseconds, thousands of
+// in-flight frames past a hole mean the hole is abandoned, not late.
+func (st *dedupState) advance() {
+	for st.above[st.floor+1] {
+		st.floor++
+		delete(st.above, st.floor)
+	}
+	if len(st.above) <= dedupWindow {
+		return
+	}
+	oldest := uint64(0)
+	for seq := range st.above {
+		if oldest == 0 || seq < oldest {
+			oldest = seq
+		}
+	}
+	st.floor = oldest
+	delete(st.above, oldest)
+	for st.above[st.floor+1] {
+		st.floor++
+		delete(st.above, st.floor)
+	}
+}
+
+// NewReliable wraps an open endpoint. The wrapper takes ownership: closing
+// it closes the inner endpoint.
+func NewReliable(inner Transport, cfg ReliableConfig) *ReliableEndpoint {
+	r := &ReliableEndpoint{
+		inner:   inner,
+		cfg:     cfg,
+		q:       newQueue(),
+		nextSeq: make(map[string]uint64),
+		pending: make(map[string]map[uint64]*unacked),
+		seen:    make(map[string]*dedupState),
+		stop:    make(chan struct{}),
+	}
+	r.wg.Add(2)
+	go r.recvLoop()
+	go r.retransmitLoop()
+	return r
+}
+
+// encodeFrame builds [type][crc32 of the rest][seq][payload].
+func encodeFrame(typ byte, seq uint64, payload []byte) []byte {
+	body := make([]byte, 0, binary.MaxVarintLen64+len(payload))
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], seq)
+	body = append(body, tmp[:n]...)
+	body = append(body, payload...)
+	frame := make([]byte, 0, 5+len(body))
+	frame = append(frame, typ)
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(body))
+	return append(frame, body...)
+}
+
+// decodeFrame validates the CRC and splits a frame into its parts.
+func decodeFrame(data []byte) (typ byte, seq uint64, payload []byte, ok bool) {
+	if len(data) < 6 {
+		return 0, 0, nil, false
+	}
+	typ = data[0]
+	if typ != frameData && typ != frameAck {
+		return 0, 0, nil, false
+	}
+	body := data[5:]
+	if binary.LittleEndian.Uint32(data[1:5]) != crc32.ChecksumIEEE(body) {
+		return 0, 0, nil, false
+	}
+	seq, n := binary.Uvarint(body)
+	if n <= 0 {
+		return 0, 0, nil, false
+	}
+	return typ, seq, body[n:], true
+}
+
+// Addr implements Transport.
+func (r *ReliableEndpoint) Addr() string { return r.inner.Addr() }
+
+// Send implements Transport. The frame is tracked for retransmission until
+// the destination acknowledges it; an inner-send error is reported to the
+// caller with nothing tracked. Registration happens only after the first
+// transmit succeeds — registering first would let a concurrent retransmit
+// tick put a frame on the wire that Send then reports as failed, which
+// would permanently unbalance the termination counters above. The benign
+// converse race (the ack arriving before registration) only costs extra
+// retransmissions: receivers re-ack every redelivery.
+func (r *ReliableEndpoint) Send(to string, data []byte) error {
+	if len(data) > MaxDatagram {
+		return fmt.Errorf("transport: payload of %d bytes exceeds limit %d", len(data), MaxDatagram)
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	r.nextSeq[to]++
+	seq := r.nextSeq[to]
+	r.mu.Unlock()
+
+	frame := encodeFrame(frameData, seq, data)
+	if err := r.inner.Send(to, frame); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	if r.pending[to] == nil {
+		r.pending[to] = make(map[uint64]*unacked)
+	}
+	r.pending[to][seq] = &unacked{frame: frame}
+	r.mu.Unlock()
+	return nil
+}
+
+// Receive implements Transport.
+func (r *ReliableEndpoint) Receive() <-chan InMsg { return r.q.out }
+
+// Losses returns how many frames were abandoned after MaxAttempts.
+func (r *ReliableEndpoint) Losses() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.losses
+}
+
+// PendingFrames returns how many frames are awaiting acknowledgement.
+func (r *ReliableEndpoint) PendingFrames() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, m := range r.pending {
+		n += len(m)
+	}
+	return n
+}
+
+// Close implements Transport. Idempotent; returns once both background
+// goroutines are gone.
+func (r *ReliableEndpoint) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	r.mu.Unlock()
+	close(r.stop)
+	err := r.inner.Close()
+	r.wg.Wait()
+	return err
+}
+
+func (r *ReliableEndpoint) recvLoop() {
+	defer r.wg.Done()
+	for in := range r.inner.Receive() {
+		typ, seq, payload, ok := decodeFrame(in.Data)
+		if !ok {
+			continue // garbage or corrupted: drop, sender will retransmit
+		}
+		switch typ {
+		case frameAck:
+			r.mu.Lock()
+			if m := r.pending[in.From]; m != nil {
+				delete(m, seq)
+			}
+			r.mu.Unlock()
+		case frameData:
+			// Acknowledge even redeliveries: the first ack may have been
+			// the datagram that got lost.
+			_ = r.inner.Send(in.From, encodeFrame(frameAck, seq, nil))
+			r.mu.Lock()
+			st := r.seen[in.From]
+			if st == nil {
+				st = &dedupState{above: make(map[uint64]bool)}
+				r.seen[in.From] = st
+			}
+			if seq <= st.floor || st.above[seq] {
+				r.mu.Unlock()
+				continue // duplicate
+			}
+			st.above[seq] = true
+			st.advance()
+			r.mu.Unlock()
+			r.q.push(InMsg{From: in.From, Data: payload})
+		}
+	}
+	r.q.close()
+}
+
+func (r *ReliableEndpoint) retransmitLoop() {
+	defer r.wg.Done()
+	ticker := time.NewTicker(r.cfg.interval())
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-ticker.C:
+		}
+		type resend struct {
+			to    string
+			frame []byte
+		}
+		var due []resend
+		r.mu.Lock()
+		for to, m := range r.pending {
+			for seq, u := range m {
+				u.attempts++
+				if r.cfg.MaxAttempts > 0 && u.attempts > r.cfg.MaxAttempts {
+					delete(m, seq)
+					r.losses++
+					continue
+				}
+				due = append(due, resend{to: to, frame: u.frame})
+			}
+		}
+		r.mu.Unlock()
+		for _, d := range due {
+			_ = r.inner.Send(d.to, d.frame)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// reliablePair builds two reliable endpoints over one lossy memnet.
+func reliablePair(t *testing.T, seed int64, drop, dup, garble float64) (a, b *ReliableEndpoint) {
+	t.Helper()
+	net := NewMemNetwork()
+	cfg := ReliableConfig{RetransmitInterval: 2 * time.Millisecond}
+	a = NewReliable(NewLossy(net.Endpoint("a:1"), seed, drop, dup, garble), cfg)
+	b = NewReliable(NewLossy(net.Endpoint("b:1"), seed+1, drop, dup, garble), cfg)
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+func TestReliableDeliveryUnderLossDupAndCorruption(t *testing.T) {
+	a, b := reliablePair(t, 42, 0.3, 0.2, 0.1)
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := a.Send("b:1", []byte(fmt.Sprintf("msg-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := map[string]int{}
+	deadline := time.After(30 * time.Second)
+	for len(got) < n {
+		select {
+		case m := <-b.Receive():
+			got[string(m.Data)]++
+			if m.From != "a:1" {
+				t.Fatalf("from %s, want a:1", m.From)
+			}
+		case <-deadline:
+			t.Fatalf("only %d/%d distinct messages delivered", len(got), n)
+		}
+	}
+	for msg, cnt := range got {
+		if cnt != 1 {
+			t.Errorf("%s delivered %d times, want exactly once", msg, cnt)
+		}
+	}
+	// Once everything is acked the pending set must drain (the sender may
+	// still be waiting on acks that were in flight when we checked).
+	waitUntil := time.Now().Add(10 * time.Second)
+	for a.PendingFrames() > 0 && time.Now().Before(waitUntil) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if p := a.PendingFrames(); p != 0 {
+		t.Errorf("%d frames still pending after full delivery", p)
+	}
+}
+
+func TestReliableDedupStateIsPruned(t *testing.T) {
+	// In-order delivery must keep the dedup floor advancing instead of
+	// accumulating one entry per message.
+	net := NewMemNetwork()
+	a := NewReliable(net.Endpoint("a:1"), ReliableConfig{})
+	b := NewReliable(net.Endpoint("b:1"), ReliableConfig{})
+	defer a.Close()
+	defer b.Close()
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := a.Send("b:1", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case <-b.Receive():
+		case <-time.After(5 * time.Second):
+			t.Fatalf("message %d not delivered", i)
+		}
+	}
+	b.mu.Lock()
+	st := b.seen["a:1"]
+	floor, sparse := st.floor, len(st.above)
+	b.mu.Unlock()
+	if floor != n || sparse != 0 {
+		t.Errorf("dedup state not pruned: floor=%d sparse=%d, want floor=%d sparse=0", floor, sparse, n)
+	}
+}
+
+func TestReliableGarbageDatagramsIgnored(t *testing.T) {
+	// Raw garbage aimed at a reliable endpoint — wrong type byte, bad CRC,
+	// truncated frames — must neither crash it nor surface as a delivery.
+	net := NewMemNetwork()
+	b := NewReliable(net.Endpoint("b:1"), ReliableConfig{})
+	defer b.Close()
+	evil := net.Endpoint("evil:1")
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		junk := make([]byte, rng.Intn(64))
+		rng.Read(junk)
+		if err := evil.Send("b:1", junk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A valid frame wrapped by a peer endpoint still gets through.
+	a := NewReliable(net.Endpoint("a:1"), ReliableConfig{})
+	defer a.Close()
+	if err := a.Send("b:1", []byte("real")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-b.Receive():
+		if string(m.Data) != "real" || m.From != "a:1" {
+			t.Errorf("garbage leaked through: %+v", m)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("valid frame not delivered after garbage barrage")
+	}
+}
+
+func TestReliableMaxAttemptsGivesUp(t *testing.T) {
+	// Sending into a black hole with bounded attempts must eventually
+	// abandon the frame and count the loss instead of retrying forever.
+	net := NewMemNetwork()
+	net.Endpoint("hole:1")                                        // registered but never drained, drops via lossy
+	a := NewReliable(NewLossy(net.Endpoint("a:1"), 1, 1.0, 0, 0), // 100% drop
+		ReliableConfig{RetransmitInterval: time.Millisecond, MaxAttempts: 3})
+	defer a.Close()
+	if err := a.Send("hole:1", []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for a.Losses() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if a.Losses() != 1 || a.PendingFrames() != 0 {
+		t.Errorf("want 1 loss and no pending frames, got %d losses, %d pending",
+			a.Losses(), a.PendingFrames())
+	}
+}
+
+func TestReliableOverRealUDP(t *testing.T) {
+	udpNet := NewUDPNetwork()
+	defer udpNet.Close()
+	a, err := udpNet.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := udpNet.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := a.Send(b.Addr(), []byte(fmt.Sprintf("udp-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := map[string]bool{}
+	deadline := time.After(20 * time.Second)
+	for len(seen) < n {
+		select {
+		case m := <-b.Receive():
+			seen[string(m.Data)] = true
+			if m.From != a.Addr() {
+				t.Fatalf("from %s, want %s", m.From, a.Addr())
+			}
+		case <-deadline:
+			t.Fatalf("only %d/%d messages over real UDP", len(seen), n)
+		}
+	}
+}

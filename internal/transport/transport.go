@@ -16,6 +16,12 @@ var ErrClosed = errors.New("transport: closed")
 // ErrUnknownAddr is returned when sending to an unregistered address.
 var ErrUnknownAddr = errors.New("transport: unknown address")
 
+// ErrAddrInUse is returned by Network.Listen when the hinted address is
+// already bound — the memnet counterpart of EADDRINUSE, so accidentally
+// sharing one network between two clusters fails loudly instead of
+// cross-wiring their endpoints.
+var ErrAddrInUse = errors.New("transport: address already in use")
+
 // InMsg is a received datagram.
 type InMsg struct {
 	From string
@@ -35,6 +41,20 @@ type Transport interface {
 	Close() error
 }
 
+// Network constructs the endpoints of one cluster deployment. The cluster
+// driver is written against this interface only, so the same scenario runs
+// unchanged over the in-process simulated network and over real UDP.
+type Network interface {
+	// Listen opens one endpoint. hint is the caller's preferred address;
+	// implementations backed by real sockets may bind elsewhere (e.g. an
+	// ephemeral loopback port), so the returned endpoint's Addr() — not the
+	// hint — is authoritative and is what peers must send to.
+	Listen(hint string) (Transport, error)
+	// Close shuts down every endpoint the network has handed out that is
+	// not already closed. Closing an endpoint twice is harmless.
+	Close() error
+}
+
 // Stats are cumulative traffic counters for one endpoint.
 type Stats struct {
 	BytesSent int64
@@ -44,17 +64,21 @@ type Stats struct {
 }
 
 // queue is an unbounded FIFO feeding a channel, so senders never block on a
-// slow receiver (which would deadlock symmetric protocols).
+// slow receiver (which would deadlock symmetric protocols). Closing the
+// queue discards whatever is still undelivered: a closed endpoint has no
+// reader, and the delivery goroutine must not block forever waiting for
+// one.
 type queue struct {
 	mu     sync.Mutex
 	items  []InMsg
 	out    chan InMsg
 	wake   chan struct{}
+	done   chan struct{}
 	closed bool
 }
 
 func newQueue() *queue {
-	q := &queue{out: make(chan InMsg), wake: make(chan struct{}, 1)}
+	q := &queue{out: make(chan InMsg), wake: make(chan struct{}, 1), done: make(chan struct{})}
 	go q.pump()
 	return q
 }
@@ -90,13 +114,21 @@ func (q *queue) pump() {
 		m := q.items[0]
 		q.items = q.items[1:]
 		q.mu.Unlock()
-		q.out <- m
+		select {
+		case q.out <- m:
+		case <-q.done:
+			close(q.out)
+			return
+		}
 	}
 }
 
 func (q *queue) close() {
 	q.mu.Lock()
-	q.closed = true
+	if !q.closed {
+		q.closed = true
+		close(q.done)
+	}
 	q.mu.Unlock()
 	select {
 	case q.wake <- struct{}{}:

@@ -84,25 +84,20 @@ func TestUnboundedQueueNoSenderBlocking(t *testing.T) {
 	}
 }
 
-func TestQuiescenceCounter(t *testing.T) {
+func TestMemNetworkListenAndClose(t *testing.T) {
 	net := NewMemNetwork()
-	net.AddWork(2)
-	released := make(chan struct{})
-	go func() {
-		net.WaitQuiescent()
-		close(released)
-	}()
-	select {
-	case <-released:
-		t.Fatal("released too early")
-	case <-time.After(50 * time.Millisecond):
+	ep, err := net.Listen("a:1")
+	if err != nil {
+		t.Fatal(err)
 	}
-	net.AddWork(-1)
-	net.AddWork(-1)
-	select {
-	case <-released:
-	case <-time.After(2 * time.Second):
-		t.Fatal("WaitQuiescent never released")
+	if ep.Addr() != "a:1" {
+		t.Errorf("memnet must honour the hint, got %s", ep.Addr())
+	}
+	if err := net.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ep.Send("a:1", []byte("x")); err != ErrClosed {
+		t.Errorf("send after network close: want ErrClosed, got %v", err)
 	}
 }
 
@@ -172,7 +167,14 @@ func TestUDPOversizeRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer a.Close()
-	if err := a.Send(a.Addr(), make([]byte, MaxDatagram+1)); err == nil {
+	if err := a.Send(a.Addr(), make([]byte, maxRawDatagram+1)); err == nil {
 		t.Error("oversize datagram should be rejected")
+	}
+	// The reliable layer enforces the application-payload bound so that its
+	// framing never pushes a frame over the raw limit.
+	r := NewReliable(a, ReliableConfig{})
+	defer r.Close()
+	if err := r.Send(r.Addr(), make([]byte, MaxDatagram+reliableOverhead)); err == nil {
+		t.Error("reliable layer should reject payloads that cannot be framed")
 	}
 }

@@ -7,9 +7,13 @@ import (
 	"sync/atomic"
 )
 
-// MaxDatagram is the largest UDP payload this transport sends; callers
-// batching tuples must stay under it (dist.Node splits batches).
+// MaxDatagram is the largest application payload the transports carry;
+// callers batching tuples must stay under it (dist.Node splits batches).
 const MaxDatagram = 60000
+
+// maxRawDatagram leaves headroom above MaxDatagram for the reliable
+// layer's framing, while staying under the UDP payload ceiling (~65507).
+const maxRawDatagram = MaxDatagram + 64
 
 // UDPEndpoint is a real UDP transport, used when SecureBlox instances run
 // as separate processes (the deployment mode of the paper's cluster).
@@ -70,8 +74,8 @@ func (ep *UDPEndpoint) Send(to string, data []byte) error {
 	if ep.closed.Load() {
 		return ErrClosed
 	}
-	if len(data) > MaxDatagram {
-		return fmt.Errorf("transport: datagram of %d bytes exceeds limit %d", len(data), MaxDatagram)
+	if len(data) > maxRawDatagram {
+		return fmt.Errorf("transport: datagram of %d bytes exceeds limit %d", len(data), maxRawDatagram)
 	}
 	ua, err := net.ResolveUDPAddr("udp", to)
 	if err != nil {
@@ -106,4 +110,50 @@ func (ep *UDPEndpoint) Close() error {
 	err := ep.conn.Close()
 	ep.wg.Wait()
 	return err
+}
+
+// UDPNetwork implements Network over real UDP sockets: each Listen binds an
+// ephemeral port on BindHost and wraps it in the reliable ack/retransmit
+// layer, so the cluster driver's message-counting termination detection is
+// correct even though raw UDP drops, duplicates and reorders datagrams.
+type UDPNetwork struct {
+	// BindHost is the interface endpoints bind to. Defaults to loopback.
+	BindHost string
+	// Reliability tunes the ack/retransmit layer shared by all endpoints.
+	Reliability ReliableConfig
+
+	mu  sync.Mutex
+	eps []*ReliableEndpoint
+}
+
+// NewUDPNetwork returns a loopback UDP network with default reliability.
+func NewUDPNetwork() *UDPNetwork { return &UDPNetwork{} }
+
+// Listen implements Network. The hint is ignored: real sockets bind an
+// ephemeral port, and the returned endpoint's Addr() is authoritative.
+func (n *UDPNetwork) Listen(string) (Transport, error) {
+	host := n.BindHost
+	if host == "" {
+		host = "127.0.0.1"
+	}
+	raw, err := ListenUDP(host + ":0")
+	if err != nil {
+		return nil, err
+	}
+	ep := NewReliable(raw, n.Reliability)
+	n.mu.Lock()
+	n.eps = append(n.eps, ep)
+	n.mu.Unlock()
+	return ep, nil
+}
+
+// Close implements Network, closing every endpoint still open.
+func (n *UDPNetwork) Close() error {
+	n.mu.Lock()
+	eps := append([]*ReliableEndpoint(nil), n.eps...)
+	n.mu.Unlock()
+	for _, ep := range eps {
+		ep.Close()
+	}
+	return nil
 }

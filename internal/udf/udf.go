@@ -35,6 +35,15 @@ func sigData(param string, vals []datalog.Value) []byte {
 // keystore (for key lookups) and a randomness source (for IVs; pass a
 // deterministic reader in tests).
 func Register(reg *engine.UDFRegistry, ks *seccrypto.KeyStore, rng io.Reader) error {
+	return RegisterWithVerifier(reg, ks, rng, nil)
+}
+
+// RegisterWithVerifier is Register with an optional shared RSA
+// verification pool: when pool is non-nil, rsa_verify consults its
+// memoizing worker pool (warmed by the node runtime's inbound pre-verify
+// hook) instead of verifying inline, so signature checks overlap with
+// transaction execution. Verification semantics are identical.
+func RegisterWithVerifier(reg *engine.UDFRegistry, ks *seccrypto.KeyStore, rng io.Reader, pool *seccrypto.VerifyPool) error {
 	udfs := []engine.UDF{
 		sha1UDF{},
 		&serializeUDF{},
@@ -60,7 +69,13 @@ func Register(reg *engine.UDFRegistry, ks *seccrypto.KeyStore, rng io.Reader) er
 					return nil, false, nil // unparseable key: fail the match
 				}
 				n := len(in)
-				ok := seccrypto.RSAVerify(pub, sigData(param, in[1:n-1]), in[n-1].Bytes)
+				data, sig := sigData(param, in[1:n-1]), in[n-1].Bytes
+				var ok bool
+				if pool != nil {
+					ok = pool.Verify(pub, in[0].Bytes, data, sig)
+				} else {
+					ok = seccrypto.RSAVerify(pub, data, sig)
+				}
 				return nil, ok, nil
 			}},
 		&engine.FuncUDF{FName: "hmac_sign", InArity: -1, OutArity: 1,
@@ -167,8 +182,14 @@ func Register(reg *engine.UDFRegistry, ks *seccrypto.KeyStore, rng io.Reader) er
 
 // NewRegistry builds a fresh registry with the full library installed.
 func NewRegistry(ks *seccrypto.KeyStore, rng io.Reader) (*engine.UDFRegistry, error) {
+	return NewRegistryWithVerifier(ks, rng, nil)
+}
+
+// NewRegistryWithVerifier builds a registry whose rsa_verify runs through
+// a shared verification pool (see RegisterWithVerifier).
+func NewRegistryWithVerifier(ks *seccrypto.KeyStore, rng io.Reader, pool *seccrypto.VerifyPool) (*engine.UDFRegistry, error) {
 	reg := engine.NewUDFRegistry()
-	if err := Register(reg, ks, rng); err != nil {
+	if err := RegisterWithVerifier(reg, ks, rng, pool); err != nil {
 		return nil, err
 	}
 	return reg, nil

@@ -1,0 +1,76 @@
+package wire
+
+import "fmt"
+
+// CtrlType names one termination-detection control record.
+type CtrlType byte
+
+// Control record types.
+const (
+	// CtrlProbe asks a node for a counter snapshot for one wave.
+	CtrlProbe CtrlType = 1
+	// CtrlReport answers a probe with the node's local snapshot.
+	CtrlReport CtrlType = 2
+)
+
+// Control is the wire record of the distributed termination-detection
+// protocol (Mattern's counting-wave method): the detector broadcasts probes
+// carrying a wave number, and each node answers with a report holding its
+// monotone application-message counters and whether it has queued work.
+// Two consecutive waves that observe identical, balanced counters and no
+// active node prove global quiescence without any shared state.
+type Control struct {
+	Type CtrlType
+	// Wave is the probe/report wave number; reports echo the probe's wave
+	// so late answers from earlier waves can be discarded.
+	Wave uint64
+	// Sent and Recv are the node's cumulative counts of application
+	// messages shipped to and fully processed from cluster peers.
+	Sent uint64
+	Recv uint64
+	// Active reports whether the node held unprocessed local work at
+	// snapshot time.
+	Active bool
+}
+
+// EncodeControl serializes a control record.
+func EncodeControl(c Control) []byte {
+	buf := []byte{byte(c.Type)}
+	buf = appendUvarint(buf, c.Wave)
+	buf = appendUvarint(buf, c.Sent)
+	buf = appendUvarint(buf, c.Recv)
+	if c.Active {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	return buf
+}
+
+// DecodeControl parses a control record.
+func DecodeControl(buf []byte) (Control, error) {
+	var c Control
+	if len(buf) == 0 {
+		return c, ErrTruncated
+	}
+	c.Type = CtrlType(buf[0])
+	if c.Type != CtrlProbe && c.Type != CtrlReport {
+		return c, fmt.Errorf("wire: bad control type %d", buf[0])
+	}
+	buf = buf[1:]
+	var err error
+	if c.Wave, buf, err = readUvarint(buf); err != nil {
+		return c, err
+	}
+	if c.Sent, buf, err = readUvarint(buf); err != nil {
+		return c, err
+	}
+	if c.Recv, buf, err = readUvarint(buf); err != nil {
+		return c, err
+	}
+	if len(buf) != 1 || buf[0] > 1 {
+		return c, fmt.Errorf("wire: bad control trailer")
+	}
+	c.Active = buf[0] == 1
+	return c, nil
+}

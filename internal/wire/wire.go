@@ -122,6 +122,14 @@ func ReadTuple(buf []byte) (datalog.Tuple, []byte, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	// Every encoded value takes at least two bytes (kind + one payload
+	// byte), so a count beyond that is a lie — reject it before trusting
+	// it with an allocation. Ciphertext and garbage are decoded
+	// speculatively on the inbound path and must stay harmless. (Divide
+	// rather than multiply: 2*n overflows for counts near 2^64.)
+	if n > uint64(len(buf))/2 {
+		return nil, nil, ErrTruncated
+	}
 	t := make(datalog.Tuple, 0, n)
 	for i := uint64(0); i < n; i++ {
 		var v datalog.Value
@@ -190,9 +198,25 @@ func SigData(pred string, vals datalog.Tuple) []byte {
 	return AppendTuple(buf, vals)
 }
 
+// MsgKind distinguishes application traffic from runtime control traffic
+// on the wire. Control messages carry the distributed termination-detection
+// protocol (probes and reports); they are consumed by the node runtime and
+// never enter a workspace.
+type MsgKind byte
+
+// Message kinds.
+const (
+	// MsgData carries export payloads between workspaces.
+	MsgData MsgKind = 0
+	// MsgControl carries one encoded Control record.
+	MsgControl MsgKind = 1
+)
+
 // Message is one transport datagram: a batch of export tuples committed by
-// a single transaction, addressed from one node to another.
+// a single transaction (MsgData), or one termination-detection control
+// record (MsgControl), addressed from one node to another.
 type Message struct {
+	Kind     MsgKind
 	From     string   // sender node address
 	Payloads [][]byte // opaque export payloads (possibly encrypted)
 }
@@ -207,12 +231,13 @@ const PayloadOverhead = binary.MaxVarintLen64
 // len(p) per payload, so the size estimate stays in lockstep with the
 // actual encoding.
 func MessageOverhead(from string) int {
-	return binary.MaxVarintLen64 + len(from) + binary.MaxVarintLen64
+	return 1 + binary.MaxVarintLen64 + len(from) + binary.MaxVarintLen64
 }
 
 // EncodeMessage serializes a message.
 func EncodeMessage(m Message) []byte {
-	buf := appendUvarint(nil, uint64(len(m.From)))
+	buf := []byte{byte(m.Kind)}
+	buf = appendUvarint(buf, uint64(len(m.From)))
 	buf = append(buf, m.From...)
 	buf = appendUvarint(buf, uint64(len(m.Payloads)))
 	for _, p := range m.Payloads {
@@ -225,6 +250,14 @@ func EncodeMessage(m Message) []byte {
 // DecodeMessage parses a message.
 func DecodeMessage(buf []byte) (Message, error) {
 	var m Message
+	if len(buf) == 0 {
+		return m, ErrTruncated
+	}
+	if buf[0] > byte(MsgControl) {
+		return m, fmt.Errorf("wire: bad message kind %d", buf[0])
+	}
+	m.Kind = MsgKind(buf[0])
+	buf = buf[1:]
 	n, buf, err := readUvarint(buf)
 	if err != nil {
 		return m, err

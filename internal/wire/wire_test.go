@@ -65,6 +65,17 @@ func TestPayloadRejectsTrailing(t *testing.T) {
 	}
 }
 
+func TestReadTupleRejectsLyingCounts(t *testing.T) {
+	// A tuple count the buffer cannot possibly hold must be rejected
+	// before any allocation — including counts whose doubling overflows.
+	for _, n := range []uint64{1 << 20, 1 << 62, 1 << 63, ^uint64(0)} {
+		buf := appendUvarint(nil, n)
+		if _, _, err := ReadTuple(append(buf, 1, 2, 3)); err == nil {
+			t.Errorf("count %d accepted against a 3-byte buffer", n)
+		}
+	}
+}
+
 func TestSigDataDomainSeparation(t *testing.T) {
 	vals := datalog.Tuple{datalog.Int64(1)}
 	if string(SigData("a", vals)) == string(SigData("b", vals)) {
@@ -78,8 +89,43 @@ func TestMessageRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.From != m.From || len(got.Payloads) != 3 || string(got.Payloads[0]) != "\x01\x02" {
+	if got.Kind != MsgData || got.From != m.From || len(got.Payloads) != 3 || string(got.Payloads[0]) != "\x01\x02" {
 		t.Errorf("message round trip: %+v", got)
+	}
+	if _, err := DecodeMessage([]byte{0xFF, 0, 0}); err == nil {
+		t.Error("bad message kind should be rejected")
+	}
+	if _, err := DecodeMessage(nil); err == nil {
+		t.Error("empty message should be rejected")
+	}
+}
+
+func TestControlRoundTrip(t *testing.T) {
+	cases := []Control{
+		{Type: CtrlProbe, Wave: 7},
+		{Type: CtrlReport, Wave: 1 << 40, Sent: 12, Recv: 9, Active: true},
+		{Type: CtrlReport, Wave: 0, Sent: 0, Recv: 0, Active: false},
+	}
+	for _, c := range cases {
+		got, err := DecodeControl(EncodeControl(c))
+		if err != nil {
+			t.Fatalf("%+v: %v", c, err)
+		}
+		if got != c {
+			t.Errorf("control round trip: %+v -> %+v", c, got)
+		}
+	}
+	if _, err := DecodeControl([]byte{99, 0, 0, 0, 0}); err == nil {
+		t.Error("bad control type should be rejected")
+	}
+	if _, err := DecodeControl(EncodeControl(Control{Type: CtrlProbe})[:2]); err == nil {
+		t.Error("truncated control should be rejected")
+	}
+	// A control record rides inside a MsgControl message.
+	m := Message{Kind: MsgControl, From: "a:1", Payloads: [][]byte{EncodeControl(Control{Type: CtrlProbe, Wave: 3})}}
+	got, err := DecodeMessage(EncodeMessage(m))
+	if err != nil || got.Kind != MsgControl {
+		t.Fatalf("control message round trip: %+v, %v", got, err)
 	}
 }
 
