@@ -38,6 +38,7 @@ func main() {
 	cdfSizes := flag.String("cdf", "6,18", "sizes for the completion CDFs (Figures 10/11)")
 	seed := flag.Int64("seed", 1, "base random seed")
 	transportFlag := flag.String("transport", "mem", "cluster transport: mem (in-process) or udp (real loopback sockets)")
+	batchSign := flag.Bool("batchsign", false, "add footnote 2's batch-signed RSA-AES scheme to the comparison")
 	flag.Parse()
 
 	sizes, err := parseSizes(*sizesFlag)
@@ -52,6 +53,11 @@ func main() {
 	schemes := []core.PolicyConfig{
 		{Auth: core.AuthNone},
 		{Auth: core.AuthRSA, Encrypt: true},
+	}
+	if *batchSign {
+		// The hash join's small per-transaction batches are exactly where
+		// footnote 2 predicts per-tuple signing hurts most.
+		schemes = append(schemes, core.PolicyConfig{Auth: core.AuthRSA, BatchSign: true, Encrypt: true})
 	}
 
 	run := func(n int, p core.PolicyConfig, trial int) *apps.HashJoinResult {

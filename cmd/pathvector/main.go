@@ -19,6 +19,7 @@ import (
 	"secureblox/internal/apps"
 	"secureblox/internal/core"
 	"secureblox/internal/metrics"
+	"secureblox/internal/seccrypto"
 )
 
 func parseSizes(s string) ([]int, error) {
@@ -40,6 +41,7 @@ func main() {
 	cdfSize := flag.Int("cdf", 36, "network size for the convergence CDF (Figures 8/9); 0 disables")
 	seed := flag.Int64("seed", 1, "base random seed")
 	transportFlag := flag.String("transport", "mem", "cluster transport: mem (in-process) or udp (real loopback sockets)")
+	batchSign := flag.Bool("batchsign", false, "add footnote 2's batch-signed RSA scheme (one signature per export batch) to the sweep")
 	flag.Parse()
 
 	sizes, err := parseSizes(*sizesFlag)
@@ -56,6 +58,12 @@ func main() {
 		{Auth: core.AuthNone, Encrypt: true},
 		{Auth: core.AuthHMAC, Encrypt: true},
 		{Auth: core.AuthRSA, Encrypt: true},
+	}
+	if *batchSign {
+		all = append(all,
+			core.PolicyConfig{Auth: core.AuthRSA, BatchSign: true},
+			core.PolicyConfig{Auth: core.AuthRSA, BatchSign: true, Encrypt: true},
+		)
 	}
 
 	run := func(n int, p core.PolicyConfig, trial int) *apps.PathVectorResult {
@@ -74,24 +82,30 @@ func main() {
 		return res
 	}
 
-	type agg struct{ latency, traffic, txn float64 }
+	type agg struct {
+		latency, traffic, txn float64
+		signs                 int64
+	}
 	results := map[string]map[int]*agg{}
 	for _, p := range all {
 		results[p.Name()] = map[int]*agg{}
 		for _, n := range sizes {
 			a := &agg{}
 			for tr := 0; tr < *trials; tr++ {
+				before := seccrypto.SignOps()
 				r := run(n, p, tr)
 				a.latency += r.FixpointLatency.Seconds()
 				a.traffic += r.PerNodeKB
 				a.txn += float64(r.MeanTxn.Microseconds()) / 1000
+				a.signs += seccrypto.SignOps() - before
 			}
 			a.latency /= float64(*trials)
 			a.traffic /= float64(*trials)
 			a.txn /= float64(*trials)
+			a.signs /= int64(*trials)
 			results[p.Name()][n] = a
-			fmt.Printf("# ran %s n=%d: %.3fs %.1fKB/node %.2fms/txn\n",
-				p.Name(), n, a.latency, a.traffic, a.txn)
+			fmt.Printf("# ran %s n=%d: %.3fs %.1fKB/node %.2fms/txn %d rsa-signs\n",
+				p.Name(), n, a.latency, a.traffic, a.txn, a.signs)
 		}
 	}
 
@@ -111,14 +125,25 @@ func main() {
 	traffic := func(a *agg) float64 { return a.traffic }
 	txn := func(a *agg) float64 { return a.txn }
 
+	fig4 := []string{"NoAuth", "HMAC", "RSA"}
+	fig5 := []string{"NoAuth", "NoAuth-AES", "HMAC-AES", "RSA-AES"}
+	if *batchSign {
+		fig4 = append(fig4, "RSA-batch")
+		fig5 = append(fig5, "RSA-batch-AES")
+	}
 	fmt.Println("\n== Figure 4: fixpoint latency (s), no encryption ==")
-	fmt.Print(metrics.Table("nodes", series([]string{"NoAuth", "HMAC", "RSA"}, latency)...))
+	fmt.Print(metrics.Table("nodes", series(fig4, latency)...))
 	fmt.Println("\n== Figure 5: fixpoint latency (s), with AES ==")
-	fmt.Print(metrics.Table("nodes", series([]string{"NoAuth", "NoAuth-AES", "HMAC-AES", "RSA-AES"}, latency)...))
+	fmt.Print(metrics.Table("nodes", series(fig5, latency)...))
 	fmt.Println("\n== Figure 6: per-node communication overhead (KB), no encryption ==")
-	fmt.Print(metrics.Table("nodes", series([]string{"NoAuth", "HMAC", "RSA"}, traffic)...))
+	fmt.Print(metrics.Table("nodes", series(fig4, traffic)...))
 	fmt.Println("\n== Figure 7: average transaction duration (ms) ==")
 	fmt.Print(metrics.Table("nodes", series([]string{"NoAuth", "HMAC", "RSA-AES"}, txn)...))
+	if *batchSign {
+		fmt.Println("\n== Footnote 2: RSA sign operations per fixpoint ==")
+		fmt.Print(metrics.Table("nodes", series([]string{"RSA", "RSA-batch"},
+			func(a *agg) float64 { return float64(a.signs) })...))
+	}
 	fig7 := []core.PolicyConfig{{Auth: core.AuthNone}, {Auth: core.AuthHMAC}, {Auth: core.AuthRSA, Encrypt: true}}
 
 	if *cdfSize > 0 {

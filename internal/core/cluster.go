@@ -64,8 +64,9 @@ type Cluster struct {
 	// before Start.
 	KeyStores []*seccrypto.KeyStore
 
-	det  *dist.Detector
-	pool *seccrypto.VerifyPool
+	det   *dist.Detector
+	pool  *seccrypto.VerifyPool
+	spool *seccrypto.SignPool
 
 	started  bool
 	startAt  time.Time
@@ -124,8 +125,14 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			if c.pool != nil {
 				c.pool.Close()
 			}
+			if c.spool != nil {
+				c.spool.Close()
+			}
 		}
 	}()
+	if cfg.Policy.BatchSign && cfg.Policy.Auth != AuthRSA {
+		return nil, fmt.Errorf("cluster: BatchSign requires the RSA scheme, got %s", cfg.Policy.Auth)
+	}
 
 	// Endpoints first: socket-backed networks only know their addresses
 	// after binding, and the principal directory must carry real ones.
@@ -176,9 +183,12 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		exportables = append(exportables, t[0])
 	}
 
-	var preVerify func(string, [][]byte)
+	var preVerify func(wire.Message)
 	if cfg.Policy.Auth == AuthRSA {
 		c.pool = seccrypto.NewVerifyPool(0)
+		// Outbound mirror of the verify pool: rsa_sign memoizes across
+		// re-derivations, and batch mode signs envelope digests here too.
+		c.spool = seccrypto.NewSignPool(0)
 		// Public key material is identical in every keystore, so one
 		// address→key map (and one shared hook) serves all nodes.
 		preVerify = c.preVerifier(ts.Stores[c.Principals[0]])
@@ -186,7 +196,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 
 	for i := 0; i < cfg.N; i++ {
 		ks := ts.Stores[c.Principals[i]]
-		reg, err := udf.NewRegistryWithVerifier(ks, seccrypto.NewDeterministicRand(cfg.Seed+2), c.pool)
+		reg, err := udf.NewRegistryWithPools(ks, seccrypto.NewDeterministicRand(cfg.Seed+2), c.pool, c.spool)
 		if err != nil {
 			return nil, err
 		}
@@ -201,6 +211,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		n := dist.NewNode(c.Principals[i], ws, eps[i])
 		n.SetPeers(c.Addrs)
 		n.PreVerify = preVerify
+		if cfg.Policy.BatchSign {
+			c.bindBatchSigner(n, ks)
+		}
 		c.Nodes = append(c.Nodes, n)
 		c.KeyStores = append(c.KeyStores, ks)
 	}
@@ -208,15 +221,45 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	return c, nil
 }
 
+// bindBatchSigner installs the outbound batch-signing hooks on one node:
+// each shipped envelope's payload digest is signed with the node's private
+// key through the shared signing pool, whose memo turns the warm-up issued
+// at enqueue time into a cache hit by the time the sender stage needs the
+// signature (footnote 2's "sign batch aggregates").
+func (c *Cluster) bindBatchSigner(n *dist.Node, ks *seccrypto.KeyStore) {
+	priv := ks.PrivateKey()
+	privDER := ks.PrivateKeyDER()
+	spool := c.spool
+	n.SignBatch = func(digest []byte) ([]byte, error) {
+		return spool.Sign(priv, privDER, digest)
+	}
+	n.WarmSignBatch = func(digest []byte) {
+		spool.Warm(priv, privDER, digest)
+	}
+}
+
+// SignPoolStats returns the shared signing pool's cache hits and misses
+// (one miss is one RSA private-key operation); zeros when the scheme does
+// not sign.
+func (c *Cluster) SignPoolStats() (hits, misses int64) {
+	if c.spool == nil {
+		return 0, 0
+	}
+	return c.spool.Stats()
+}
+
 // preVerifier builds a node's inbound pre-verification hook: payloads from
 // a known peer address are decoded speculatively and their signatures
 // submitted to the shared worker pool against the claimed sender's public
 // key — the same key the sigRSA policy's verification constraint will look
-// up, so the cached result is exactly what the transaction consumes.
+// up, so the cached result is exactly what the transaction consumes. A
+// batch envelope instead warms one check of its aggregate signature over
+// the digest of the received payload sequence — the exact triple the
+// sigRSABatch constraint will ask the pool for, once per envelope.
 // Encrypted or undecodable payloads are skipped; they verify inline inside
 // the transaction as before. This is an accelerator only: acceptance is
 // still decided by the compiled policy constraints.
-func (c *Cluster) preVerifier(ks *seccrypto.KeyStore) func(string, [][]byte) {
+func (c *Cluster) preVerifier(ks *seccrypto.KeyStore) func(wire.Message) {
 	type pubEntry struct {
 		pub *rsa.PublicKey
 		der []byte
@@ -231,12 +274,18 @@ func (c *Cluster) preVerifier(ks *seccrypto.KeyStore) func(string, [][]byte) {
 		byAddr[c.Addrs[j]] = pubEntry{pub: pub, der: der}
 	}
 	pool := c.pool
-	return func(from string, payloads [][]byte) {
-		pe, ok := byAddr[from]
+	return func(msg wire.Message) {
+		pe, ok := byAddr[msg.From]
 		if !ok {
 			return
 		}
-		for _, pl := range payloads {
+		if msg.Kind == wire.MsgBatch {
+			if len(msg.Sig) > 0 && len(msg.Payloads) > 0 {
+				pool.Warm(pe.pub, pe.der, wire.BatchDigest(msg.Payloads), msg.Sig)
+			}
+			return
+		}
+		for _, pl := range msg.Payloads {
 			p, err := wire.DecodePayload(pl)
 			if err != nil || len(p.Sig) == 0 {
 				continue
@@ -324,6 +373,9 @@ func (c *Cluster) Stop() {
 	c.Net.Close()
 	if c.pool != nil {
 		c.pool.Close()
+	}
+	if c.spool != nil {
+		c.spool.Close()
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"secureblox/internal/datalog"
 	"secureblox/internal/engine"
+	"secureblox/internal/seccrypto"
 	"secureblox/internal/transport"
 	"secureblox/internal/wire"
 )
@@ -107,6 +108,8 @@ func TestDistributedReachableAllSchemes(t *testing.T) {
 		{Auth: AuthRSA},
 		{Auth: AuthRSA, Encrypt: true},
 		{Auth: AuthNone, Encrypt: true},
+		{Auth: AuthRSA, BatchSign: true},
+		{Auth: AuthRSA, BatchSign: true, Encrypt: true},
 	}
 	for _, p := range policies {
 		p := p
@@ -221,6 +224,100 @@ func TestForgedSignatureRejectedUnderRSA(t *testing.T) {
 			t.Errorf("attacker fact leaked: %s", tp)
 		}
 	}
+}
+
+func TestForgedTrafficRejectedUnderBatchSigning(t *testing.T) {
+	// Batch-signed RSA must keep the per-tuple scheme's threat coverage:
+	// an unsigned data message is rejected for lacking batch coverage, and
+	// a batch envelope with a bogus aggregate signature fails verification.
+	c := buildChain(t, 3, PolicyConfig{Auth: AuthRSA, BatchSign: true})
+	defer c.Stop()
+	waitFixpoint(t, c)
+	before := len(c.Query(0, "reachable"))
+	beforeBatch := len(c.Query(0, "export_batch")) // honest envelopes' rows
+	processed := c.Nodes[0].Metrics.MsgsProcessed()
+
+	forged := wire.EncodePayload(wire.Payload{
+		Pred: "reachable",
+		Vals: datalog.Tuple{datalog.NodeV("6.6.6.6:666"), datalog.NodeV("6.6.6.6:666")},
+	})
+	evil := c.MemNet().Endpoint("6.6.6.6:666")
+
+	// 1. A plain (non-batch) data message claiming a real peer: no
+	// export_batch coverage, so the coverage constraint rejects it.
+	plain := wire.EncodeMessage(wire.Message{From: c.Addrs[1], Payloads: [][]byte{forged}})
+	if err := evil.Send(c.Addrs[0], plain); err != nil {
+		t.Fatal(err)
+	}
+	// 2. A batch envelope with a forged aggregate signature.
+	env := wire.EncodeMessage(wire.Message{
+		Kind:     wire.MsgBatch,
+		From:     c.Addrs[1],
+		Sig:      []byte("forged batch signature"),
+		Payloads: [][]byte{forged},
+	})
+	if err := evil.Send(c.Addrs[0], env); err != nil {
+		t.Fatal(err)
+	}
+	// 3. A batch envelope spoofing the receiver's own address: still needs
+	// a signature only the receiver itself could have produced.
+	spoof := wire.EncodeMessage(wire.Message{
+		Kind:     wire.MsgBatch,
+		From:     c.Addrs[0],
+		Sig:      []byte("not self-signed either"),
+		Payloads: [][]byte{forged},
+	})
+	if err := evil.Send(c.Addrs[0], spoof); err != nil {
+		t.Fatal(err)
+	}
+	waitProcessed(t, c, 0, processed+3)
+	waitFixpoint(t, c)
+
+	if v := c.Nodes[0].Violations(); len(v) != 3 {
+		t.Fatalf("want 3 rejections (uncovered, bad batch sig, spoofed self), got %v", v)
+	}
+	if got := len(c.Query(0, "reachable")); got != before {
+		t.Errorf("forged traffic polluted reachable: %d -> %d", before, got)
+	}
+	if got := len(c.Query(0, "export_batch")); got != beforeBatch {
+		t.Errorf("rejected envelopes left export_batch residue: %d -> %d rows", beforeBatch, got)
+	}
+}
+
+func TestBatchSigningRequiresRSA(t *testing.T) {
+	_, err := NewCluster(ClusterConfig{
+		N: 2, Policy: PolicyConfig{Auth: AuthHMAC, BatchSign: true}, Query: reachableQuery,
+	})
+	if err == nil || !strings.Contains(err.Error(), "BatchSign") {
+		t.Errorf("BatchSign without RSA should be rejected, got %v", err)
+	}
+}
+
+func TestBatchSigningReducesSignOps(t *testing.T) {
+	// The acceptance check for footnote 2: per fixpoint, batch signing
+	// performs strictly fewer RSA private-key operations than inline
+	// per-tuple signing — one per shipped envelope (memoized) instead of
+	// one per distinct said fact.
+	run := func(p PolicyConfig) int64 {
+		before := seccrypto.SignOps()
+		c := buildChain(t, 4, p)
+		waitFixpoint(t, c)
+		if v := c.Violations(); len(v) != 0 {
+			t.Fatalf("%s: violations %v", p.Name(), v)
+		}
+		checkFullReachability(t, c, 4)
+		c.Stop()
+		return seccrypto.SignOps() - before
+	}
+	inline := run(PolicyConfig{Auth: AuthRSA})
+	batched := run(PolicyConfig{Auth: AuthRSA, BatchSign: true})
+	if inline == 0 {
+		t.Fatal("inline RSA run performed no signatures")
+	}
+	if batched >= inline {
+		t.Errorf("batch signing did not reduce RSA sign ops: inline=%d batched=%d", inline, batched)
+	}
+	t.Logf("RSA sign ops per fixpoint: inline=%d batched=%d", inline, batched)
 }
 
 func TestForgedAdvertisementAcceptedUnderNoAuth(t *testing.T) {

@@ -25,13 +25,23 @@
 // under datagram loss.
 package dist
 
-// ExportDecl is the BloxGenerics source declaring the export relation the
+// ExportDecl is the BloxGenerics source declaring the export relations the
 // runtime and the policies share: export(N, L, Pkt) holds an opaque payload
 // Pkt addressed to node N, originating at node L. Policies derive export
 // tuples on the sender (serialize/sign/encrypt) and consume them on the
 // receiver (decrypt/deserialize/verify); the runtime ships any tuple whose
 // destination is not the local node and asserts inbound ones with N bound
 // to the local node and L to the sender's claimed address.
+//
+// export_batch(L, Pkt, D, S) is the receiver-side record of a batch
+// envelope (paper footnote 2): payload Pkt arrived from node L inside an
+// envelope whose full payload sequence digests to D and carries batch
+// signature S. The runtime asserts one row per received payload, with D
+// recomputed locally from the received sequence; batch-signing policies
+// constrain every remotely sourced export to be covered by a row whose
+// signature verifies, so one RSA check (memoized across the rows of an
+// envelope) authenticates the whole batch.
 const ExportDecl = `
 	export(N, L, Pkt) -> node(N), node(L), bytes(Pkt).
+	export_batch(L, Pkt, D, S) -> node(L), bytes(Pkt), bytes(D), bytes(S).
 `

@@ -23,7 +23,18 @@ import (
 // The termination counter, by contrast, keys on the transport-level sender:
 // only datagrams from counted peers contribute to recv, mirroring how only
 // sends to counted peers contribute to sent. Counting happens whether or
-// not the message decodes, so peer counters stay balanced.
+// not the message decodes, so peer counters stay balanced — and so do the
+// RecordRecv/RecordMsgProcessed metrics, which cover exactly the same
+// datagrams (malformed ones included) to keep byte and message counts
+// comparable under corruption.
+//
+// A batch envelope (MsgBatch) additionally asserts one export_batch fact
+// per payload, binding the payload to the digest of the whole received
+// sequence and to the envelope's signature. The digest is recomputed here
+// from the payloads actually received — never taken from the sender — so a
+// batch-signing policy's constraints verify the signature against what
+// this node really saw, once per envelope thanks to the memoizing verify
+// pool.
 func (n *Node) handleMessage(in transport.InMsg, msg wire.Message, err error) {
 	if err == nil && msg.Kind == wire.MsgControl {
 		n.handleProbe(in.From, msg)
@@ -33,10 +44,10 @@ func (n *Node) handleMessage(in transport.InMsg, msg wire.Message, err error) {
 		n.ctrRecv.Add(1)
 	}
 	n.Metrics.RecordMsgProcessed()
+	n.Metrics.RecordRecv(len(in.Data))
 	if err != nil || len(msg.Payloads) == 0 {
 		return // malformed or empty datagram: drop it
 	}
-	n.Metrics.RecordRecv(len(in.Data))
 	self := datalog.NodeV(n.localAddr())
 	from := datalog.NodeV(msg.From)
 	facts := make([]engine.Fact, 0, len(msg.Payloads))
@@ -46,13 +57,26 @@ func (n *Node) handleMessage(in transport.InMsg, msg wire.Message, err error) {
 			Tuple: datalog.Tuple{self, from, datalog.BytesV(p)},
 		})
 	}
+	if msg.Kind == wire.MsgBatch {
+		digest := datalog.BytesV(wire.BatchDigest(msg.Payloads))
+		sig := datalog.BytesV(msg.Sig)
+		for _, p := range msg.Payloads {
+			facts = append(facts, engine.Fact{
+				Pred:  "export_batch",
+				Tuple: datalog.Tuple{from, datalog.BytesV(p), digest, sig},
+			})
+		}
+	}
 	n.commit(facts)
 }
 
 // handleProbe answers a termination-detection probe with a local snapshot:
-// the monotone peer-message counters plus whether local work is queued.
-// Because probes are served by the transaction loop itself, a report is
-// always taken between transactions, never mid-commit.
+// the monotone peer-message counters plus whether local work is queued or
+// an outbound chunk is still in the sender stage. Because probes are
+// served by the transaction loop itself, a report is always taken between
+// transactions, never mid-commit — and because outPending is read before
+// the counters (and decremented after ctrSent is bumped), a report that
+// claims passivity always includes every completed send in its counters.
 func (n *Node) handleProbe(replyTo string, msg wire.Message) {
 	if len(msg.Payloads) != 1 {
 		return
@@ -64,6 +88,7 @@ func (n *Node) handleProbe(replyTo string, msg wire.Message) {
 	n.mu.Lock()
 	active := len(n.pending) > 0
 	n.mu.Unlock()
+	active = active || n.outPending.Load() > 0
 	report := wire.Control{
 		Type:   wire.CtrlReport,
 		Wave:   c.Wave,

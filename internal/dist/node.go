@@ -26,17 +26,33 @@ type Node struct {
 	// activity timestamps for the evaluation figures.
 	Metrics *metrics.NodeMetrics
 	// PreVerify, if set, is called for every inbound data message before
-	// the transaction loop processes it, with the claimed source address
-	// and the opaque payloads. The cluster driver uses it to warm a
-	// signature-verification worker pool while earlier transactions are
-	// still committing; it must be cheap and must not block.
-	PreVerify func(from string, payloads [][]byte)
+	// the transaction loop processes it, with the decoded wire message
+	// (claimed source address, batch signature if any, opaque payloads).
+	// The cluster driver uses it to warm a signature-verification worker
+	// pool while earlier transactions are still committing; it must be
+	// cheap and must not block.
+	PreVerify func(msg wire.Message)
+	// SignBatch, if set before Start, switches outbound shipping to batch
+	// envelopes (paper footnote 2): instead of relying on per-tuple
+	// signatures inside the payloads, each datagram's payload sequence is
+	// covered by the one signature this hook returns over the sequence's
+	// wire.BatchDigest (computed once per chunk by the runtime), and
+	// sends run in an asynchronous pipeline stage that overlaps signing
+	// with the next transaction. The cluster driver binds it to a signing
+	// worker pool over the node's private key.
+	SignBatch func(digest []byte) ([]byte, error)
+	// WarmSignBatch, if set alongside SignBatch, is called with each
+	// chunk's digest as it is queued, so the signature is usually computed
+	// by the time the sender stage needs it. It must be cheap and must not
+	// block.
+	WarmSignBatch func(digest []byte)
 
 	ep transport.Transport
 
 	mu         sync.Mutex
 	pending    []batch
 	violations []error
+	failed     []string // dedup keys of failed sends, awaiting reclamation
 	stopped    bool
 
 	wake   chan struct{}
@@ -47,9 +63,10 @@ type Node struct {
 	stopOnce  sync.Once
 
 	// Termination-detection state. The counters are monotone counts of
-	// application messages exchanged with cluster peers; they are written
-	// only by the loop goroutine but read by external inspectors, hence
-	// atomics. peers is fixed before Start.
+	// application messages exchanged with cluster peers; ctrRecv is
+	// written only by the loop goroutine, ctrSent also by the outbound
+	// sender stage in batch-signing mode, and both are read by external
+	// inspectors — hence atomics. peers is fixed before Start.
 	peers   map[string]bool
 	ctrSent atomic.Uint64
 	ctrRecv atomic.Uint64
@@ -59,6 +76,14 @@ type Node struct {
 	selfAddr string          // cached principal_node[self] address
 
 	sentSize atomic.Int64 // mirror of len(sent) for external inspection
+
+	// Outbound pipeline state (batch-signing mode only). outCh carries
+	// chunks from the loop to the sender stage; outPending counts chunks
+	// queued but not yet on the wire, and is folded into the node's
+	// activity report so termination detection cannot conclude while a
+	// send is still in flight.
+	outCh      chan outChunk
+	outPending atomic.Int64
 }
 
 // batch is one queued unit of local work: a transaction's base facts,
@@ -111,9 +136,15 @@ func (n *Node) Counters() (sent, recv uint64) {
 // rather than to everything ever shipped.
 func (n *Node) SentSetSize() int { return int(n.sentSize.Load()) }
 
-// Start launches the transaction loop. It is idempotent.
+// Start launches the transaction loop — and, in batch-signing mode, the
+// outbound sender stage. It is idempotent.
 func (n *Node) Start() {
 	n.startOnce.Do(func() {
+		if n.SignBatch != nil {
+			n.outCh = make(chan outChunk, 64)
+			n.wg.Add(1)
+			go n.sender()
+		}
 		n.wg.Add(1)
 		go n.run()
 	})
@@ -184,6 +215,11 @@ type envelope struct {
 // reply is always a between-transactions snapshot.
 func (n *Node) run() {
 	defer n.wg.Done()
+	// The loop is the only writer of the outbound pipeline, so its exit
+	// closes the channel and winds the sender stage down.
+	if n.outCh != nil {
+		defer close(n.outCh)
+	}
 	// With a PreVerify hook the pump stage decodes each datagram (once)
 	// and pre-warms signature checks; without it the loop decodes inline.
 	var rawCh <-chan transport.InMsg
@@ -249,8 +285,8 @@ func (n *Node) pump(in <-chan transport.InMsg) <-chan envelope {
 		defer close(out)
 		for m := range in {
 			msg, err := wire.DecodeMessage(m.Data)
-			if err == nil && msg.Kind == wire.MsgData {
-				n.PreVerify(msg.From, msg.Payloads)
+			if err == nil && msg.Kind != wire.MsgControl {
+				n.PreVerify(msg)
 			}
 			select {
 			case out <- envelope{in: m, msg: msg, err: err}:

@@ -1,7 +1,10 @@
 package dist_test
 
 import (
+	"errors"
 	"runtime"
+	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -211,6 +214,169 @@ func TestRetractionPrunesSentSetAndReships(t *testing.T) {
 	}
 }
 
+func TestFailedSendReleasesDedupAndReships(t *testing.T) {
+	// The ship-path regression: a tuple whose first send fails must not be
+	// permanently dedup-suppressed. Once the destination becomes
+	// reachable, the next offer of the (still-derived) tuple ships it.
+	net := transport.NewMemNetwork()
+	const ghost = "10.9.9.9:1"
+	a := newTestNode(t, net, "a", addrA, nil, deriveRule)
+	det := newDetector(t, net, addrA)
+	a.Start()
+	defer a.Stop()
+
+	a.Assert([]engine.Fact{
+		{Pred: "pay", Tuple: datalog.Tuple{datalog.BytesV([]byte("dropped once"))}},
+		{Pred: "dest", Tuple: datalog.Tuple{datalog.NodeV(ghost)}},
+		{Pred: "trigger", Tuple: datalog.Tuple{datalog.Int64(1)}},
+	})
+	waitFixpoint(t, det)
+	if v := a.Violations(); len(v) != 1 {
+		t.Fatalf("first send should fail with one violation, got %v", v)
+	}
+	if sent := a.Metrics.Traffic().MsgsSent; sent != 0 {
+		t.Fatalf("failed send recorded as traffic: %d messages", sent)
+	}
+
+	// The destination comes up; a retraction that leaves the export
+	// derivable re-offers the live extent to ship. Before the fix, the
+	// stale dedup entry swallowed the tuple here forever.
+	raw := net.Endpoint(ghost)
+	a.Assert([]engine.Fact{{Pred: "trigger", Tuple: datalog.Tuple{datalog.Int64(2)}}})
+	a.Retract([]engine.Fact{{Pred: "trigger", Tuple: datalog.Tuple{datalog.Int64(1)}}})
+	waitFixpoint(t, det)
+
+	select {
+	case m := <-raw.Receive():
+		msg, err := wire.DecodeMessage(m.Data)
+		if err != nil || len(msg.Payloads) != 1 || string(msg.Payloads[0]) != "dropped once" {
+			t.Fatalf("re-shipped message malformed: %+v, %v", msg, err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("tuple dropped on first send was never re-shipped")
+	}
+	if got := a.SentSetSize(); got != 1 {
+		t.Errorf("sent set after successful re-ship: %d entries, want 1", got)
+	}
+	if v := a.Violations(); len(v) != 1 {
+		t.Errorf("re-ship should add no violations, got %v", v)
+	}
+}
+
+func TestOversizedPayloadIsolatedFromBatch(t *testing.T) {
+	// One payload beyond the datagram budget must not sink the flush it
+	// would have shared: it ships alone, fails alone with an attributable
+	// violation, and the rest of the batch flows.
+	rawNet := transport.NewMemNetwork()
+	wrap := func(addr string) transport.Transport {
+		return transport.NewReliable(rawNet.Endpoint(addr), transport.ReliableConfig{})
+	}
+	a := nodeOverEndpoint(t, "a", addrA, map[string]string{"b": addrB}, deriveRule, wrap(addrA))
+	b := nodeOverEndpoint(t, "b", addrB, map[string]string{"a": addrA}, "", wrap(addrB))
+	det := dist.NewDetector(wrap(addrDet), []string{addrA, addrB})
+	det.ReplyTimeout = 100 * time.Millisecond
+	a.Start()
+	b.Start()
+	defer a.Stop()
+	defer b.Stop()
+	defer det.Close()
+
+	big := make([]byte, transport.MaxDatagram+1)
+	a.Assert([]engine.Fact{
+		{Pred: "pay", Tuple: datalog.Tuple{datalog.BytesV([]byte("small one"))}},
+		{Pred: "pay", Tuple: datalog.Tuple{datalog.BytesV(big)}},
+		{Pred: "pay", Tuple: datalog.Tuple{datalog.BytesV([]byte("small two"))}},
+		{Pred: "dest", Tuple: datalog.Tuple{datalog.NodeV(addrB)}},
+		{Pred: "trigger", Tuple: datalog.Tuple{datalog.Int64(1)}},
+	})
+	waitFixpoint(t, det)
+
+	if got := b.WS.Count("got"); got != 2 {
+		t.Errorf("node b: got %d payloads, want the 2 small ones", got)
+	}
+	v := a.Violations()
+	if len(v) != 1 {
+		t.Fatalf("want exactly 1 violation for the oversized payload, got %v", v)
+	}
+	if !strings.Contains(v[0].Error(), "oversized") {
+		t.Errorf("violation should name the oversized payload, got: %v", v[0])
+	}
+}
+
+func TestBatchSignedPipelineDeliversEnvelopes(t *testing.T) {
+	// With a SignBatch hook the outbound path runs through the
+	// asynchronous sign-and-send stage: payloads arrive in MsgBatch
+	// envelopes, the receiver records export_batch provenance rows, and
+	// termination detection stays sound while chunks wait in the stage.
+	net := transport.NewMemNetwork()
+	a := newTestNode(t, net, "a", addrA, map[string]string{"b": addrB}, deriveRule)
+	var signed atomic.Int64
+	a.SignBatch = func(digest []byte) ([]byte, error) {
+		time.Sleep(10 * time.Millisecond) // let probes race the sender stage
+		signed.Add(1)
+		return []byte("stub batch signature"), nil
+	}
+	b := newTestNode(t, net, "b", addrB, map[string]string{"a": addrA}, "")
+	det := newDetector(t, net, addrA, addrB)
+	a.Start()
+	b.Start()
+	defer a.Stop()
+	defer b.Stop()
+
+	a.Assert([]engine.Fact{
+		{Pred: "pay", Tuple: datalog.Tuple{datalog.BytesV([]byte("first"))}},
+		{Pred: "pay", Tuple: datalog.Tuple{datalog.BytesV([]byte("second"))}},
+		{Pred: "dest", Tuple: datalog.Tuple{datalog.NodeV(addrB)}},
+		{Pred: "trigger", Tuple: datalog.Tuple{datalog.Int64(1)}},
+	})
+	waitFixpoint(t, det)
+
+	if got := b.WS.Count("got"); got != 2 {
+		t.Errorf("node b: got %d payloads over the batch pipeline, want 2", got)
+	}
+	if got := b.WS.Count("export_batch"); got != 2 {
+		t.Errorf("node b: %d export_batch provenance rows, want 2", got)
+	}
+	if signed.Load() == 0 {
+		t.Error("SignBatch was never invoked")
+	}
+	// One envelope per (transaction, route): both payloads committed
+	// together, so they share one signature.
+	if sent := a.Metrics.Traffic().MsgsSent; sent != 1 {
+		t.Errorf("batch pipeline sent %d messages, want 1 envelope", sent)
+	}
+	if v := append(a.Violations(), b.Violations()...); len(v) != 0 {
+		t.Errorf("unexpected violations: %v", v)
+	}
+}
+
+func TestBatchSigningFailureIsViolationNotLoss(t *testing.T) {
+	net := transport.NewMemNetwork()
+	a := newTestNode(t, net, "a", addrA, map[string]string{"b": addrB}, deriveRule)
+	a.SignBatch = func([]byte) ([]byte, error) {
+		return nil, errors.New("keystore exploded")
+	}
+	b := newTestNode(t, net, "b", addrB, map[string]string{"a": addrA}, "")
+	det := newDetector(t, net, addrA, addrB)
+	a.Start()
+	b.Start()
+	defer a.Stop()
+	defer b.Stop()
+
+	a.Assert([]engine.Fact{
+		{Pred: "pay", Tuple: datalog.Tuple{datalog.BytesV([]byte("unsignable"))}},
+		{Pred: "dest", Tuple: datalog.Tuple{datalog.NodeV(addrB)}},
+		{Pred: "trigger", Tuple: datalog.Tuple{datalog.Int64(1)}},
+	})
+	waitFixpoint(t, det)
+	if v := a.Violations(); len(v) != 1 || !strings.Contains(v[0].Error(), "batch signing") {
+		t.Errorf("signing failure should record one attributable violation, got %v", v)
+	}
+	if got := b.WS.Count("got"); got != 0 {
+		t.Errorf("unsigned payload leaked to the receiver: %d", got)
+	}
+}
+
 func TestStopIsIdempotentAndLeaksNoGoroutines(t *testing.T) {
 	before := runtime.NumGoroutine()
 
@@ -295,6 +461,12 @@ func TestDetectorSurvivesFailedSendsAndGarbage(t *testing.T) {
 	}
 	if _, recv := a.Counters(); recv != 0 {
 		t.Errorf("out-of-band traffic leaked into termination counters: recv=%d", recv)
+	}
+	// Byte and message metrics must not diverge under corruption: the
+	// malformed datagram counts in both or in neither.
+	if tr := a.Metrics.Traffic(); tr.MsgsRecv != a.Metrics.MsgsProcessed() {
+		t.Errorf("recv metrics diverged: %d messages recorded, %d processed",
+			tr.MsgsRecv, a.Metrics.MsgsProcessed())
 	}
 }
 
@@ -447,6 +619,15 @@ func TestTerminationOverReliableLossyTransport(t *testing.T) {
 	}
 	if got := a.WS.Count("got"); got != 1 {
 		t.Errorf("node a: got %d echoes over lossy transport, want 1", got)
+	}
+	// Under loss, duplication and retransmission the application-level
+	// recv metrics must stay consistent with each other: every datagram
+	// the loop consumed is counted in messages and in bytes alike.
+	for _, n := range []*dist.Node{a, b} {
+		if tr := n.Metrics.Traffic(); tr.MsgsRecv != n.Metrics.MsgsProcessed() {
+			t.Errorf("%s: recv metrics diverged: %d messages recorded, %d processed",
+				n.Principal, tr.MsgsRecv, n.Metrics.MsgsProcessed())
+		}
 	}
 }
 

@@ -8,20 +8,40 @@ import (
 	"secureblox/internal/wire"
 )
 
+// outChunk is one wire message in the making: a route's payloads that fit
+// a single datagram, together with the export-dedup keys they came from so
+// a failed send can release exactly those keys for re-shipping.
+type outChunk struct {
+	to, from  string
+	keys      []string
+	payloads  [][]byte
+	digest    []byte // batch-signing mode: BatchDigest(payloads), computed once
+	oversized bool   // single payload beyond the datagram budget, shipped alone
+}
+
 // ship sends the export tuples a transaction newly derived. The Inserted
 // delta already excludes tuples that were present before the transaction,
 // and the sent-set excludes anything shipped by an earlier transaction —
 // re-derivations of known facts therefore produce no traffic, which is
 // what lets distributed fixpoints terminate. Tuples addressed to this node
 // (inbound assertions and local loopbacks) are skipped.
+//
+// A tuple is only *durably* marked sent once its datagram is actually
+// accepted by the transport: the mark is taken optimistically here (so one
+// tuple is never in flight twice), but a failed send releases it again via
+// reclaimFailed, and the next offer of the tuple — a re-derivation or a
+// post-retraction export sync — ships it instead of dedup-suppressing it
+// forever.
 func (n *Node) ship(exports []datalog.Tuple) {
+	n.reclaimFailed()
 	if len(exports) == 0 {
 		return
 	}
 	self := n.localAddr()
 	type route struct{ to, from string }
 	var order []route
-	grouped := make(map[route][][]byte)
+	keys := make(map[route][]string)
+	payloads := make(map[route][][]byte)
 	for _, t := range exports {
 		if len(t) != 3 || t[0].Kind != datalog.KindNode || t[2].Kind != datalog.KindBytes {
 			continue // not a well-formed export(N, L, Pkt) tuple
@@ -36,51 +56,160 @@ func (n *Node) ship(exports []datalog.Tuple) {
 		}
 		n.sent[key] = true
 		r := route{to: to, from: t[1].Str}
-		if _, ok := grouped[r]; !ok {
+		if _, ok := payloads[r]; !ok {
 			order = append(order, r)
 		}
-		grouped[r] = append(grouped[r], t[2].Bytes)
+		keys[r] = append(keys[r], key)
+		payloads[r] = append(payloads[r], t[2].Bytes)
 	}
 	n.sentSize.Store(int64(len(n.sent)))
 	for _, r := range order {
-		n.sendBatched(r.to, r.from, grouped[r])
+		for _, c := range chunkRoute(r.to, r.from, keys[r], payloads[r], n.SignBatch != nil) {
+			n.dispatch(c)
+		}
 	}
 }
 
-// sendBatched ships one destination's payloads, splitting the batch into
-// as many messages as needed to stay under the transport datagram limit.
-// Each message put on the wire increments the termination counter (when
-// the destination is a counted peer) and the traffic metrics; a failed
-// send (unknown address, closed destination, oversized datagram) is
-// recorded as a violation so the loss is observable — over UDP the
-// reliable layer below retransmits until delivery, over memnet delivery
-// is immediate.
-func (n *Node) sendBatched(to, from string, payloads [][]byte) {
+// chunkRoute splits one route's payloads into datagram-sized chunks. A
+// single payload that cannot fit any datagram even alone is isolated into
+// its own flagged chunk up front, so its inevitable transport rejection
+// costs exactly one payload and one clearly-attributed violation instead
+// of silently sinking the batch it happened to share a flush with.
+func chunkRoute(to, from string, keys []string, payloads [][]byte, batchSigned bool) []outChunk {
 	header := wire.MessageOverhead(from)
-	var batch [][]byte
+	if batchSigned {
+		header = wire.MessageOverheadBatch(from)
+	}
+	var chunks []outChunk
+	var curKeys []string
+	var curPayloads [][]byte
 	size := header
 	flush := func() {
-		if len(batch) == 0 {
+		if len(curPayloads) == 0 {
 			return
 		}
-		data := wire.EncodeMessage(wire.Message{From: from, Payloads: batch})
-		if err := n.ep.Send(to, data); err != nil {
-			n.recordViolation(fmt.Errorf("dist: dropped %d-payload message to %s: %w", len(batch), to, err))
-		} else {
-			if n.countsPeer(to) {
-				n.ctrSent.Add(1)
-			}
-			n.Metrics.RecordSent(len(data))
-		}
-		batch, size = nil, header
+		chunks = append(chunks, outChunk{to: to, from: from, keys: curKeys, payloads: curPayloads})
+		curKeys, curPayloads, size = nil, nil, header
 	}
-	for _, p := range payloads {
+	for i, p := range payloads {
 		sz := wire.PayloadOverhead + len(p)
-		if len(batch) > 0 && size+sz > transport.MaxDatagram {
+		if header+sz > transport.MaxDatagram {
+			flush()
+			chunks = append(chunks, outChunk{
+				to: to, from: from,
+				keys: keys[i : i+1], payloads: payloads[i : i+1],
+				oversized: true,
+			})
+			continue
+		}
+		if len(curPayloads) > 0 && size+sz > transport.MaxDatagram {
 			flush()
 		}
-		batch = append(batch, p)
+		curKeys = append(curKeys, keys[i])
+		curPayloads = append(curPayloads, p)
 		size += sz
 	}
 	flush()
+	return chunks
+}
+
+// dispatch hands one chunk to the wire. Without a batch signer the send
+// happens inline, exactly as the paper's serial transaction loop does.
+// With one, the chunk enters the asynchronous outbound pipeline: its batch
+// digest is pre-warmed on the signing pool immediately, the chunk is
+// queued for the sender stage, and the loop goes back to committing the
+// next transaction while workers compute the signature — the outbound
+// mirror of the inbound pre-verify pump (footnote 2).
+func (n *Node) dispatch(c outChunk) {
+	if n.SignBatch != nil {
+		c.digest = wire.BatchDigest(c.payloads)
+	}
+	if n.outCh == nil {
+		n.sendChunk(c)
+		return
+	}
+	if n.WarmSignBatch != nil {
+		n.WarmSignBatch(c.digest)
+	}
+	n.outPending.Add(1)
+	n.outCh <- c
+}
+
+// sender is the outbound pipeline stage: it drains queued chunks, waits
+// for their (usually pre-warmed) batch signatures, and puts them on the
+// wire in order. outPending keeps termination detection sound — a node
+// with chunks still in this stage reports itself active, so a probe can
+// never observe balanced counters while a send is pending.
+func (n *Node) sender() {
+	defer n.wg.Done()
+	for c := range n.outCh {
+		select {
+		case <-n.stopCh:
+			// Stopping: discard rather than racing sends against Close.
+		default:
+			n.sendChunk(c)
+		}
+		n.outPending.Add(-1)
+	}
+}
+
+// sendChunk signs (in batch mode) and sends one chunk, updating the
+// termination counter (when the destination is a counted peer) and the
+// traffic metrics. On any failure — signing error, unknown address, closed
+// destination, oversized datagram — a violation is recorded so the loss is
+// observable and the chunk's dedup keys are released so the tuples ship
+// again when next offered; over UDP the reliable layer below retransmits
+// accepted datagrams until delivery, over memnet delivery is immediate.
+func (n *Node) sendChunk(c outChunk) {
+	msg := wire.Message{From: c.from, Payloads: c.payloads}
+	if n.SignBatch != nil {
+		sig, err := n.SignBatch(c.digest)
+		if err != nil {
+			n.recordViolation(fmt.Errorf("dist: batch signing of %d payloads to %s failed: %w", len(c.payloads), c.to, err))
+			n.releaseKeys(c.keys)
+			return
+		}
+		msg.Kind, msg.Sig = wire.MsgBatch, sig
+	}
+	data := wire.EncodeMessage(msg)
+	if err := n.ep.Send(c.to, data); err != nil {
+		if c.oversized {
+			n.recordViolation(fmt.Errorf("dist: oversized payload (%d bytes) to %s dropped: %w", len(c.payloads[0]), c.to, err))
+		} else {
+			n.recordViolation(fmt.Errorf("dist: dropped %d-payload message to %s: %w", len(c.payloads), c.to, err))
+		}
+		n.releaseKeys(c.keys)
+		return
+	}
+	if n.countsPeer(c.to) {
+		n.ctrSent.Add(1)
+	}
+	n.Metrics.RecordSent(len(data))
+}
+
+// releaseKeys queues a failed chunk's dedup keys for reclamation. It is
+// called from the loop goroutine (inline sends) and the sender stage, so
+// it only records the keys; reclaimFailed applies them on the loop
+// goroutine, which owns the sent-set.
+func (n *Node) releaseKeys(keys []string) {
+	n.mu.Lock()
+	n.failed = append(n.failed, keys...)
+	n.mu.Unlock()
+}
+
+// reclaimFailed un-marks tuples whose sends failed, so the next time they
+// are offered to ship they go out instead of being dedup-suppressed by a
+// send that never happened. Runs on the loop goroutine.
+func (n *Node) reclaimFailed() {
+	n.mu.Lock()
+	failed := n.failed
+	n.failed = nil
+	n.mu.Unlock()
+	if len(failed) == 0 {
+		return
+	}
+	for _, k := range failed {
+		delete(n.sent, k)
+	}
+	n.sentSize.Store(int64(len(n.sent)))
 }

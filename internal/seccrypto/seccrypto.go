@@ -74,8 +74,10 @@ func SHA1(data []byte) []byte {
 
 // RSASign signs the SHA-1 digest of data with PKCS#1 v1.5, as the paper
 // describes ("RSA authentication signs a SHA-1 digest of the data with the
-// private key of the sender").
+// private key of the sender"). Every invocation is counted in SignOps so
+// the evaluation can report private-key operations per fixpoint.
 func RSASign(priv *rsa.PrivateKey, data []byte) ([]byte, error) {
+	signOps.Add(1)
 	digest := sha1.Sum(data)
 	return rsa.SignPKCS1v15(nil, priv, crypto.SHA1, digest[:])
 }

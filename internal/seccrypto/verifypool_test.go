@@ -83,6 +83,53 @@ func TestVerifyPoolWarmThenVerifyConcurrent(t *testing.T) {
 	}
 }
 
+func TestVerifyPoolPruneEvictsOnlyCompletedEntries(t *testing.T) {
+	priv, err := GenerateRSAKey(NewDeterministicRand(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := &priv.PublicKey
+	der := MarshalPublicKey(pub)
+	p := NewVerifyPool(2)
+	defer p.Close()
+	p.mu.Lock()
+	p.maxSize = 8
+	// Plant an in-flight entry by hand: its done channel never closes, so
+	// eviction must skip it no matter how much churn follows (a waiter may
+	// hold a reference and would otherwise hang on a re-inserted twin).
+	inflight := &verifyEntry{done: make(chan struct{})}
+	var inflightKey [32]byte
+	inflightKey[0] = 0xAB
+	p.cache[inflightKey] = inflight
+	p.mu.Unlock()
+
+	data := []byte("churn")
+	sig, err := RSASign(priv, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		// Distinct sig bytes give distinct cache keys; each Verify inserts
+		// a completed entry and triggers pruning past maxSize.
+		s := append([]byte(nil), sig...)
+		s[0], s[1] = byte(i), byte(i>>8)
+		p.Verify(pub, der, data, s)
+		p.mu.Lock()
+		n := len(p.cache)
+		_, kept := p.cache[inflightKey]
+		p.mu.Unlock()
+		// The entry being inserted is itself in flight while pruning runs,
+		// so the bound is maxSize plus the current insertion.
+		if n > 8+1 {
+			t.Fatalf("verify cache grew to %d entries, want <= maxSize+1", n)
+		}
+		if !kept {
+			t.Fatal("in-flight entry was evicted")
+		}
+	}
+	close(inflight.done)
+}
+
 func TestVerifyPoolCloseCompletesQueuedWork(t *testing.T) {
 	priv, err := GenerateRSAKey(NewDeterministicRand(3))
 	if err != nil {

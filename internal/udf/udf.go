@@ -35,15 +35,39 @@ func sigData(param string, vals []datalog.Value) []byte {
 // keystore (for key lookups) and a randomness source (for IVs; pass a
 // deterministic reader in tests).
 func Register(reg *engine.UDFRegistry, ks *seccrypto.KeyStore, rng io.Reader) error {
-	return RegisterWithVerifier(reg, ks, rng, nil)
+	return RegisterWithPools(reg, ks, rng, nil, nil)
 }
 
-// RegisterWithVerifier is Register with an optional shared RSA
-// verification pool: when pool is non-nil, rsa_verify consults its
+// RegisterWithPools is Register with optional shared RSA worker pools.
+// When vpool is non-nil, rsa_verify and rsa_verify_batch consult its
 // memoizing worker pool (warmed by the node runtime's inbound pre-verify
 // hook) instead of verifying inline, so signature checks overlap with
-// transaction execution. Verification semantics are identical.
-func RegisterWithVerifier(reg *engine.UDFRegistry, ks *seccrypto.KeyStore, rng io.Reader, pool *seccrypto.VerifyPool) error {
+// transaction execution. When spool is non-nil, rsa_sign and
+// rsa_sign_batch route through the signing pool, so re-derivations of
+// already-signed facts hit the memo instead of redoing the private-key
+// operation (footnote 2: signing dominates RSA runs). Semantics are
+// identical either way.
+func RegisterWithPools(reg *engine.UDFRegistry, ks *seccrypto.KeyStore, rng io.Reader, vpool *seccrypto.VerifyPool, spool *seccrypto.SignPool) error {
+	sign := func(privDER, data []byte) ([]byte, error) {
+		priv, err := ks.ParsePriv(privDER)
+		if err != nil {
+			return nil, fmt.Errorf("bad private key: %w", err)
+		}
+		if spool != nil {
+			return spool.Sign(priv, privDER, data)
+		}
+		return seccrypto.RSASign(priv, data)
+	}
+	verify := func(pubDER, data, sig []byte) bool {
+		pub, err := ks.ParsePub(pubDER)
+		if err != nil {
+			return false // unparseable key: fail the match
+		}
+		if vpool != nil {
+			return vpool.Verify(pub, pubDER, data, sig)
+		}
+		return seccrypto.RSAVerify(pub, data, sig)
+	}
 	udfs := []engine.UDF{
 		sha1UDF{},
 		&serializeUDF{},
@@ -52,31 +76,34 @@ func RegisterWithVerifier(reg *engine.UDFRegistry, ks *seccrypto.KeyStore, rng i
 		&anonDeserializeUDF{},
 		&engine.FuncUDF{FName: "rsa_sign", InArity: -1, OutArity: 1,
 			Fn: func(param string, in []datalog.Value) ([]datalog.Value, bool, error) {
-				priv, err := ks.ParsePriv(in[0].Bytes)
+				sig, err := sign(in[0].Bytes, sigData(param, in[1:]))
 				if err != nil {
-					return nil, false, fmt.Errorf("rsa_sign: bad private key: %w", err)
-				}
-				sig, err := seccrypto.RSASign(priv, sigData(param, in[1:]))
-				if err != nil {
-					return nil, false, err
+					return nil, false, fmt.Errorf("rsa_sign: %w", err)
 				}
 				return []datalog.Value{datalog.BytesV(sig)}, true, nil
 			}},
 		&engine.FuncUDF{FName: "rsa_verify", InArity: -1, OutArity: 0,
 			Fn: func(param string, in []datalog.Value) ([]datalog.Value, bool, error) {
-				pub, err := ks.ParsePub(in[0].Bytes)
-				if err != nil {
-					return nil, false, nil // unparseable key: fail the match
-				}
 				n := len(in)
-				data, sig := sigData(param, in[1:n-1]), in[n-1].Bytes
-				var ok bool
-				if pool != nil {
-					ok = pool.Verify(pub, in[0].Bytes, data, sig)
-				} else {
-					ok = seccrypto.RSAVerify(pub, data, sig)
+				return nil, verify(in[0].Bytes, sigData(param, in[1:n-1]), in[n-1].Bytes), nil
+			}},
+		// rsa_sign_batch(K, D, S) / rsa_verify_batch(K, D, S) operate on a
+		// precomputed batch digest (wire.BatchDigest) instead of the
+		// serialized values of one said fact: one signature covers a whole
+		// export batch (footnote 2), and the memoizing verify pool turns
+		// the receiver's per-payload constraint checks into one RSA
+		// operation plus cache hits.
+		&engine.FuncUDF{FName: "rsa_sign_batch", InArity: 2, OutArity: 1,
+			Fn: func(_ string, in []datalog.Value) ([]datalog.Value, bool, error) {
+				sig, err := sign(in[0].Bytes, in[1].Bytes)
+				if err != nil {
+					return nil, false, fmt.Errorf("rsa_sign_batch: %w", err)
 				}
-				return nil, ok, nil
+				return []datalog.Value{datalog.BytesV(sig)}, true, nil
+			}},
+		&engine.FuncUDF{FName: "rsa_verify_batch", InArity: 3, OutArity: 0,
+			Fn: func(_ string, in []datalog.Value) ([]datalog.Value, bool, error) {
+				return nil, verify(in[0].Bytes, in[1].Bytes, in[2].Bytes), nil
 			}},
 		&engine.FuncUDF{FName: "hmac_sign", InArity: -1, OutArity: 1,
 			Fn: func(param string, in []datalog.Value) ([]datalog.Value, bool, error) {
@@ -182,14 +209,14 @@ func RegisterWithVerifier(reg *engine.UDFRegistry, ks *seccrypto.KeyStore, rng i
 
 // NewRegistry builds a fresh registry with the full library installed.
 func NewRegistry(ks *seccrypto.KeyStore, rng io.Reader) (*engine.UDFRegistry, error) {
-	return NewRegistryWithVerifier(ks, rng, nil)
+	return NewRegistryWithPools(ks, rng, nil, nil)
 }
 
-// NewRegistryWithVerifier builds a registry whose rsa_verify runs through
-// a shared verification pool (see RegisterWithVerifier).
-func NewRegistryWithVerifier(ks *seccrypto.KeyStore, rng io.Reader, pool *seccrypto.VerifyPool) (*engine.UDFRegistry, error) {
+// NewRegistryWithPools builds a registry whose RSA UDFs run through shared
+// verification and signing pools (see RegisterWithPools).
+func NewRegistryWithPools(ks *seccrypto.KeyStore, rng io.Reader, vpool *seccrypto.VerifyPool, spool *seccrypto.SignPool) (*engine.UDFRegistry, error) {
 	reg := engine.NewUDFRegistry()
-	if err := RegisterWithVerifier(reg, ks, rng, pool); err != nil {
+	if err := RegisterWithPools(reg, ks, rng, vpool, spool); err != nil {
 		return nil, err
 	}
 	return reg, nil

@@ -7,6 +7,7 @@ import (
 	"secureblox/internal/datalog"
 	"secureblox/internal/engine"
 	"secureblox/internal/seccrypto"
+	"secureblox/internal/wire"
 )
 
 func newWS(t *testing.T, self string, src string) (*engine.Workspace, *seccrypto.KeyStore) {
@@ -116,6 +117,111 @@ func forgePayload(t *testing.T, pred string, sig []byte) []byte {
 		t.Fatal(err)
 	}
 	return w.Tuples("out")[0][0].Bytes
+}
+
+func TestBatchSignVerifyUDFs(t *testing.T) {
+	// rsa_sign_batch / rsa_verify_batch operate on a precomputed batch
+	// digest: one signature covers a whole export batch (footnote 2).
+	w, ks := newWS(t, "alice", `
+		digest(D) -> bytes(D).
+		signed(D, S) <- digest(D), private_key[]=K, rsa_sign_batch(K, D, S).
+		signed(D, S) -> public_key(P, K), rsa_verify_batch(K, D, S).
+	`)
+	if _, err := w.Assert([]engine.Fact{
+		{Pred: "private_key", Tuple: datalog.Tuple{datalog.BytesV(ks.PrivateKeyDER())}},
+		{Pred: "public_key", Tuple: datalog.Tuple{datalog.Prin("alice"), datalog.BytesV(ks.PublicKeyDER("alice"))}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d := wire.BatchDigest([][]byte{[]byte("payload one"), []byte("payload two")})
+	if _, err := w.Assert([]engine.Fact{{Pred: "digest", Tuple: datalog.Tuple{datalog.BytesV(d)}}}); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count("signed") != 1 {
+		t.Fatal("batch signing pipeline did not complete")
+	}
+	sig := w.Tuples("signed")[0][1].Bytes
+	pub, err := ks.ParsePub(ks.PublicKeyDER("alice"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seccrypto.RSAVerify(pub, d, sig) {
+		t.Error("rsa_sign_batch signature does not verify against the raw digest")
+	}
+}
+
+func TestBadBatchSignatureRejectedByConstraint(t *testing.T) {
+	w, ks := newWS(t, "alice", `
+		claimed(D, S) -> bytes(D), bytes(S).
+		claimed(D, S) -> public_key(P, K), rsa_verify_batch(K, D, S).
+	`)
+	if _, err := w.Assert([]engine.Fact{
+		{Pred: "public_key", Tuple: datalog.Tuple{datalog.Prin("alice"), datalog.BytesV(ks.PublicKeyDER("alice"))}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d := wire.BatchDigest([][]byte{[]byte("payload")})
+	_, err := w.Assert([]engine.Fact{{Pred: "claimed", Tuple: datalog.Tuple{
+		datalog.BytesV(d), datalog.BytesV([]byte("forged batch signature")),
+	}}})
+	var cv *engine.ConstraintViolation
+	if !errors.As(err, &cv) {
+		t.Fatalf("forged batch signature must violate, got %v", err)
+	}
+	if w.Count("claimed") != 0 {
+		t.Error("rejected claim must be rolled back")
+	}
+}
+
+func TestPooledSigningMemoizesRederivations(t *testing.T) {
+	// With a SignPool installed, re-deriving the same signature (same key,
+	// same data) is a cache hit: no second private-key operation.
+	ts, err := seccrypto.NewTrustSetup([]string{"alice", "bob"}, seccrypto.NewDeterministicRand(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := ts.Stores["alice"]
+	spool := seccrypto.NewSignPool(2)
+	defer spool.Close()
+	reg, err := NewRegistryWithPools(ks, seccrypto.NewDeterministicRand(22), nil, spool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := engine.NewWorkspace(reg)
+	prog, err := datalog.Parse(`
+		trigger(X) -> int(X).
+		sig(V, S) <- trigger(X), payload(V), private_key[]=K, rsa_sign['m](K, V, S).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Install(prog); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Assert([]engine.Fact{
+		{Pred: "private_key", Tuple: datalog.Tuple{datalog.BytesV(ks.PrivateKeyDER())}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AssertProgramFacts(`payload(7). trigger(1).`); err != nil {
+		t.Fatal(err)
+	}
+	_, missesAfterFirst := spool.Stats()
+	if missesAfterFirst == 0 {
+		t.Fatal("first derivation should sign through the pool")
+	}
+	// A second trigger re-fires the rule over the same payload: the
+	// signature must come from the cache.
+	if _, err := w.AssertProgramFacts(`trigger(2).`); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := spool.Stats()
+	if misses != missesAfterFirst {
+		t.Errorf("re-derivation recomputed the signature: misses %d -> %d", missesAfterFirst, misses)
+	}
+	if hits == 0 {
+		t.Error("re-derivation did not hit the sign cache")
+	}
 }
 
 func TestHMACSignVerifyUDFs(t *testing.T) {

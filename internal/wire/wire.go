@@ -6,6 +6,7 @@
 package wire
 
 import (
+	"crypto/sha1"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -210,14 +211,21 @@ const (
 	MsgData MsgKind = 0
 	// MsgControl carries one encoded Control record.
 	MsgControl MsgKind = 1
+	// MsgBatch carries export payloads covered by one batch signature: the
+	// sender signs the SHA-1 digest of the whole payload sequence instead
+	// of each tuple (paper footnote 2), and the receiver's policy verifies
+	// once per envelope instead of once per payload.
+	MsgBatch MsgKind = 2
 )
 
 // Message is one transport datagram: a batch of export tuples committed by
-// a single transaction (MsgData), or one termination-detection control
-// record (MsgControl), addressed from one node to another.
+// a single transaction (MsgData, or MsgBatch when the batch is covered by
+// an aggregate signature), or one termination-detection control record
+// (MsgControl), addressed from one node to another.
 type Message struct {
 	Kind     MsgKind
 	From     string   // sender node address
+	Sig      []byte   // MsgBatch only: signature over BatchDigest(Payloads)
 	Payloads [][]byte // opaque export payloads (possibly encrypted)
 }
 
@@ -234,11 +242,42 @@ func MessageOverhead(from string) int {
 	return 1 + binary.MaxVarintLen64 + len(from) + binary.MaxVarintLen64
 }
 
+// MaxBatchSig upper-bounds the batch signature length the batch-envelope
+// framing budgets for (RSA-1024 signatures are 128 bytes; the headroom
+// admits larger keys without a wire change).
+const MaxBatchSig = 512
+
+// MessageOverheadBatch is MessageOverhead for a batch envelope: the base
+// framing plus the signature field at its budgeted maximum.
+func MessageOverheadBatch(from string) int {
+	return MessageOverhead(from) + binary.MaxVarintLen64 + MaxBatchSig
+}
+
+// BatchDigest returns the SHA-1 digest identifying a batch envelope's
+// payload sequence: each payload is length-prefixed so distinct sequences
+// cannot collide by concatenation. The sender signs this digest once per
+// envelope; the receiver recomputes it from the payloads it actually
+// received, so any tampering with any payload invalidates the signature.
+func BatchDigest(payloads [][]byte) []byte {
+	h := sha1.New()
+	var lenBuf [binary.MaxVarintLen64]byte
+	for _, p := range payloads {
+		n := binary.PutUvarint(lenBuf[:], uint64(len(p)))
+		h.Write(lenBuf[:n])
+		h.Write(p)
+	}
+	return h.Sum(nil)
+}
+
 // EncodeMessage serializes a message.
 func EncodeMessage(m Message) []byte {
 	buf := []byte{byte(m.Kind)}
 	buf = appendUvarint(buf, uint64(len(m.From)))
 	buf = append(buf, m.From...)
+	if m.Kind == MsgBatch {
+		buf = appendUvarint(buf, uint64(len(m.Sig)))
+		buf = append(buf, m.Sig...)
+	}
 	buf = appendUvarint(buf, uint64(len(m.Payloads)))
 	for _, p := range m.Payloads {
 		buf = appendUvarint(buf, uint64(len(p)))
@@ -253,7 +292,7 @@ func DecodeMessage(buf []byte) (Message, error) {
 	if len(buf) == 0 {
 		return m, ErrTruncated
 	}
-	if buf[0] > byte(MsgControl) {
+	if buf[0] > byte(MsgBatch) {
 		return m, fmt.Errorf("wire: bad message kind %d", buf[0])
 	}
 	m.Kind = MsgKind(buf[0])
@@ -266,9 +305,30 @@ func DecodeMessage(buf []byte) (Message, error) {
 		return m, ErrTruncated
 	}
 	m.From, buf = string(buf[:n]), buf[n:]
+	if m.Kind == MsgBatch {
+		var sl uint64
+		sl, buf, err = readUvarint(buf)
+		if err != nil {
+			return m, err
+		}
+		if sl > MaxBatchSig || uint64(len(buf)) < sl {
+			return m, ErrTruncated
+		}
+		m.Sig = append([]byte(nil), buf[:sl]...)
+		buf = buf[sl:]
+	}
 	cnt, buf, err := readUvarint(buf)
 	if err != nil {
 		return m, err
+	}
+	// Every payload costs at least one framing byte, so a count beyond the
+	// remaining buffer is a lie — reject it before trusting it with an
+	// allocation (garbage is decoded speculatively on the inbound path).
+	if cnt > uint64(len(buf)) {
+		return m, ErrTruncated
+	}
+	if cnt > 0 {
+		m.Payloads = make([][]byte, 0, cnt)
 	}
 	for i := uint64(0); i < cnt; i++ {
 		var l uint64

@@ -100,6 +100,75 @@ func TestMessageRoundTrip(t *testing.T) {
 	}
 }
 
+func TestBatchMessageRoundTrip(t *testing.T) {
+	m := Message{
+		Kind:     MsgBatch,
+		From:     "127.0.0.1:9000",
+		Sig:      []byte("batch signature bytes"),
+		Payloads: [][]byte{{1, 2}, {}, {3}},
+	}
+	got, err := DecodeMessage(EncodeMessage(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != MsgBatch || got.From != m.From || string(got.Sig) != string(m.Sig) || len(got.Payloads) != 3 {
+		t.Errorf("batch message round trip: %+v", got)
+	}
+	// An empty signature survives the trip (the field is present, empty).
+	m.Sig = nil
+	if got, err = DecodeMessage(EncodeMessage(m)); err != nil || len(got.Sig) != 0 {
+		t.Errorf("empty-sig batch round trip: %+v, %v", got, err)
+	}
+	// A truncated envelope is rejected at every cut point.
+	full := EncodeMessage(Message{Kind: MsgBatch, From: "a:1", Sig: []byte{9, 9}, Payloads: [][]byte{{1}}})
+	for i := 1; i < len(full); i++ {
+		if _, err := DecodeMessage(full[:i]); err == nil {
+			t.Errorf("truncation at %d accepted", i)
+		}
+	}
+}
+
+func TestDecodeMessageRejectsLyingCounts(t *testing.T) {
+	// A payload count (or signature length) the buffer cannot hold must be
+	// rejected before any allocation is sized from it.
+	head := []byte{byte(MsgData)}
+	head = appendUvarint(head, 3)
+	head = append(head, "a:1"...)
+	for _, n := range []uint64{1 << 20, 1 << 62, ^uint64(0)} {
+		buf := appendUvarint(append([]byte(nil), head...), n)
+		if _, err := DecodeMessage(append(buf, 1, 2, 3)); err == nil {
+			t.Errorf("payload count %d accepted against a tiny buffer", n)
+		}
+	}
+	sigHead := []byte{byte(MsgBatch)}
+	sigHead = appendUvarint(sigHead, 3)
+	sigHead = append(sigHead, "a:1"...)
+	huge := appendUvarint(append([]byte(nil), sigHead...), uint64(MaxBatchSig+1))
+	huge = append(huge, make([]byte, MaxBatchSig+1)...)
+	if _, err := DecodeMessage(appendUvarint(huge, 0)); err == nil {
+		t.Error("oversized batch signature accepted")
+	}
+}
+
+func TestBatchDigestIsSequenceSensitive(t *testing.T) {
+	a, b := []byte("aa"), []byte("bb")
+	base := string(BatchDigest([][]byte{a, b}))
+	if string(BatchDigest([][]byte{b, a})) == base {
+		t.Error("digest ignores payload order")
+	}
+	// Length prefixes prevent concatenation collisions: ["aa","bb"] must
+	// differ from ["aab","b"] and from the single payload "aabb".
+	if string(BatchDigest([][]byte{[]byte("aab"), []byte("b")})) == base {
+		t.Error("digest collides across payload boundaries")
+	}
+	if string(BatchDigest([][]byte{[]byte("aabb")})) == base {
+		t.Error("digest collides with concatenation")
+	}
+	if string(BatchDigest([][]byte{a, b})) != base {
+		t.Error("digest is not deterministic")
+	}
+}
+
 func TestControlRoundTrip(t *testing.T) {
 	cases := []Control{
 		{Type: CtrlProbe, Wave: 7},
