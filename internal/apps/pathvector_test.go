@@ -80,6 +80,38 @@ func TestHashJoinOverUDP(t *testing.T) {
 	}
 }
 
+func TestNoFullScanFallbacksInProtocolRuleSets(t *testing.T) {
+	// Every join step in the path-vector and hash-join rule sets must be
+	// answered by an index registered at compile time: after a full run, no
+	// node's evaluator may have fallen back to scanning a relation whose
+	// step had bound columns.
+	pv, err := RunPathVector(PathVectorConfig{N: 6, AvgDegree: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pv.Cluster.Stop()
+	for i, n := range pv.Cluster.Nodes {
+		s := n.WS.Stats()
+		if s.FullScanFallbacks != 0 {
+			t.Errorf("pathvector node %d: %d full-scan fallbacks (%s)", i, s.FullScanFallbacks, s)
+		}
+		if s.IndexProbes == 0 {
+			t.Errorf("pathvector node %d: evaluator never probed an index", i)
+		}
+	}
+	hj, err := RunHashJoin(HashJoinConfig{N: 3, SizeA: 60, SizeB: 50, JoinValues: 12, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hj.Cluster.Stop()
+	for i, n := range hj.Cluster.Nodes {
+		s := n.WS.Stats()
+		if s.FullScanFallbacks != 0 {
+			t.Errorf("hashjoin node %d: %d full-scan fallbacks (%s)", i, s.FullScanFallbacks, s)
+		}
+	}
+}
+
 func TestPathVectorUnderRSA(t *testing.T) {
 	res, err := RunPathVector(PathVectorConfig{
 		N: 6, AvgDegree: 3, Seed: 4,

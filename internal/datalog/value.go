@@ -12,6 +12,7 @@ package datalog
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/maphash"
 	"strconv"
 	"strings"
 )
@@ -193,6 +194,69 @@ func (v Value) AppendKey(buf []byte) []byte {
 		buf = append(buf, v.Bytes...)
 	}
 	return buf
+}
+
+// hashSeed keys all tuple hashing for this process. Hashes are only ever
+// used to address in-memory maps, so they do not need to be stable across
+// runs — but every hash in one process must use the same seed.
+var hashSeed = maphash.MakeSeed()
+
+const hashPrime = 1099511628211 // FNV-1a 64-bit prime, used to fold fields
+
+// HashInto folds v into the running 64-bit hash h without allocating. Equal
+// values always produce equal folds; unequal values may collide, so callers
+// must confirm candidates with Equal.
+func (v Value) HashInto(h uint64) uint64 {
+	h = (h ^ uint64(v.Kind)) * hashPrime
+	switch v.Kind {
+	case KindInt, KindBool:
+		h = (h ^ uint64(v.Int)) * hashPrime
+	case KindString, KindName, KindNode, KindPrin:
+		h = (h ^ maphash.String(hashSeed, v.Str)) * hashPrime
+	case KindEntity:
+		h = (h ^ maphash.String(hashSeed, v.Str)) * hashPrime
+		h = (h ^ uint64(v.Int)) * hashPrime
+	case KindBytes:
+		h = (h ^ maphash.Bytes(hashSeed, v.Bytes)) * hashPrime
+	}
+	return h
+}
+
+// tupleHashOffset is the FNV-1a offset basis, the seed of every tuple hash.
+const tupleHashOffset = 14695981039346656037
+
+// Hash returns the 64-bit hash of the whole tuple.
+func (t Tuple) Hash() uint64 { return t.HashPrefix(len(t)) }
+
+// HashPrefix returns the 64-bit hash of the first n values, used for
+// functional-dependency lookups.
+func (t Tuple) HashPrefix(n int) uint64 {
+	h := uint64(tupleHashOffset)
+	for _, v := range t[:n] {
+		h = v.HashInto(h)
+	}
+	return h
+}
+
+// HashCols returns the 64-bit hash of the projection of t onto cols, used by
+// secondary join indexes.
+func (t Tuple) HashCols(cols []int) uint64 {
+	h := uint64(tupleHashOffset)
+	for _, c := range cols {
+		h = t[c].HashInto(h)
+	}
+	return h
+}
+
+// HashValues hashes a value sequence exactly as HashCols hashes the
+// corresponding projection, so probe keys built from bound terms address the
+// same buckets as stored tuples.
+func HashValues(vals []Value) uint64 {
+	h := uint64(tupleHashOffset)
+	for _, v := range vals {
+		h = v.HashInto(h)
+	}
+	return h
 }
 
 // String renders the value as DatalogLB source text where possible.

@@ -1,0 +1,66 @@
+package datalog
+
+import "testing"
+
+func hashSamples() []Value {
+	return []Value{
+		Int64(0), Int64(1), Int64(-1), Int64(1 << 40),
+		String_(""), String_("a"), String_("ab"),
+		Name("a"), NodeV("a"), Prin("a"), // same payload, different kinds
+		Bool(true), Bool(false),
+		BytesV(nil), BytesV([]byte{1, 2, 3}),
+		Entity("pathvar", 1), Entity("pathvar", 2), Entity("other", 1),
+	}
+}
+
+func TestValueHashEqualConsistent(t *testing.T) {
+	vals := hashSamples()
+	for _, a := range vals {
+		for _, b := range vals {
+			ha := Tuple{a}.Hash()
+			hb := Tuple{b}.Hash()
+			if a.Equal(b) && ha != hb {
+				t.Errorf("equal values %s and %s hash differently", a, b)
+			}
+			// Distinct kinds with identical payloads must not collide (the
+			// kind byte is folded first) — a collision here would let a
+			// string impersonate a principal in hashed storage.
+			if !a.Equal(b) && ha == hb {
+				t.Errorf("distinct values %s and %s collide", a, b)
+			}
+		}
+	}
+}
+
+func TestTupleHashVariants(t *testing.T) {
+	tup := Tuple{Int64(1), String_("x"), Prin("p")}
+	if tup.Hash() != tup.HashPrefix(3) {
+		t.Error("Hash must equal full-length HashPrefix")
+	}
+	if tup.HashPrefix(2) != (Tuple{Int64(1), String_("x")}).Hash() {
+		t.Error("HashPrefix must equal hash of the prefix tuple")
+	}
+	if tup.HashCols([]int{0, 2}) != HashValues([]Value{Int64(1), Prin("p")}) {
+		t.Error("HashCols projection must equal HashValues of projected values")
+	}
+	if tup.HashCols([]int{2, 0}) != HashValues([]Value{Prin("p"), Int64(1)}) {
+		t.Error("HashCols must respect column order")
+	}
+	if HashValues(nil) != (Tuple{}).Hash() {
+		t.Error("empty hashes must agree")
+	}
+}
+
+func TestHashBoundaryCases(t *testing.T) {
+	// Concatenation ambiguity: ("ab","c") vs ("a","bc") must differ because
+	// each value is length-framed by maphash before folding.
+	a := Tuple{String_("ab"), String_("c")}
+	b := Tuple{String_("a"), String_("bc")}
+	if a.Hash() == b.Hash() {
+		t.Error("string-boundary tuples collide")
+	}
+	// Entity type/id boundaries.
+	if (Entity("x", 1).HashInto(0)) == (Entity("x1", 0).HashInto(0)) {
+		t.Error("entity boundary collision")
+	}
+}

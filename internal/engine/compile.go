@@ -17,7 +17,9 @@ const (
 	stepKindCheck                 // builtin type check (constraints only)
 )
 
-// step is one planned body operation.
+// step is one planned body operation. The source form (atom, l/r, checked)
+// is kept for diagnostics and type checking; execution uses the compiled
+// slot-addressed form filled in by finalizeSteps after planning.
 type step struct {
 	kind     stepKind
 	pred     string // concrete predicate name (match/neg/udf)
@@ -28,12 +30,26 @@ type step struct {
 	udf      UDF
 	typeName string       // stepKindCheck
 	checked  datalog.Term // stepKindCheck operand
+
+	// Compiled execution form.
+	args     []cterm // match/neg/udf: slot-compiled arguments
+	cl, cr   *cterm  // cmp operands
+	cchecked *cterm  // kind-check operand
+	rel      *Relation
+	// boundCols are the argument positions (ascending) holding a constant
+	// or a variable bound by an earlier step — the step's probe signature,
+	// derived from the planner's binding-order analysis.
+	boundCols []int
+	keyCols   []int     // match on a functional predicate: [0..KeyArity)
+	useFn     bool      // match: all key columns bound → functional lookup
+	probeIdx  *colIndex // secondary index registered for boundCols
 }
 
 // headEx is a head-existential variable with its entity type.
 type headEx struct {
 	name    string
 	entType string
+	slot    int
 }
 
 // CompiledRule is a planned derivation rule.
@@ -46,17 +62,28 @@ type CompiledRule struct {
 	exVars   []headEx
 	agg      *datalog.AggSpec
 	deltaIdx []int // indexes of stepMatch steps, for semi-naïve rotation
+
+	nSlots      int
+	slotNames   []string
+	cheads      [][]cterm // slot-compiled head arguments, parallel to heads
+	headRels    []*Relation
+	bodySlots   []int // slots of bodyVars, in the same (name-sorted) order
+	aggOverSlot int   // slot of agg.Over, -1 when absent
 }
 
 // String returns the source form of the rule.
 func (r *CompiledRule) String() string { return r.src.String() }
 
-// CompiledConstraint is a planned integrity constraint.
+// CompiledConstraint is a planned integrity constraint. LHS and RHS share
+// one slot space so an LHS binding seeds the RHS satisfiability query.
 type CompiledConstraint struct {
 	src      *datalog.Constraint
 	lhsSteps []step
 	rhsSteps []step
 	lhsIdx   []int // indexes of stepMatch steps in lhsSteps
+
+	nSlots    int
+	slotNames []string
 }
 
 // String returns the source form of the constraint.
@@ -243,6 +270,24 @@ func planSteps(unplanned []step, bound map[string]bool) ([]step, error) {
 			}
 		}
 	}
+	// boundColsOf records the step's probe signature: the argument positions
+	// that hold a constant or an already-bound variable at this point of the
+	// plan. At runtime exactly these positions carry values, so an index
+	// over them can be registered now and probed then.
+	boundColsOf := func(a *datalog.Atom) []int {
+		var cols []int
+		for i, t := range a.Args {
+			switch tt := t.(type) {
+			case datalog.Const:
+				cols = append(cols, i)
+			case datalog.Var:
+				if bound[tt.Name] {
+					cols = append(cols, i)
+				}
+			}
+		}
+		return cols
+	}
 
 	take := func(i int) step {
 		s := remaining[i]
@@ -358,7 +403,12 @@ func planSteps(unplanned []step, bound map[string]bool) ([]step, error) {
 		}
 		s := take(picked)
 		switch s.kind {
-		case stepMatch, stepUDF:
+		case stepMatch:
+			s.boundCols = boundColsOf(s.atom)
+			bindAtomVars(s.atom)
+		case stepNeg:
+			s.boundCols = boundColsOf(s.atom)
+		case stepUDF:
 			bindAtomVars(s.atom)
 		case stepCmp:
 			if s.op == "=" {
@@ -373,6 +423,64 @@ func planSteps(unplanned []step, bound map[string]bool) ([]step, error) {
 		out = append(out, s)
 	}
 	return out, nil
+}
+
+// finalizeSteps compiles each planned step's terms against the slot
+// allocator and selects its access path: functional lookup when every key
+// column is bound, otherwise a secondary hash index over the step's
+// bound-column signature, registered with the relation now so every later
+// probe is O(1). Fully bound and fully unbound steps need no index (they
+// are membership checks and leading scans respectively).
+func (w *Workspace) finalizeSteps(steps []step, sa *slotAlloc) {
+	for i := range steps {
+		s := &steps[i]
+		switch s.kind {
+		case stepMatch, stepNeg:
+			s.args = sa.compileAtom(s.atom)
+			s.rel = w.ensureRelation(s.pred)
+			arity := len(s.atom.Args)
+			if s.kind == stepMatch {
+				if ka := s.rel.schema.KeyArity; ka >= 0 && ka <= arity {
+					// boundCols only ever holds Const / bound-Var positions,
+					// so membership alone decides whether a key column will
+					// carry a value at runtime.
+					allKeys := true
+					for k := 0; k < ka; k++ {
+						found := false
+						for _, c := range s.boundCols {
+							if c == k {
+								found = true
+								break
+							}
+						}
+						if !found {
+							allKeys = false
+							break
+						}
+					}
+					if allKeys {
+						s.useFn = true
+						s.keyCols = make([]int, ka)
+						for k := range s.keyCols {
+							s.keyCols[k] = k
+						}
+					}
+				}
+			}
+			if !s.useFn && len(s.boundCols) > 0 && len(s.boundCols) < arity {
+				s.probeIdx = s.rel.EnsureIndex(s.boundCols)
+			}
+		case stepCmp:
+			cl := sa.compileTerm(s.l)
+			cr := sa.compileTerm(s.r)
+			s.cl, s.cr = &cl, &cr
+		case stepUDF:
+			s.args = sa.compileAtom(s.atom)
+		case stepKindCheck:
+			cc := sa.compileTerm(s.checked)
+			s.cchecked = &cc
+		}
+	}
 }
 
 func describeStep(s step) string {
@@ -424,11 +532,21 @@ func (w *Workspace) compileRule(r *datalog.Rule) (*CompiledRule, error) {
 		return nil, fmt.Errorf("rule %s: %w", r, err)
 	}
 
-	cr := &CompiledRule{src: r, heads: heads, steps: steps, agg: r.Agg}
+	sa := newSlotAlloc()
+	w.finalizeSteps(steps, sa)
+
+	cr := &CompiledRule{src: r, heads: heads, steps: steps, agg: r.Agg, aggOverSlot: -1}
+	for _, h := range heads {
+		cr.cheads = append(cr.cheads, sa.compileAtom(h))
+		cr.headRels = append(cr.headRels, w.ensureRelation(h.ConcreteName()))
+	}
 	for v := range bound {
 		cr.bodyVars = append(cr.bodyVars, v)
 	}
 	sort.Strings(cr.bodyVars)
+	for _, v := range cr.bodyVars {
+		cr.bodySlots = append(cr.bodySlots, sa.slot(v))
+	}
 	for i, s := range steps {
 		if s.kind == stepMatch {
 			cr.deltaIdx = append(cr.deltaIdx, i)
@@ -464,7 +582,7 @@ func (w *Workspace) compileRule(r *datalog.Rule) (*CompiledRule, error) {
 		if entType == "" {
 			return nil, fmt.Errorf("rule %s: head variable %s is unbound and has no entity type", r, v)
 		}
-		cr.exVars = append(cr.exVars, headEx{name: v, entType: entType})
+		cr.exVars = append(cr.exVars, headEx{name: v, entType: entType, slot: sa.slot(v)})
 	}
 	sort.Slice(cr.exVars, func(i, j int) bool { return cr.exVars[i].name < cr.exVars[j].name })
 
@@ -484,7 +602,12 @@ func (w *Workspace) compileRule(r *datalog.Rule) (*CompiledRule, error) {
 				return nil, fmt.Errorf("rule %s: aggregation group key %s not bound by body", r, v.Name)
 			}
 		}
+		if r.Agg.Over != "" {
+			cr.aggOverSlot = sa.slot(r.Agg.Over)
+		}
 	}
+	cr.nSlots = len(sa.names)
+	cr.slotNames = sa.names
 	return cr, nil
 }
 
@@ -545,7 +668,11 @@ func (w *Workspace) compileConstraint(con *datalog.Constraint) (*CompiledConstra
 	if err != nil {
 		return nil, fmt.Errorf("constraint %s: %w", con, err)
 	}
-	cc := &CompiledConstraint{src: con, lhsSteps: lhsSteps, rhsSteps: rhsSteps}
+	sa := newSlotAlloc()
+	w.finalizeSteps(lhsSteps, sa)
+	w.finalizeSteps(rhsSteps, sa)
+	cc := &CompiledConstraint{src: con, lhsSteps: lhsSteps, rhsSteps: rhsSteps,
+		nSlots: len(sa.names), slotNames: sa.names}
 	for i, s := range lhsSteps {
 		if s.kind == stepMatch {
 			cc.lhsIdx = append(cc.lhsIdx, i)

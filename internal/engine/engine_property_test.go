@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -172,6 +173,275 @@ func TestAggIncrementalMatchesBatchQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+// randomProgram emits a random stratified Datalog program over base
+// predicates e/2, f/3, g/2 and derived predicates d0..d2/2: bodies mix base
+// and derived atoms (recursion allowed), occasional inequality filters, and
+// negation over base predicates with bound variables or wildcards.
+func randomProgram(rng *rand.Rand) string {
+	vars := []string{"A", "B", "C", "D"}
+	bases := []struct {
+		name  string
+		arity int
+	}{{"e", 2}, {"f", 3}, {"g", 2}}
+	var sb strings.Builder
+	nRules := 3 + rng.Intn(4)
+	for ri := 0; ri < nRules; ri++ {
+		var bodyParts []string
+		bound := map[string]bool{}
+		nAtoms := 2 + rng.Intn(2)
+		for ai := 0; ai < nAtoms; ai++ {
+			var name string
+			var arity int
+			if rng.Intn(3) == 0 && ri > 0 {
+				name, arity = fmt.Sprintf("d%d", rng.Intn(3)), 2
+			} else {
+				b := bases[rng.Intn(len(bases))]
+				name, arity = b.name, b.arity
+			}
+			args := make([]string, arity)
+			for i := range args {
+				if rng.Intn(8) == 0 {
+					args[i] = fmt.Sprintf("%d", rng.Intn(4)) // constant
+				} else {
+					v := vars[rng.Intn(len(vars))]
+					args[i] = v
+					bound[v] = true
+				}
+			}
+			bodyParts = append(bodyParts, name+"("+strings.Join(args, ",")+")")
+		}
+		var boundVars []string
+		for _, v := range vars {
+			if bound[v] {
+				boundVars = append(boundVars, v)
+			}
+		}
+		if len(boundVars) == 0 {
+			continue
+		}
+		if len(boundVars) >= 2 && rng.Intn(3) == 0 {
+			bodyParts = append(bodyParts, boundVars[0]+" != "+boundVars[1])
+		}
+		if rng.Intn(2) == 0 {
+			b := bases[rng.Intn(len(bases))]
+			args := make([]string, b.arity)
+			for i := range args {
+				if rng.Intn(3) == 0 {
+					args[i] = "_"
+				} else {
+					args[i] = boundVars[rng.Intn(len(boundVars))]
+				}
+			}
+			bodyParts = append(bodyParts, "!"+b.name+"("+strings.Join(args, ",")+")")
+		}
+		h1 := boundVars[rng.Intn(len(boundVars))]
+		h2 := boundVars[rng.Intn(len(boundVars))]
+		fmt.Fprintf(&sb, "d%d(%s,%s) <- %s.\n", rng.Intn(3), h1, h2, strings.Join(bodyParts, ", "))
+	}
+	return sb.String()
+}
+
+// randomBaseFacts draws random ground facts for the base predicates.
+func randomBaseFacts(rng *rand.Rand, n int) []Fact {
+	arities := map[string]int{"e": 2, "f": 3, "g": 2}
+	names := []string{"e", "f", "g"}
+	facts := make([]Fact, 0, n)
+	for i := 0; i < n; i++ {
+		name := names[rng.Intn(len(names))]
+		tup := make(datalog.Tuple, arities[name])
+		for j := range tup {
+			tup[j] = datalog.Int64(int64(rng.Intn(4)))
+		}
+		facts = append(facts, Fact{Pred: name, Tuple: tup})
+	}
+	return facts
+}
+
+// sameExtents reports whether two workspaces hold identical extents for
+// every predicate (both directions, counts included).
+func sameExtents(t *testing.T, a, b *Workspace) bool {
+	t.Helper()
+	preds := map[string]bool{}
+	for _, p := range a.Predicates() {
+		preds[p] = true
+	}
+	for _, p := range b.Predicates() {
+		preds[p] = true
+	}
+	for p := range preds {
+		if a.Count(p) != b.Count(p) {
+			t.Logf("predicate %s: %d vs %d tuples", p, a.Count(p), b.Count(p))
+			return false
+		}
+		for _, tp := range a.Tuples(p) {
+			if !b.Contains(p, tp) {
+				t.Logf("predicate %s: %s missing from forced-scan workspace", p, tp)
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestIndexedMatchesForcedScanQuick: on randomized programs, indexed
+// evaluation (functional + secondary + delta indexes) must produce exactly
+// the same fixpoint as forced full-scan evaluation — through asserts,
+// retractions (which rebuild secondary indexes), and asserts after that.
+func TestIndexedMatchesForcedScanQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := randomProgram(rng)
+		prog, err := datalog.Parse(src)
+		if err != nil {
+			t.Fatalf("generator produced unparsable program:\n%s\n%v", src, err)
+		}
+		indexed := NewWorkspace(nil)
+		scans := NewWorkspace(nil)
+		scans.DisableIndexes = true
+		if err := indexed.Install(prog); err != nil {
+			t.Fatalf("install:\n%s\n%v", src, err)
+		}
+		if err := scans.Install(prog); err != nil {
+			t.Fatalf("install (forced scan): %v", err)
+		}
+		facts := randomBaseFacts(rng, 12+rng.Intn(15))
+		for len(facts) > 0 {
+			n := 1 + rng.Intn(len(facts))
+			batch := facts[:n]
+			facts = facts[n:]
+			if _, err := indexed.Assert(batch); err != nil {
+				t.Fatalf("assert: %v", err)
+			}
+			if _, err := scans.Assert(batch); err != nil {
+				t.Fatalf("assert (forced scan): %v", err)
+			}
+		}
+		if !sameExtents(t, indexed, scans) {
+			t.Logf("divergence after asserts, program:\n%s", src)
+			return false
+		}
+		// Retract a random subset of base facts from both and re-compare:
+		// deletion must rebuild every secondary index correctly.
+		for _, name := range []string{"e", "f", "g"} {
+			tuples := indexed.Tuples(name)
+			if len(tuples) == 0 {
+				continue
+			}
+			victim := tuples[rng.Intn(len(tuples))]
+			if err := indexed.Retract([]Fact{{Pred: name, Tuple: victim}}); err != nil {
+				t.Fatalf("retract: %v", err)
+			}
+			if err := scans.Retract([]Fact{{Pred: name, Tuple: victim}}); err != nil {
+				t.Fatalf("retract (forced scan): %v", err)
+			}
+		}
+		if !sameExtents(t, indexed, scans) {
+			t.Logf("divergence after retraction, program:\n%s", src)
+			return false
+		}
+		// New inserts after deletes probe the rebuilt indexes.
+		more := randomBaseFacts(rng, 6)
+		if _, err := indexed.Assert(more); err != nil {
+			t.Fatalf("assert: %v", err)
+		}
+		if _, err := scans.Assert(more); err != nil {
+			t.Fatalf("assert (forced scan): %v", err)
+		}
+		if !sameExtents(t, indexed, scans) {
+			t.Logf("divergence after post-retraction asserts, program:\n%s", src)
+			return false
+		}
+		if s := indexed.Stats(); s.FullScanFallbacks != 0 {
+			t.Logf("indexed workspace fell back to %d full scans, program:\n%s",
+				s.FullScanFallbacks, src)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGroundNegationIsConstantTime: a fully bound negated atom must be
+// answered by one hash probe, not a relation scan — the probe count must not
+// depend on the negated relation's size, and results must stay correct.
+func TestGroundNegationIsConstantTime(t *testing.T) {
+	build := func(nBig int) (*Workspace, int64) {
+		w := NewWorkspace(nil)
+		prog, err := datalog.Parse(`ok(X,Y) <- q(X,Y), !big(X,Y).`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Install(prog); err != nil {
+			t.Fatal(err)
+		}
+		var facts []Fact
+		for i := 0; i < nBig; i++ {
+			facts = append(facts, Fact{Pred: "big",
+				Tuple: datalog.Tuple{datalog.Int64(int64(i)), datalog.Int64(int64(i))}})
+		}
+		if _, err := w.Assert(facts); err != nil {
+			t.Fatal(err)
+		}
+		before := w.Stats()
+		if _, err := w.AssertProgramFacts(`q(1,1). q(1,2).`); err != nil {
+			t.Fatal(err)
+		}
+		d := w.Stats().Sub(before)
+		if d.FullScanFallbacks != 0 {
+			t.Fatalf("nBig=%d: ground negation fell back to %d full scans", nBig, d.FullScanFallbacks)
+		}
+		if !w.Contains("ok", datalog.Tuple{datalog.Int64(1), datalog.Int64(2)}) {
+			t.Fatalf("nBig=%d: ok(1,2) not derived", nBig)
+		}
+		if w.Contains("ok", datalog.Tuple{datalog.Int64(1), datalog.Int64(1)}) {
+			t.Fatalf("nBig=%d: ok(1,1) derived despite big(1,1)", nBig)
+		}
+		return w, d.IndexProbes
+	}
+	_, probesSmall := build(4)
+	_, probesLarge := build(4096)
+	if probesLarge != probesSmall {
+		t.Errorf("negation work scaled with relation size: %d probes at n=4, %d at n=4096",
+			probesSmall, probesLarge)
+	}
+}
+
+// TestPartiallyGroundNegationUsesIndex: negation with wildcards (the
+// path-vector pattern !pathlink(P, N, _)) must probe a secondary index on
+// its bound columns rather than scanning.
+func TestPartiallyGroundNegationUsesIndex(t *testing.T) {
+	w := NewWorkspace(nil)
+	prog, err := datalog.Parse(`fresh(X) <- cand(X), !seen(X,_).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Install(prog); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AssertProgramFacts(`seen(1, 10). seen(1, 11). seen(3, 12).`); err != nil {
+		t.Fatal(err)
+	}
+	before := w.Stats()
+	if _, err := w.AssertProgramFacts(`cand(1). cand(2).`); err != nil {
+		t.Fatal(err)
+	}
+	d := w.Stats().Sub(before)
+	if d.FullScanFallbacks != 0 {
+		t.Fatalf("wildcard negation fell back to %d full scans", d.FullScanFallbacks)
+	}
+	if d.IndexProbes == 0 {
+		t.Fatal("wildcard negation did not probe an index")
+	}
+	if w.Contains("fresh", datalog.Tuple{datalog.Int64(1)}) {
+		t.Error("fresh(1) derived despite seen(1,_)")
+	}
+	if !w.Contains("fresh", datalog.Tuple{datalog.Int64(2)}) {
+		t.Error("fresh(2) not derived")
 	}
 }
 

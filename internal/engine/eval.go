@@ -6,83 +6,6 @@ import (
 	"secureblox/internal/datalog"
 )
 
-// binding maps variable names to values, with a trail for backtracking.
-type binding struct {
-	vals  map[string]datalog.Value
-	trail []string
-}
-
-func newBinding() *binding {
-	return &binding{vals: make(map[string]datalog.Value)}
-}
-
-func (b *binding) mark() int { return len(b.trail) }
-
-func (b *binding) undo(mark int) {
-	for i := len(b.trail) - 1; i >= mark; i-- {
-		delete(b.vals, b.trail[i])
-	}
-	b.trail = b.trail[:mark]
-}
-
-func (b *binding) bind(name string, v datalog.Value) {
-	b.vals[name] = v
-	b.trail = append(b.trail, name)
-}
-
-func (b *binding) get(name string) (datalog.Value, bool) {
-	v, ok := b.vals[name]
-	return v, ok
-}
-
-// evalTerm computes the value of a plain or arithmetic term under a binding.
-func evalTerm(t datalog.Term, b *binding) (datalog.Value, error) {
-	switch tt := t.(type) {
-	case datalog.Const:
-		return tt.Val, nil
-	case datalog.Var:
-		v, ok := b.get(tt.Name)
-		if !ok {
-			return datalog.Value{}, fmt.Errorf("variable %s unbound", tt.Name)
-		}
-		return v, nil
-	case datalog.BinExpr:
-		l, err := evalTerm(tt.L, b)
-		if err != nil {
-			return datalog.Value{}, err
-		}
-		r, err := evalTerm(tt.R, b)
-		if err != nil {
-			return datalog.Value{}, err
-		}
-		if l.Kind == datalog.KindString && r.Kind == datalog.KindString && tt.Op == "+" {
-			return datalog.String_(l.Str + r.Str), nil
-		}
-		if l.Kind != datalog.KindInt || r.Kind != datalog.KindInt {
-			return datalog.Value{}, fmt.Errorf("arithmetic %s on non-integers %s, %s", tt.Op, l, r)
-		}
-		switch tt.Op {
-		case "+":
-			return datalog.Int64(l.Int + r.Int), nil
-		case "-":
-			return datalog.Int64(l.Int - r.Int), nil
-		case "*":
-			return datalog.Int64(l.Int * r.Int), nil
-		case "/":
-			if r.Int == 0 {
-				return datalog.Value{}, fmt.Errorf("division by zero")
-			}
-			return datalog.Int64(l.Int / r.Int), nil
-		default:
-			return datalog.Value{}, fmt.Errorf("unknown operator %s", tt.Op)
-		}
-	case datalog.Wildcard:
-		return datalog.Value{}, fmt.Errorf("wildcard has no value")
-	default:
-		return datalog.Value{}, fmt.Errorf("unevaluable term %T", t)
-	}
-}
-
 // compare applies a comparison operator to two values.
 func compare(op string, l, r datalog.Value) (bool, error) {
 	switch op {
@@ -109,173 +32,220 @@ func compare(op string, l, r datalog.Value) (bool, error) {
 	}
 }
 
-// unifyTuple matches a tuple against atom argument terms, extending the
-// binding. It returns false (leaving any partial bindings for the caller's
-// mark/undo) on mismatch.
-func unifyTuple(a *datalog.Atom, t datalog.Tuple, b *binding) bool {
-	if len(t) != len(a.Args) {
-		return false
-	}
-	for i, term := range a.Args {
-		switch tt := term.(type) {
-		case datalog.Wildcard:
-			// matches anything
-		case datalog.Const:
-			if !tt.Val.Equal(t[i]) {
-				return false
-			}
-		case datalog.Var:
-			if v, ok := b.get(tt.Name); ok {
-				if !v.Equal(t[i]) {
-					return false
-				}
-			} else {
-				b.bind(tt.Name, t[i])
-			}
-		default:
-			return false
-		}
-	}
-	return true
-}
-
 // evalEnv parameterizes a body evaluation: which relation snapshot to use
 // and the semi-naïve delta restriction.
 type evalEnv struct {
 	w         *Workspace
 	deltaStep int // index of the step to restrict to delta (-1: none)
 	delta     map[string][]datalog.Tuple
+
+	// deltaIdx is a projection index over the delta step's tuples on its
+	// bound-column signature, built lazily on the first probe of this
+	// evaluation so inner delta joins are O(1) probes instead of scans.
+	deltaIdx map[uint64][]datalog.Tuple
 }
 
-// candidates iterates tuples that may match the atom under the current
-// binding, using the functional or first-column index when possible.
-func (e *evalEnv) candidates(si int, s step, b *binding, fn func(datalog.Tuple) bool) error {
-	if si == e.deltaStep {
-		for _, t := range e.delta[s.pred] {
+// deltaCandidates iterates the delta tuples that may match the step under
+// the current frame, probing a lazily built projection index when the step
+// has bound columns.
+func (e *evalEnv) deltaCandidates(s *step, f *frame, fn func(datalog.Tuple) bool) {
+	tuples := e.delta[s.pred]
+	if len(tuples) == 0 {
+		return
+	}
+	if len(s.boundCols) == 0 || e.w.DisableIndexes {
+		e.w.stats.LeadingScans++
+		for _, t := range tuples {
 			if !fn(t) {
-				return nil
+				return
 			}
 		}
-		return nil
+		return
 	}
-	rel := e.w.rels[s.pred]
-	if rel == nil {
-		return nil
-	}
-	a := s.atom
-	// Functional fast path keyed by the relation's declared key arity (the
-	// atom may be written positionally).
-	if ka := rel.schema.KeyArity; ka >= 0 && ka <= len(a.Args) {
-		allKeys := true
-		keys := make(datalog.Tuple, 0, ka)
-		for i := 0; i < ka; i++ {
-			v, ok := termValue(a.Args[i], b)
-			if !ok {
-				allKeys = false
-				break
+	var buf [8]datalog.Value
+	vals, ok := gatherCols(s.args, s.boundCols, f, buf[:0])
+	if !ok {
+		e.w.stats.FullScanFallbacks++
+		for _, t := range tuples {
+			if !fn(t) {
+				return
 			}
-			keys = append(keys, v)
 		}
-		if allKeys {
-			if t, ok := rel.LookupFn(keys.Key()); ok {
+		return
+	}
+	if e.deltaIdx == nil {
+		e.deltaIdx = make(map[uint64][]datalog.Tuple, len(tuples))
+		for _, t := range tuples {
+			h := t.HashCols(s.boundCols)
+			e.deltaIdx[h] = append(e.deltaIdx[h], t)
+		}
+	}
+	e.w.stats.IndexProbes++
+	for _, t := range e.deltaIdx[datalog.HashValues(vals)] {
+		if matchesCols(t, s.boundCols, vals) && !fn(t) {
+			return
+		}
+	}
+}
+
+// candidates iterates tuples that may match the step under the current
+// frame. The step's compile-time bound-column signature selects the access
+// path: functional lookup, full-tuple membership, secondary index probe, or
+// — only when no column is bound — a leading relation scan.
+func (e *evalEnv) candidates(si int, s *step, f *frame, fn func(datalog.Tuple) bool) {
+	if si == e.deltaStep {
+		e.deltaCandidates(s, f, fn)
+		return
+	}
+	rel := s.rel
+	if e.w.DisableIndexes {
+		e.w.stats.LeadingScans++
+		rel.Each(fn)
+		return
+	}
+	if s.useFn {
+		var buf [8]datalog.Value
+		keys, ok := gatherCols(s.args, s.keyCols, f, buf[:0])
+		if ok {
+			e.w.stats.IndexProbes++
+			if t, found := rel.LookupFn(keys); found {
 				fn(t)
 			}
-			return nil
+			return
 		}
+		e.w.stats.FullScanFallbacks++
+		rel.Each(fn)
+		return
 	}
-	if len(a.Args) > 0 {
-		if v, ok := termValue(a.Args[0], b); ok {
-			rel.EachWithFirst(v, fn)
-			return nil
+	switch {
+	case len(s.boundCols) == 0:
+		e.w.stats.LeadingScans++
+		rel.Each(fn)
+	case len(s.boundCols) == len(s.args):
+		var buf [8]datalog.Value
+		vals, ok := gatherCols(s.args, s.boundCols, f, buf[:0])
+		if !ok {
+			e.w.stats.FullScanFallbacks++
+			rel.Each(fn)
+			return
 		}
-	}
-	rel.Each(fn)
-	return nil
-}
-
-// termValue returns the value of a plain term if it is determinable without
-// computation (Const or bound Var).
-func termValue(t datalog.Term, b *binding) (datalog.Value, bool) {
-	switch tt := t.(type) {
-	case datalog.Const:
-		return tt.Val, true
-	case datalog.Var:
-		return b.get(tt.Name)
+		e.w.stats.IndexProbes++
+		if rel.ContainsVals(vals) {
+			fn(datalog.Tuple(vals))
+		}
 	default:
-		return datalog.Value{}, false
+		if s.probeIdx == nil {
+			e.w.stats.FullScanFallbacks++
+			rel.Each(fn)
+			return
+		}
+		var buf [8]datalog.Value
+		vals, ok := gatherCols(s.args, s.boundCols, f, buf[:0])
+		if !ok {
+			e.w.stats.FullScanFallbacks++
+			rel.Each(fn)
+			return
+		}
+		e.w.stats.IndexProbes++
+		rel.Probe(s.probeIdx, vals, fn)
 	}
 }
 
-// runSteps executes steps[i:] under binding b, invoking emit for each
-// complete solution. emit returning an error aborts evaluation.
-func (e *evalEnv) runSteps(steps []step, i int, b *binding, emit func(*binding) error) error {
-	if i == len(steps) {
-		return emit(b)
+// negHolds decides a negated atom. The planner only schedules negations once
+// every variable is bound, so each argument is a value or a wildcard: fully
+// ground negations are one hash lookup, partially ground ones one index
+// probe — never a relation scan (unless indexes are disabled).
+func (e *evalEnv) negHolds(s *step, f *frame) bool {
+	rel := s.rel
+	if !e.w.DisableIndexes {
+		if len(s.boundCols) == len(s.args) {
+			var buf [8]datalog.Value
+			if vals, ok := gatherCols(s.args, s.boundCols, f, buf[:0]); ok {
+				e.w.stats.IndexProbes++
+				return rel.ContainsVals(vals)
+			}
+		} else if len(s.boundCols) == 0 {
+			// all arguments are wildcards: any tuple at all matches
+			return rel.Len() > 0
+		} else if s.probeIdx != nil {
+			var buf [8]datalog.Value
+			if vals, ok := gatherCols(s.args, s.boundCols, f, buf[:0]); ok {
+				e.w.stats.IndexProbes++
+				return rel.ProbeExists(s.probeIdx, vals)
+			}
+		}
 	}
-	s := steps[i]
+	// Forced-scan mode or plan/runtime disagreement: scan and unify. Only
+	// the oracle mode is legitimate — an unplanned scan of a negation with
+	// bound columns must register as a fallback so the ==0 guards see it.
+	if e.w.DisableIndexes {
+		e.w.stats.LeadingScans++
+	} else {
+		e.w.stats.FullScanFallbacks++
+	}
+	found := false
+	m := f.mark()
+	rel.Each(func(t datalog.Tuple) bool {
+		mm := f.mark()
+		if unifyArgs(s.args, t, f) {
+			found = true
+			f.undo(mm)
+			return false
+		}
+		f.undo(mm)
+		return true
+	})
+	f.undo(m)
+	return found
+}
+
+// runSteps executes steps[i:] under frame f, invoking emit for each
+// complete solution. emit returning an error aborts evaluation.
+func (e *evalEnv) runSteps(steps []step, i int, f *frame, emit func(*frame) error) error {
+	if i == len(steps) {
+		return emit(f)
+	}
+	s := &steps[i]
 	switch s.kind {
 	case stepMatch:
 		var iterErr error
-		err := e.candidates(i, s, b, func(t datalog.Tuple) bool {
-			m := b.mark()
-			if unifyTuple(s.atom, t, b) {
-				if err := e.runSteps(steps, i+1, b, emit); err != nil {
+		e.candidates(i, s, f, func(t datalog.Tuple) bool {
+			m := f.mark()
+			if unifyArgs(s.args, t, f) {
+				if err := e.runSteps(steps, i+1, f, emit); err != nil {
 					iterErr = err
-					b.undo(m)
+					f.undo(m)
 					return false
 				}
 			}
-			b.undo(m)
+			f.undo(m)
 			return true
 		})
-		if err != nil {
-			return err
-		}
 		return iterErr
 
 	case stepNeg:
-		found := false
-		rel := e.w.rels[s.pred]
-		if rel != nil {
-			m := b.mark()
-			rel.Each(func(t datalog.Tuple) bool {
-				mm := b.mark()
-				if unifyTuple(s.atom, t, b) {
-					found = true
-					b.undo(mm)
-					return false
-				}
-				b.undo(mm)
-				return true
-			})
-			b.undo(m)
-		}
-		if found {
+		if e.negHolds(s, f) {
 			return nil
 		}
-		return e.runSteps(steps, i+1, b, emit)
+		return e.runSteps(steps, i+1, f, emit)
 
 	case stepCmp:
-		lv, lok := termValueOrEval(s.l, b)
-		rv, rok := termValueOrEval(s.r, b)
+		lv, lok := ctermValueOrEval(s.cl, f)
+		rv, rok := ctermValueOrEval(s.cr, f)
 		if s.op == "=" {
-			if lok && !rok {
-				if rvVar, isVar := s.r.(datalog.Var); isVar {
-					m := b.mark()
-					b.bind(rvVar.Name, lv)
-					err := e.runSteps(steps, i+1, b, emit)
-					b.undo(m)
-					return err
-				}
+			if lok && !rok && s.cr.kind == ctVar {
+				m := f.mark()
+				f.bind(s.cr.slot, lv)
+				err := e.runSteps(steps, i+1, f, emit)
+				f.undo(m)
+				return err
 			}
-			if rok && !lok {
-				if lvVar, isVar := s.l.(datalog.Var); isVar {
-					m := b.mark()
-					b.bind(lvVar.Name, rv)
-					err := e.runSteps(steps, i+1, b, emit)
-					b.undo(m)
-					return err
-				}
+			if rok && !lok && s.cl.kind == ctVar {
+				m := f.mark()
+				f.bind(s.cl.slot, rv)
+				err := e.runSteps(steps, i+1, f, emit)
+				f.undo(m)
+				return err
 			}
 		}
 		if !lok || !rok {
@@ -288,13 +258,13 @@ func (e *evalEnv) runSteps(steps []step, i int, b *binding, emit func(*binding) 
 		if !ok {
 			return nil
 		}
-		return e.runSteps(steps, i+1, b, emit)
+		return e.runSteps(steps, i+1, f, emit)
 
 	case stepUDF:
-		args := make([]datalog.Value, len(s.atom.Args))
-		mask := make([]bool, len(s.atom.Args))
-		for j, t := range s.atom.Args {
-			if v, ok := termValue(t, b); ok {
+		args := make([]datalog.Value, len(s.args))
+		mask := make([]bool, len(s.args))
+		for j := range s.args {
+			if v, ok := ctermValue(&s.args[j], f); ok {
 				args[j], mask[j] = v, true
 			}
 		}
@@ -303,22 +273,23 @@ func (e *evalEnv) runSteps(steps []step, i int, b *binding, emit func(*binding) 
 			return fmt.Errorf("%s: %w", s.atom, err)
 		}
 		for _, full := range outs {
-			m := b.mark()
+			m := f.mark()
 			match := true
-			for j, t := range s.atom.Args {
-				switch tt := t.(type) {
-				case datalog.Wildcard:
-				case datalog.Const:
-					if !tt.Val.Equal(full[j]) {
+			for j := range s.args {
+				a := &s.args[j]
+				switch a.kind {
+				case ctWild:
+				case ctConst:
+					if !a.val.Equal(full[j]) {
 						match = false
 					}
-				case datalog.Var:
-					if v, ok := b.get(tt.Name); ok {
+				case ctVar:
+					if v, ok := f.get(a.slot); ok {
 						if !v.Equal(full[j]) {
 							match = false
 						}
 					} else {
-						b.bind(tt.Name, full[j])
+						f.bind(a.slot, full[j])
 					}
 				}
 				if !match {
@@ -326,42 +297,26 @@ func (e *evalEnv) runSteps(steps []step, i int, b *binding, emit func(*binding) 
 				}
 			}
 			if match {
-				if err := e.runSteps(steps, i+1, b, emit); err != nil {
-					b.undo(m)
+				if err := e.runSteps(steps, i+1, f, emit); err != nil {
+					f.undo(m)
 					return err
 				}
 			}
-			b.undo(m)
+			f.undo(m)
 		}
 		return nil
 
 	case stepKindCheck:
-		v, err := evalTerm(s.checked, b)
+		v, err := evalCterm(s.cchecked, f)
 		if err != nil {
 			return err
 		}
 		if !e.w.cat.CheckKind(s.typeName, v) {
 			return nil
 		}
-		return e.runSteps(steps, i+1, b, emit)
+		return e.runSteps(steps, i+1, f, emit)
 
 	default:
 		return fmt.Errorf("unknown step kind %d", s.kind)
 	}
-}
-
-// termValueOrEval resolves plain terms directly and arithmetic expressions
-// by evaluation; returns ok=false when the term has unbound variables.
-func termValueOrEval(t datalog.Term, b *binding) (datalog.Value, bool) {
-	if v, ok := termValue(t, b); ok {
-		return v, true
-	}
-	if _, isExpr := t.(datalog.BinExpr); isExpr {
-		v, err := evalTerm(t, b)
-		if err != nil {
-			return datalog.Value{}, false
-		}
-		return v, true
-	}
-	return datalog.Value{}, false
 }

@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"testing"
+
+	"secureblox/internal/datalog"
+)
+
+func relOf(t *testing.T, arity int) *Relation {
+	t.Helper()
+	return NewRelation(&Schema{Name: "t", Arity: arity, KeyArity: -1,
+		ArgTypes: make([]string, arity)})
+}
+
+func tup(vals ...int64) datalog.Tuple {
+	out := make(datalog.Tuple, len(vals))
+	for i, v := range vals {
+		out[i] = datalog.Int64(v)
+	}
+	return out
+}
+
+func TestRelationInsertDeleteContains(t *testing.T) {
+	r := relOf(t, 2)
+	if r.Insert(tup(1, 2), true) != InsertedNew {
+		t.Fatal("first insert not new")
+	}
+	if r.Insert(tup(1, 2), false) != InsertedDup {
+		t.Fatal("second insert not dup")
+	}
+	if !r.Contains(tup(1, 2)) || r.Contains(tup(2, 1)) {
+		t.Fatal("Contains wrong")
+	}
+	if !r.IsBase(tup(1, 2)) {
+		t.Fatal("base marker lost")
+	}
+	if !r.Delete(tup(1, 2)) || r.Delete(tup(1, 2)) {
+		t.Fatal("Delete wrong")
+	}
+	if r.Len() != 0 || r.Contains(tup(1, 2)) {
+		t.Fatal("tuple survived delete")
+	}
+}
+
+func TestRelationContainsVals(t *testing.T) {
+	r := relOf(t, 3)
+	r.Insert(tup(1, 2, 3), false)
+	if !r.ContainsVals([]datalog.Value{datalog.Int64(1), datalog.Int64(2), datalog.Int64(3)}) {
+		t.Fatal("ContainsVals missed stored tuple")
+	}
+	if r.ContainsVals([]datalog.Value{datalog.Int64(1), datalog.Int64(2), datalog.Int64(4)}) {
+		t.Fatal("ContainsVals false positive")
+	}
+	// A shorter value sequence may hash differently or equal — either way it
+	// must not match a longer stored tuple.
+	if r.ContainsVals([]datalog.Value{datalog.Int64(1), datalog.Int64(2)}) {
+		t.Fatal("arity-mismatched ContainsVals")
+	}
+}
+
+func probeAll(r *Relation, idx *colIndex, vals ...datalog.Value) []datalog.Tuple {
+	var out []datalog.Tuple
+	r.Probe(idx, vals, func(t datalog.Tuple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+func TestSecondaryIndexBackfillAndMaintenance(t *testing.T) {
+	r := relOf(t, 3)
+	r.Insert(tup(1, 7, 3), false)
+	r.Insert(tup(2, 7, 4), false)
+	r.Insert(tup(3, 8, 4), false)
+
+	// Registering after inserts must backfill.
+	idx := r.EnsureIndex([]int{1})
+	if got := probeAll(r, idx, datalog.Int64(7)); len(got) != 2 {
+		t.Fatalf("backfilled probe on col1=7: got %d tuples, want 2", len(got))
+	}
+	if r.EnsureIndex([]int{1}) != idx {
+		t.Fatal("EnsureIndex must be idempotent")
+	}
+
+	// Inserts after registration must be indexed incrementally.
+	r.Insert(tup(9, 7, 9), false)
+	if got := probeAll(r, idx, datalog.Int64(7)); len(got) != 3 {
+		t.Fatalf("post-insert probe: got %d tuples, want 3", len(got))
+	}
+
+	// Deletes must drop the tuple from every index.
+	r.Delete(tup(2, 7, 4))
+	if got := probeAll(r, idx, datalog.Int64(7)); len(got) != 2 {
+		t.Fatalf("post-delete probe: got %d tuples, want 2", len(got))
+	}
+	for _, got := range probeAll(r, idx, datalog.Int64(7)) {
+		if got.Equal(tup(2, 7, 4)) {
+			t.Fatal("deleted tuple still in index")
+		}
+	}
+
+	// Multi-column index over (0,2).
+	idx02 := r.EnsureIndex([]int{0, 2})
+	if got := probeAll(r, idx02, datalog.Int64(3), datalog.Int64(4)); len(got) != 1 ||
+		!got[0].Equal(tup(3, 8, 4)) {
+		t.Fatalf("multi-column probe: got %v", got)
+	}
+	if r.ProbeExists(idx02, []datalog.Value{datalog.Int64(3), datalog.Int64(9)}) {
+		t.Fatal("ProbeExists false positive")
+	}
+	if !r.ProbeExists(idx02, []datalog.Value{datalog.Int64(3), datalog.Int64(4)}) {
+		t.Fatal("ProbeExists false negative")
+	}
+}
+
+func TestFunctionalIndexHashed(t *testing.T) {
+	r := NewRelation(&Schema{Name: "fn", Arity: 2, KeyArity: 1, ArgTypes: []string{"", ""}})
+	if r.Insert(tup(1, 10), false) != InsertedNew {
+		t.Fatal("insert failed")
+	}
+	if r.Insert(tup(1, 11), false) != InsertedFDConflict {
+		t.Fatal("FD conflict not detected")
+	}
+	if r.Insert(tup(1, 10), false) != InsertedDup {
+		t.Fatal("same-value reinsert must be dup, not conflict")
+	}
+	got, ok := r.LookupFn([]datalog.Value{datalog.Int64(1)})
+	if !ok || !got.Equal(tup(1, 10)) {
+		t.Fatalf("LookupFn: %v %v", got, ok)
+	}
+	r.Delete(tup(1, 10))
+	if _, ok := r.LookupFn([]datalog.Value{datalog.Int64(1)}); ok {
+		t.Fatal("fn index survived delete")
+	}
+	if r.Insert(tup(1, 11), false) != InsertedNew {
+		t.Fatal("key not reusable after delete")
+	}
+}

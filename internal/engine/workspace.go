@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"secureblox/internal/datalog"
+	"secureblox/internal/metrics"
 )
 
 // Fact is one tuple of a named predicate, the unit of assertion and
@@ -88,6 +89,26 @@ type Workspace struct {
 	// different nodes never collide when shipped over the network (set it
 	// to a distinct large value per node).
 	EntityBase int64
+	// DisableIndexes forces every join step onto the full-scan path,
+	// bypassing functional, secondary and delta indexes. Differential tests
+	// use it as the oracle evaluation mode; it must never change results.
+	DisableIndexes bool
+
+	stats     metrics.EngineStats // cumulative evaluator counters
+	published metrics.EngineStats // portion already pushed to metrics globals
+}
+
+// Stats returns the workspace's cumulative evaluator counters.
+func (w *Workspace) Stats() metrics.EngineStats { return w.stats }
+
+// publishStats pushes the counter growth since the last publish into the
+// process-wide metrics totals (one lock per transaction, not per probe).
+func (w *Workspace) publishStats() {
+	d := w.stats.Sub(w.published)
+	if d != (metrics.EngineStats{}) {
+		metrics.EngineAccumulate(d)
+		w.published = w.stats
+	}
 }
 
 // NewWorkspace returns an empty workspace using the given UDF registry
@@ -136,6 +157,7 @@ func (w *Workspace) ensureRelation(name string) *Relation {
 // the workspace, runs initial evaluation, and checks all constraints. On any
 // error the workspace is restored to its prior state.
 func (w *Workspace) Install(prog *datalog.Program) error {
+	defer w.publishStats()
 	t := newTxn()
 	nRules, nAgg, nCons := len(w.rules), len(w.aggRules), len(w.constraints)
 
@@ -373,7 +395,7 @@ func (w *Workspace) insertTxn(t *txn, pred string, tuple datalog.Tuple, base boo
 	case InsertedDup:
 		return false, nil
 	default: // FD conflict
-		old, _ := rel.LookupFn(tuple.KeyPrefix(s.KeyArity))
+		old, _ := rel.LookupFn(tuple[:s.KeyArity])
 		return false, &ConstraintViolation{
 			Constraint: fmt.Sprintf("functional dependency on %s", pred),
 			Detail:     fmt.Sprintf("key maps to both %s and %s", old, tuple),
@@ -417,27 +439,38 @@ func (w *Workspace) rollback(t *txn) {
 // evaluation) and inserts derivations, extending next with new tuples.
 func (w *Workspace) evalRuleInto(t *txn, r *CompiledRule, deltaStep int, delta, next map[string][]datalog.Tuple) error {
 	env := &evalEnv{w: w, deltaStep: deltaStep, delta: delta}
-	b := newBinding()
-	return env.runSteps(r.steps, 0, b, func(b *binding) error {
-		return w.derive(t, r, b, next)
+	f := newFrame(r.nSlots, r.slotNames)
+	return env.runSteps(r.steps, 0, f, func(f *frame) error {
+		return w.derive(t, r, f, next)
 	})
 }
 
+// skolemBase builds the per-binding Skolem key prefix from the rule id and
+// the (name-sorted) body variable values.
+func (w *Workspace) skolemBase(r *CompiledRule, f *frame) string {
+	var sk strings.Builder
+	fmt.Fprintf(&sk, "r%d", r.id)
+	var kb []byte
+	for _, slot := range r.bodySlots {
+		if val, ok := f.get(slot); ok {
+			kb = val.AppendKey(kb[:0])
+			sk.Write(kb)
+		}
+	}
+	return sk.String()
+}
+
 // derive materializes all head atoms of a rule for one body binding,
-// creating Skolemized entities for head-existential variables.
-func (w *Workspace) derive(t *txn, r *CompiledRule, b *binding, next map[string][]datalog.Tuple) error {
-	mark := b.mark()
-	defer b.undo(mark)
+// creating Skolemized entities for head-existential variables. Head tuples
+// are built in a stack buffer and checked against the relation before
+// allocating, so rederiving an existing tuple — the overwhelmingly common
+// case inside a fixpoint — is allocation-free.
+func (w *Workspace) derive(t *txn, r *CompiledRule, f *frame, next map[string][]datalog.Tuple) error {
+	mark := f.mark()
+	defer f.undo(mark)
 
 	if len(r.exVars) > 0 {
-		var sk strings.Builder
-		fmt.Fprintf(&sk, "r%d", r.id)
-		for _, v := range r.bodyVars {
-			if val, ok := b.get(v); ok {
-				sk.Write(val.AppendKey(nil))
-			}
-		}
-		base := sk.String()
+		base := w.skolemBase(r, f)
 		for _, ex := range r.exVars {
 			key := base + "|" + ex.name
 			ent, ok := w.skolems[key]
@@ -453,7 +486,7 @@ func (w *Workspace) derive(t *txn, r *CompiledRule, b *binding, next map[string]
 				w.skolems[key] = ent
 				t.skolemKeys = append(t.skolemKeys, key)
 			}
-			b.bind(ex.name, ent)
+			f.bind(ex.slot, ent)
 			isNew, err := w.insertTxn(t, ex.entType, datalog.Tuple{ent}, false)
 			if err != nil {
 				return err
@@ -464,15 +497,21 @@ func (w *Workspace) derive(t *txn, r *CompiledRule, b *binding, next map[string]
 		}
 	}
 
-	for _, h := range r.heads {
-		tuple := make(datalog.Tuple, len(h.Args))
-		for i, term := range h.Args {
-			v, err := evalTerm(term, b)
+	for hi, h := range r.heads {
+		var buf [8]datalog.Value
+		vals := buf[:0]
+		cargs := r.cheads[hi]
+		for i := range cargs {
+			v, err := evalCterm(&cargs[i], f)
 			if err != nil {
 				return fmt.Errorf("rule %s: head %s: %w", r.src, h, err)
 			}
-			tuple[i] = v
+			vals = append(vals, v)
 		}
+		if r.headRels[hi].ContainsVals(vals) {
+			continue // already present: nothing to insert, log, or propagate
+		}
+		tuple := append(datalog.Tuple(nil), vals...)
 		isNew, err := w.insertTxn(t, h.ConcreteName(), tuple, false)
 		if err != nil {
 			return err
@@ -498,11 +537,11 @@ func (w *Workspace) recomputeAgg(t *txn, r *CompiledRule, next map[string][]data
 	groups := make(map[string]*group)
 
 	env := &evalEnv{w: w, deltaStep: -1}
-	b := newBinding()
-	err := env.runSteps(r.steps, 0, b, func(b *binding) error {
+	f := newFrame(r.nSlots, r.slotNames)
+	err := env.runSteps(r.steps, 0, f, func(f *frame) error {
 		keys := make(datalog.Tuple, keyN)
 		for i := 0; i < keyN; i++ {
-			v, err := evalTerm(head.Args[i], b)
+			v, err := evalCterm(&r.cheads[0][i], f)
 			if err != nil {
 				return err
 			}
@@ -510,7 +549,7 @@ func (w *Workspace) recomputeAgg(t *txn, r *CompiledRule, next map[string][]data
 		}
 		var over datalog.Value
 		if r.agg.Over != "" {
-			v, ok := b.get(r.agg.Over)
+			v, ok := f.get(r.aggOverSlot)
 			if !ok {
 				return fmt.Errorf("aggregate variable %s unbound", r.agg.Over)
 			}
@@ -560,7 +599,7 @@ func (w *Workspace) recomputeAgg(t *txn, r *CompiledRule, next map[string][]data
 			result = datalog.Int64(g.acc)
 		}
 		newTuple := append(append(datalog.Tuple{}, g.keys...), result)
-		if old, ok := rel.LookupFn(g.keys.Key()); ok {
+		if old, ok := rel.LookupFn(g.keys); ok {
 			if old[keyN].Equal(result) {
 				continue
 			}
@@ -580,6 +619,7 @@ func (w *Workspace) recomputeAgg(t *txn, r *CompiledRule, next map[string][]data
 // fixpoint runs semi-naïve evaluation to quiescence starting from delta.
 func (w *Workspace) fixpoint(t *txn, delta map[string][]datalog.Tuple) error {
 	for len(delta) > 0 {
+		w.stats.FixpointRounds++
 		next := make(map[string][]datalog.Tuple)
 		seenRule := make(map[int]bool)
 		var ruleList []*CompiledRule
@@ -640,42 +680,49 @@ var errSatisfied = fmt.Errorf("satisfied")
 
 func (w *Workspace) checkConstraintDelta(c *CompiledConstraint, deltaStep int, delta map[string][]datalog.Tuple) error {
 	env := &evalEnv{w: w, deltaStep: deltaStep, delta: delta}
-	b := newBinding()
-	return env.runSteps(c.lhsSteps, 0, b, func(b *binding) error {
-		ok, err := w.rhsSatisfiable(c, b)
+	f := newFrame(c.nSlots, c.slotNames)
+	return env.runSteps(c.lhsSteps, 0, f, func(f *frame) error {
+		ok, err := w.rhsSatisfiable(c, f)
 		if err != nil {
 			return err
 		}
 		if !ok {
-			return &ConstraintViolation{Constraint: c.src.String(), Detail: bindingDetail(b)}
+			return &ConstraintViolation{Constraint: c.src.String(), Detail: bindingDetail(f)}
 		}
 		return nil
 	})
 }
 
-func (w *Workspace) rhsSatisfiable(c *CompiledConstraint, b *binding) (bool, error) {
+func (w *Workspace) rhsSatisfiable(c *CompiledConstraint, f *frame) (bool, error) {
 	if len(c.rhsSteps) == 0 {
 		return true, nil
 	}
 	env := &evalEnv{w: w, deltaStep: -1}
-	err := env.runSteps(c.rhsSteps, 0, b, func(*binding) error { return errSatisfied })
+	err := env.runSteps(c.rhsSteps, 0, f, func(*frame) error { return errSatisfied })
 	if err == errSatisfied {
 		return true, nil
 	}
 	return false, err
 }
 
-func bindingDetail(b *binding) string {
-	names := make([]string, 0, len(b.vals))
-	for n := range b.vals {
-		if !strings.HasPrefix(n, "$") {
-			names = append(names, n)
+func bindingDetail(f *frame) string {
+	type nv struct {
+		name string
+		val  datalog.Value
+	}
+	var bound []nv
+	for slot, name := range f.names {
+		if strings.HasPrefix(name, "$") {
+			continue
+		}
+		if v, ok := f.get(slot); ok {
+			bound = append(bound, nv{name, v})
 		}
 	}
-	sort.Strings(names)
-	parts := make([]string, 0, len(names))
-	for _, n := range names {
-		parts = append(parts, n+"="+b.vals[n].String())
+	sort.Slice(bound, func(i, j int) bool { return bound[i].name < bound[j].name })
+	parts := make([]string, 0, len(bound))
+	for _, b := range bound {
+		parts = append(parts, b.name+"="+b.val.String())
 	}
 	return strings.Join(parts, ", ")
 }
@@ -684,14 +731,14 @@ func bindingDetail(b *binding) string {
 func (w *Workspace) checkAllConstraints() error {
 	for _, c := range w.constraints {
 		env := &evalEnv{w: w, deltaStep: -1}
-		b := newBinding()
-		err := env.runSteps(c.lhsSteps, 0, b, func(b *binding) error {
-			ok, err := w.rhsSatisfiable(c, b)
+		f := newFrame(c.nSlots, c.slotNames)
+		err := env.runSteps(c.lhsSteps, 0, f, func(f *frame) error {
+			ok, err := w.rhsSatisfiable(c, f)
 			if err != nil {
 				return err
 			}
 			if !ok {
-				return &ConstraintViolation{Constraint: c.src.String(), Detail: bindingDetail(b)}
+				return &ConstraintViolation{Constraint: c.src.String(), Detail: bindingDetail(f)}
 			}
 			return nil
 		})
@@ -712,6 +759,7 @@ type TxnResult struct {
 // any violation the entire transaction (input facts included) is rolled
 // back and the violation returned, matching the paper's §5.2 semantics.
 func (w *Workspace) Assert(facts []Fact) (*TxnResult, error) {
+	defer w.publishStats()
 	t := newTxn()
 	delta := make(map[string][]datalog.Tuple)
 	for _, f := range facts {
@@ -760,6 +808,7 @@ func (w *Workspace) AssertProgramFacts(src string) (*TxnResult, error) {
 // incrementally maintained using DRed). Constraints are re-verified over the
 // full database afterwards; any violation rolls the retraction back.
 func (w *Workspace) Retract(facts []Fact) error {
+	defer w.publishStats()
 	t := newTxn()
 
 	// Phase 1: overestimate deletions.
@@ -796,9 +845,9 @@ func (w *Workspace) Retract(facts []Fact) error {
 						continue
 					}
 					env := &evalEnv{w: w, deltaStep: j, delta: frontier}
-					b := newBinding()
-					err := env.runSteps(r.steps, 0, b, func(b *binding) error {
-						return w.collectHeadDeletions(r, b, addDel, next)
+					f := newFrame(r.nSlots, r.slotNames)
+					err := env.runSteps(r.steps, 0, f, func(f *frame) error {
+						return w.collectHeadDeletions(r, f, addDel, next)
 					})
 					if err != nil {
 						return err
@@ -871,38 +920,33 @@ func (w *Workspace) Retract(facts []Fact) error {
 
 // collectHeadDeletions computes the head tuples a binding would have derived
 // and marks existing, non-base ones for deletion.
-func (w *Workspace) collectHeadDeletions(r *CompiledRule, b *binding,
+func (w *Workspace) collectHeadDeletions(r *CompiledRule, f *frame,
 	addDel func(string, datalog.Tuple) bool, next map[string][]datalog.Tuple) error {
-	mark := b.mark()
-	defer b.undo(mark)
+	mark := f.mark()
+	defer f.undo(mark)
 	if len(r.exVars) > 0 {
-		var sk strings.Builder
-		fmt.Fprintf(&sk, "r%d", r.id)
-		for _, v := range r.bodyVars {
-			if val, ok := b.get(v); ok {
-				sk.Write(val.AppendKey(nil))
-			}
-		}
+		base := w.skolemBase(r, f)
 		for _, ex := range r.exVars {
-			ent, ok := w.skolems[sk.String()+"|"+ex.name]
+			ent, ok := w.skolems[base+"|"+ex.name]
 			if !ok {
 				return nil // derivation never happened
 			}
-			b.bind(ex.name, ent)
+			f.bind(ex.slot, ent)
 		}
 	}
-	for _, h := range r.heads {
-		tuple := make(datalog.Tuple, len(h.Args))
-		for i, term := range h.Args {
-			v, err := evalTerm(term, b)
+	for hi, h := range r.heads {
+		cargs := r.cheads[hi]
+		tuple := make(datalog.Tuple, len(cargs))
+		for i := range cargs {
+			v, err := evalCterm(&cargs[i], f)
 			if err != nil {
 				return err
 			}
 			tuple[i] = v
 		}
 		pred := h.ConcreteName()
-		rel := w.rels[pred]
-		if rel == nil || !rel.Contains(tuple) || rel.IsBase(tuple) {
+		rel := r.headRels[hi]
+		if !rel.Contains(tuple) || rel.IsBase(tuple) {
 			continue
 		}
 		if addDel(pred, tuple) {
@@ -932,11 +976,11 @@ func (w *Workspace) retractAggGroups(t *txn, r *CompiledRule) error {
 	// them, so compare against a fresh body evaluation.
 	alive := make(map[string]bool)
 	env := &evalEnv{w: w, deltaStep: -1}
-	b := newBinding()
-	err := env.runSteps(r.steps, 0, b, func(b *binding) error {
+	f := newFrame(r.nSlots, r.slotNames)
+	err := env.runSteps(r.steps, 0, f, func(f *frame) error {
 		keys := make(datalog.Tuple, head.KeyArity)
 		for i := 0; i < head.KeyArity; i++ {
-			v, err := evalTerm(head.Args[i], b)
+			v, err := evalCterm(&r.cheads[0][i], f)
 			if err != nil {
 				return err
 			}
@@ -986,7 +1030,7 @@ func (w *Workspace) LookupFn(pred string, keys ...datalog.Value) (datalog.Value,
 	if rel == nil || !rel.schema.Functional() {
 		return datalog.Value{}, false
 	}
-	t, ok := rel.LookupFn(datalog.Tuple(keys).Key())
+	t, ok := rel.LookupFn(keys)
 	if !ok {
 		return datalog.Value{}, false
 	}

@@ -126,6 +126,67 @@ func (m *NodeMetrics) LastActivity() time.Time {
 	return m.lastActivity
 }
 
+// EngineStats counts local-evaluator events: how join steps were answered
+// (index probe vs. relation scan) and how many semi-naïve rounds fixpoints
+// took. LeadingScans are full iterations where no column was bound — the
+// outermost loop of a join plan, inherent to evaluation. FullScanFallbacks
+// are scans forced despite bound columns (a missing or unusable index); a
+// regression in join planning shows up here as a nonzero count.
+type EngineStats struct {
+	IndexProbes       int64 // probes answered by a hash index (functional, secondary, delta, or full-tuple)
+	LeadingScans      int64 // full scans with no bound column (legitimate outer loops)
+	FullScanFallbacks int64 // scans despite bound columns — should stay 0
+	FixpointRounds    int64 // semi-naïve rounds across all fixpoints
+}
+
+// Sub returns s - o, component-wise (for before/after deltas).
+func (s EngineStats) Sub(o EngineStats) EngineStats {
+	return EngineStats{
+		IndexProbes:       s.IndexProbes - o.IndexProbes,
+		LeadingScans:      s.LeadingScans - o.LeadingScans,
+		FullScanFallbacks: s.FullScanFallbacks - o.FullScanFallbacks,
+		FixpointRounds:    s.FixpointRounds - o.FixpointRounds,
+	}
+}
+
+// Add returns s + o, component-wise.
+func (s EngineStats) Add(o EngineStats) EngineStats {
+	return EngineStats{
+		IndexProbes:       s.IndexProbes + o.IndexProbes,
+		LeadingScans:      s.LeadingScans + o.LeadingScans,
+		FullScanFallbacks: s.FullScanFallbacks + o.FullScanFallbacks,
+		FixpointRounds:    s.FixpointRounds + o.FixpointRounds,
+	}
+}
+
+// String renders the counters compactly for benchmark logs.
+func (s EngineStats) String() string {
+	return fmt.Sprintf("probes=%d leading-scans=%d fallback-scans=%d rounds=%d",
+		s.IndexProbes, s.LeadingScans, s.FullScanFallbacks, s.FixpointRounds)
+}
+
+var (
+	engineMu     sync.Mutex
+	engineTotals EngineStats
+)
+
+// EngineAccumulate folds one workspace's counter delta into the
+// process-wide totals. Workspaces publish after each transaction, so a
+// cluster benchmark can observe every node's evaluator behaviour without
+// reaching into the nodes.
+func EngineAccumulate(d EngineStats) {
+	engineMu.Lock()
+	engineTotals = engineTotals.Add(d)
+	engineMu.Unlock()
+}
+
+// EngineTotals returns the process-wide evaluator counters.
+func EngineTotals() EngineStats {
+	engineMu.Lock()
+	defer engineMu.Unlock()
+	return engineTotals
+}
+
 // CDF is an empirical cumulative distribution over durations.
 type CDF struct {
 	samples []time.Duration

@@ -81,3 +81,27 @@ func TestTableFormatting(t *testing.T) {
 		t.Errorf("rows wrong:\n%s", out)
 	}
 }
+
+func TestEngineStatsArithmeticAndAccumulation(t *testing.T) {
+	a := EngineStats{IndexProbes: 10, LeadingScans: 4, FullScanFallbacks: 1, FixpointRounds: 3}
+	b := EngineStats{IndexProbes: 7, LeadingScans: 4, FixpointRounds: 2}
+	d := a.Sub(b)
+	if d != (EngineStats{IndexProbes: 3, FullScanFallbacks: 1, FixpointRounds: 1}) {
+		t.Errorf("Sub: %+v", d)
+	}
+	if got := b.Add(d); got != a {
+		t.Errorf("Add(Sub) not identity: %+v", got)
+	}
+
+	before := EngineTotals()
+	EngineAccumulate(EngineStats{IndexProbes: 5, FixpointRounds: 2})
+	EngineAccumulate(EngineStats{IndexProbes: 1, LeadingScans: 3})
+	delta := EngineTotals().Sub(before)
+	want := EngineStats{IndexProbes: 6, LeadingScans: 3, FixpointRounds: 2}
+	if delta != want {
+		t.Errorf("accumulated delta %+v, want %+v", delta, want)
+	}
+	if s := delta.String(); !strings.Contains(s, "probes=6") || !strings.Contains(s, "rounds=2") {
+		t.Errorf("String(): %s", s)
+	}
+}
