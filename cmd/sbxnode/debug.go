@@ -1,0 +1,97 @@
+package main
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+
+	"secureblox/internal/dist"
+	"secureblox/internal/metrics"
+	"secureblox/internal/seccrypto"
+)
+
+// debugState is what the expvar endpoint snapshots. The server starts
+// before the node exists (bootstrap is observable too), so reads
+// nil-guard; bindDebug swaps the live node in once assembled.
+var debugState struct {
+	mu        sync.Mutex
+	cluster   string
+	principal string
+	node      *dist.Node
+	pools     *cryptoPools
+}
+
+// bindDebug points the debug vars at the live node.
+func bindDebug(clusterName, principal string, node *dist.Node, pools *cryptoPools) {
+	debugState.mu.Lock()
+	defer debugState.mu.Unlock()
+	debugState.cluster = clusterName
+	debugState.principal = principal
+	debugState.node = node
+	debugState.pools = pools
+}
+
+// publishOnce registers an expvar under name unless a previous server in
+// this process already did (expvar panics on duplicates).
+func publishOnce(name string, v expvar.Var) {
+	if expvar.Get(name) == nil {
+		expvar.Publish(name, v)
+	}
+}
+
+// startDebugServer serves the process's live counters as JSON over HTTP at
+// /debug/vars: the engine's process-wide EngineStats (index probes, scans,
+// fixpoint rounds), the dist runtime's ship/receive counters and dedup-set
+// size, and the RSA sign work. It returns the bound address and a stop
+// function.
+func startDebugServer(addr string) (string, func(), error) {
+	publishOnce("sbx_engine", expvar.Func(func() any {
+		s := metrics.EngineTotals()
+		return map[string]int64{
+			"index_probes":        s.IndexProbes,
+			"leading_scans":       s.LeadingScans,
+			"full_scan_fallbacks": s.FullScanFallbacks,
+			"fixpoint_rounds":     s.FixpointRounds,
+		}
+	}))
+	publishOnce("sbx_dist", expvar.Func(func() any {
+		debugState.mu.Lock()
+		defer debugState.mu.Unlock()
+		out := map[string]any{
+			"cluster":   debugState.cluster,
+			"principal": debugState.principal,
+		}
+		if n := debugState.node; n != nil {
+			sent, recv := n.Counters()
+			tr := n.Metrics.Traffic()
+			out["msgs_shipped"] = sent
+			out["msgs_processed"] = recv
+			out["bytes_sent"] = tr.BytesSent
+			out["bytes_recv"] = tr.BytesRecv
+			out["sent_set_size"] = n.SentSetSize()
+			out["violations"] = n.Metrics.Violations()
+		}
+		return out
+	}))
+	publishOnce("sbx_crypto", expvar.Func(func() any {
+		out := map[string]int64{"rsa_sign_ops": seccrypto.SignOps()}
+		debugState.mu.Lock()
+		defer debugState.mu.Unlock()
+		if p := debugState.pools; p != nil && p.sign != nil {
+			hits, misses := p.sign.Stats()
+			out["sign_pool_hits"] = hits
+			out["sign_pool_misses"] = misses
+		}
+		return out
+	}))
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("debug server: %w", err)
+	}
+	srv := &http.Server{Handler: http.DefaultServeMux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}

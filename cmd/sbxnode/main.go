@@ -1,0 +1,424 @@
+// Command sbxnode runs ONE SecureBlox principal as its own OS process —
+// the deployment mode of the paper's evaluation cluster (§8), where every
+// node is a separate machine. A declarative JSON config names the full
+// expected membership (principals, listen addresses, RSA key files, policy,
+// workload); each process loads the config, binds its configured address,
+// joins the cluster through the bootstrap handshake (the seed — the
+// config's first node — collects announcements, gossips newcomers, and
+// distributes the directory and key set), passes the ready barrier, runs
+// the selected rule set to the distributed fixpoint, prints its result
+// partition, and leaves gracefully.
+//
+// Usage:
+//
+//	sbxnode -genkeys -config cluster.json          # write the key files
+//	sbxnode -config cluster.json -node p0          # one process per node
+//	sbxnode -config cluster.json -allinone         # in-process reference run
+//
+// Result lines are tab-separated, principal-keyed and sorted, so the
+// concatenated (and sorted) outputs of all processes are byte-identical to
+// the -allinone run over the in-process simulated network — that equality
+// is asserted in CI.
+//
+// Exit codes: 0 quiescence reached, 1 configuration or runtime error,
+// 3 a peer stopped answering termination probes (typed detector failure —
+// e.g. a process was killed mid-run).
+package main
+
+import (
+	"context"
+	"crypto/rand"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"secureblox/internal/cluster"
+	"secureblox/internal/core"
+	"secureblox/internal/dist"
+	"secureblox/internal/seccrypto"
+	"secureblox/internal/transport"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// options are the parsed command-line flags.
+type options struct {
+	configPath   string
+	node         string
+	allInOne     bool
+	genKeys      bool
+	debugAddr    string
+	timeout      time.Duration
+	unresponsive time.Duration
+	dieAfterJoin bool
+}
+
+// run is main minus the process-global bits, so tests can drive it.
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("sbxnode", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var o options
+	fs.StringVar(&o.configPath, "config", "", "cluster config file (JSON)")
+	fs.StringVar(&o.node, "node", "", "principal this process runs as")
+	fs.BoolVar(&o.allInOne, "allinone", false, "run every node of the config in this process over the simulated network (reference mode)")
+	fs.BoolVar(&o.genKeys, "genkeys", false, "generate the RSA key files the config's key_file entries name, then exit")
+	fs.StringVar(&o.debugAddr, "debugaddr", "", "serve expvar debug counters over HTTP on this address (e.g. 127.0.0.1:8300)")
+	fs.DurationVar(&o.timeout, "timeout", 0, "abort the run after this long (0: no limit)")
+	fs.DurationVar(&o.unresponsive, "unresponsive", 15*time.Second, "declare a peer dead after it answers no probe for this long (0: wait forever)")
+	fs.BoolVar(&o.dieAfterJoin, "dieafterjoin", false, "fault injection: exit silently right after the ready barrier (tests a peer dying mid-run)")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if o.configPath == "" {
+		fmt.Fprintln(stderr, "sbxnode: -config is required")
+		return 1
+	}
+	cfg, err := cluster.LoadConfig(o.configPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "sbxnode: %v\n", err)
+		return 1
+	}
+	switch {
+	case o.genKeys:
+		err = generateKeys(cfg, stdout)
+	case o.allInOne:
+		err = runAllInOne(cfg, o, stdout)
+	case o.node != "":
+		err = runNode(cfg, o, stdout)
+	default:
+		err = fmt.Errorf("one of -node, -allinone or -genkeys is required")
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "sbxnode: %v\n", err)
+		var ue *dist.UnresponsiveError
+		if errors.As(err, &ue) {
+			return 3
+		}
+		return 1
+	}
+	return 0
+}
+
+// generateKeys writes one PEM key file per node that names one, so a
+// config can be provisioned with `sbxnode -genkeys` before first start.
+func generateKeys(cfg *cluster.Config, stdout *os.File) error {
+	if !cfg.Spec().UsesRSA() {
+		return fmt.Errorf("policy %s uses no RSA keys", cfg.Policy)
+	}
+	for _, n := range cfg.Nodes {
+		if n.KeyFile == "" {
+			continue
+		}
+		k, err := seccrypto.GenerateRSAKey(rand.Reader)
+		if err != nil {
+			return fmt.Errorf("keygen for %s: %w", n.Principal, err)
+		}
+		if err := seccrypto.WritePrivateKeyFile(n.KeyFile, k); err != nil {
+			return fmt.Errorf("write key for %s: %w", n.Principal, err)
+		}
+		fmt.Fprintf(stdout, "wrote %s (%s)\n", n.KeyFile, n.Principal)
+	}
+	return nil
+}
+
+// signalContext derives the run's root context: cancelled by SIGINT or
+// SIGTERM (context-based shutdown) and bounded by -timeout when set.
+func signalContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	if timeout > 0 {
+		tctx, tcancel := context.WithTimeout(ctx, timeout)
+		return tctx, func() { tcancel(); cancel() }
+	}
+	return ctx, cancel
+}
+
+// runNode is the multi-process path: bind, join, assemble, barrier, run to
+// fixpoint, report, leave.
+func runNode(cfg *cluster.Config, o options, stdout *os.File) error {
+	ctx, cancel := signalContext(o.timeout)
+	defer cancel()
+
+	if o.debugAddr != "" {
+		_, stop, err := startDebugServer(o.debugAddr)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
+
+	udp := &transport.UDPNetwork{Strict: true}
+	defer udp.Close()
+	rt, err := cluster.NewRuntime(cfg, o.node, udp)
+	if err != nil {
+		return err
+	}
+	bctx, bcancel := context.WithTimeout(ctx, cfg.Timeout())
+	defer bcancel()
+	mem, err := rt.Join(bctx)
+	if err != nil {
+		return err
+	}
+
+	node, pools, err := assembleNode(cfg, mem, rt.Index(), rt.KeyStore(), rt.Endpoint())
+	if err != nil {
+		return err
+	}
+	defer pools.close()
+	rt.BindNode(node)
+	bindDebug(cfg.Cluster, rt.Principal(), node, pools)
+
+	if o.dieAfterJoin {
+		// Fault injection: pass the barrier so every peer starts, then
+		// vanish without answering a single probe — what a process crash
+		// mid-run looks like to the survivors.
+		return rt.Ready(bctx)
+	}
+	if err := rt.Ready(bctx); err != nil {
+		return err
+	}
+
+	// The detector runs per process over its own endpoint: every node
+	// independently proves the distributed fixpoint from wire-level probe
+	// waves alone.
+	host, _, _ := net.SplitHostPort(rt.Endpoint().Addr())
+	detEp, err := udp.Listen(net.JoinHostPort(host, "0"))
+	if err != nil {
+		return fmt.Errorf("detector endpoint: %w", err)
+	}
+	det := dist.NewDetector(detEp, mem.Addrs())
+	det.Names = mem.Names()
+	det.UnresponsiveAfter = o.unresponsive
+	defer det.Close()
+
+	node.Start()
+	facts, err := workloadFacts(cfg, mem, rt.Index())
+	if err != nil {
+		return err
+	}
+	if len(facts) > 0 {
+		node.Assert(facts)
+	}
+	if err := det.WaitQuiescent(ctx); err != nil {
+		return err
+	}
+
+	// Departure barrier: keep answering peers' termination probes until
+	// every member has proven the fixpoint too — the first process to
+	// finish must not look crashed to marginally slower peers. A barrier
+	// failure is reported but does not taint the run: this node's fixpoint
+	// was proven.
+	dctx, dcancel := context.WithTimeout(ctx, cfg.Timeout())
+	defer dcancel()
+	if err := rt.DepartureBarrier(dctx); err != nil {
+		fmt.Fprintf(os.Stderr, "sbxnode: warning: departure barrier: %v\n", err)
+	}
+
+	// Graceful leave: drain the outbound sign-and-send stage (a no-op
+	// after a proven fixpoint, load-bearing on cancellation paths), then
+	// stop. Stopping also joins the transaction loop, which makes the
+	// workspace safe to read for the result report below.
+	lctx, lcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer lcancel()
+	if err := rt.Leave(lctx, node); err != nil {
+		return err
+	}
+
+	lines, err := workloadResults(cfg, mem, rt.Index(), node.WS)
+	if err != nil {
+		return err
+	}
+	writeLines(stdout, lines)
+	return nil
+}
+
+// runAllInOne runs every node of the config inside this process over the
+// simulated network — the in-process reference a multi-process run's
+// results are compared against. It shares the static-membership code path
+// with core.NewCluster and the per-node assembly with runNode.
+func runAllInOne(cfg *cluster.Config, o options, stdout *os.File) error {
+	ctx, cancel := signalContext(o.timeout)
+	defer cancel()
+
+	memnet := transport.NewMemNetwork()
+	defer memnet.Close()
+
+	// Bind everything first: the directory must carry bound addresses.
+	n := len(cfg.Nodes)
+	eps := make([]transport.Transport, n)
+	keys := make([]*seccrypto.KeyStore, n)
+	mem := &cluster.Membership{Members: make([]cluster.Member, n)}
+	for i, nc := range cfg.Nodes {
+		ep, err := memnet.Listen(nc.Addr)
+		if err != nil {
+			return fmt.Errorf("node %s: %w", nc.Principal, err)
+		}
+		eps[i] = ep
+		priv, err := cfg.LoadNodeKey(nc.Principal)
+		if err != nil {
+			return err
+		}
+		keys[i] = cfg.BuildKeyStore(nc.Principal, priv)
+		m := cluster.Member{Principal: nc.Principal, Addr: ep.Addr()}
+		if priv != nil {
+			m.PubKeyDER = seccrypto.MarshalPublicKey(&priv.PublicKey)
+		}
+		mem.Members[i] = m
+	}
+	for i := range keys {
+		for j, m := range mem.Members {
+			if i == j || m.PubKeyDER == nil {
+				continue
+			}
+			pub, err := keys[i].ParsePub(m.PubKeyDER)
+			if err != nil {
+				return err
+			}
+			keys[i].AddPublicKey(m.Principal, pub)
+		}
+	}
+
+	nodes := make([]*dist.Node, n)
+	var pools *cryptoPools
+	for i := range cfg.Nodes {
+		var node *dist.Node
+		var err error
+		node, pools, err = assembleNodeWithPools(cfg, mem, i, keys[i], eps[i], pools)
+		if err != nil {
+			return err
+		}
+		nodes[i] = node
+	}
+	defer pools.close()
+
+	detEp, err := memnet.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	det := dist.NewDetector(detEp, mem.Addrs())
+	det.Names = mem.Names()
+	defer det.Close()
+
+	if o.debugAddr != "" {
+		_, stop, err := startDebugServer(o.debugAddr)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		bindDebug(cfg.Cluster, "allinone", nodes[0], pools)
+	}
+
+	for _, nd := range nodes {
+		nd.Start()
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.Stop()
+		}
+	}()
+	for i, nd := range nodes {
+		facts, err := workloadFacts(cfg, mem, i)
+		if err != nil {
+			return err
+		}
+		if len(facts) > 0 {
+			nd.Assert(facts)
+		}
+	}
+	if err := det.WaitQuiescent(ctx); err != nil {
+		return err
+	}
+	// Stopping joins every transaction loop, making the workspaces safe to
+	// read (the deferred Stops become no-ops).
+	for _, nd := range nodes {
+		nd.Stop()
+	}
+	var all []string
+	for i, nd := range nodes {
+		lines, err := workloadResults(cfg, mem, i, nd.WS)
+		if err != nil {
+			return err
+		}
+		all = append(all, lines...)
+	}
+	writeLines(stdout, all)
+	return nil
+}
+
+// cryptoPools bundles the shared RSA worker pools (nil under non-RSA
+// policies).
+type cryptoPools struct {
+	verify *seccrypto.VerifyPool
+	sign   *seccrypto.SignPool
+}
+
+func (p *cryptoPools) close() {
+	if p == nil {
+		return
+	}
+	if p.verify != nil {
+		p.verify.Close()
+	}
+	if p.sign != nil {
+		p.sign.Close()
+	}
+}
+
+// assembleNode compiles the workload program and builds one dist.Node over
+// the given endpoint — the same core.NodeAssembly path the in-process
+// driver uses.
+func assembleNode(cfg *cluster.Config, mem *cluster.Membership, idx int, ks *seccrypto.KeyStore, ep transport.Transport) (*dist.Node, *cryptoPools, error) {
+	return assembleNodeWithPools(cfg, mem, idx, ks, ep, nil)
+}
+
+func assembleNodeWithPools(cfg *cluster.Config, mem *cluster.Membership, idx int, ks *seccrypto.KeyStore, ep transport.Transport, pools *cryptoPools) (*dist.Node, *cryptoPools, error) {
+	pol, err := core.PolicyFromSpec(cfg.Spec())
+	if err != nil {
+		return nil, pools, err
+	}
+	pol.Delegation = core.DelegateNone // both workloads import themselves
+	query, err := workloadQuery(cfg)
+	if err != nil {
+		return nil, pools, err
+	}
+	res, err := core.CompileProgram(pol, query, nil)
+	if err != nil {
+		return nil, pools, err
+	}
+	if pools == nil {
+		pools = &cryptoPools{}
+		if pol.Auth == core.AuthRSA {
+			pools.verify = seccrypto.NewVerifyPool(0)
+			pools.sign = seccrypto.NewSignPool(0)
+		}
+	}
+	node, err := core.NodeAssembly{
+		Policy:     pol,
+		Compiled:   res,
+		Directory:  mem,
+		Index:      idx,
+		KeyStore:   ks,
+		Endpoint:   ep,
+		VerifyPool: pools.verify,
+		SignPool:   pools.sign,
+		Seed:       cfg.Workload.Seed,
+	}.Build()
+	return node, pools, err
+}
+
+// writeLines prints the run's result partition, sorted so output order is
+// deterministic and concatenations of per-process outputs sort into the
+// allinone reference byte-for-byte.
+func writeLines(out *os.File, lines []string) {
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Fprintln(out, l)
+	}
+}

@@ -1,0 +1,250 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"secureblox/internal/cluster"
+	"secureblox/internal/seccrypto"
+)
+
+// writeTestConfig builds a runnable config in dir: concrete seed port on
+// loopback, ephemeral ports for the joiners, inline keys under RSA.
+func writeTestConfig(t *testing.T, dir, policy, workload string, seedPort int) string {
+	t.Helper()
+	cfg := cluster.Config{
+		Cluster:  "sbxtest-" + policy + "-" + workload,
+		Policy:   policy,
+		Workload: cluster.WorkloadConfig{Name: workload, Seed: 11, Degree: 3, SizeA: 60, SizeB: 50, JoinValues: 12},
+		Nodes: []cluster.NodeConfig{
+			{Principal: "p0", Addr: fmt.Sprintf("127.0.0.1:%d", seedPort)},
+			{Principal: "p1", Addr: "127.0.0.1:0"},
+			{Principal: "p2", Addr: "127.0.0.1:0"},
+		},
+	}
+	spec, err := cluster.ParsePolicyName(policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.UsesRSA() {
+		for i := range cfg.Nodes {
+			k, err := seccrypto.GenerateRSAKey(seccrypto.NewDeterministicRand(int64(100 + i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Nodes[i].KeyPEM = string(seccrypto.EncodePrivateKeyPEM(k))
+		}
+	}
+	if spec.UsesSharedSecrets() {
+		cfg.ClusterSecret = strings.Repeat("5a", seccrypto.SecretLen)
+	}
+	data, err := json.MarshalIndent(cfg, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "cluster.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// capture runs run() with stdout/stderr redirected to temp files and
+// returns the exit code and both streams.
+func capture(t *testing.T, args []string) (code int, stdout, stderr string) {
+	t.Helper()
+	outF, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errF, err := os.CreateTemp(t.TempDir(), "err")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code = run(args, outF, errF)
+	outB, _ := os.ReadFile(outF.Name())
+	errB, _ := os.ReadFile(errF.Name())
+	outF.Close()
+	errF.Close()
+	return code, string(outB), string(errB)
+}
+
+// sortedLines splits, sorts and rejoins result output so per-process
+// partitions can be merged the way the CI smoke merges them.
+func sortedLines(chunks ...string) string {
+	var all []string
+	for _, c := range chunks {
+		for _, l := range strings.Split(strings.TrimSpace(c), "\n") {
+			if l != "" {
+				all = append(all, l)
+			}
+		}
+	}
+	s := append([]string(nil), all...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return strings.Join(s, "\n")
+}
+
+// TestMultiProcessMatchesAllInOne drives three full node runtimes — each
+// with its own strict UDP network, keystore and detector, exactly the
+// multi-process code path — concurrently against the in-process memnet
+// reference, and requires byte-identical result sets. CI repeats this with
+// three real OS processes; this test keeps the property under `go test`.
+func TestMultiProcessMatchesAllInOne(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up real UDP sockets")
+	}
+	for _, tc := range []struct{ policy, workload, port string }{
+		{"RSA", "pathvector", "7411"},
+		{"HMAC-AES", "pathvector", "7412"},
+		{"NoAuth", "hashjoin", "7413"},
+	} {
+		t.Run(tc.policy+"/"+tc.workload, func(t *testing.T) {
+			dir := t.TempDir()
+			var port int
+			fmt.Sscanf(tc.port, "%d", &port)
+			cfgPath := writeTestConfig(t, dir, tc.policy, tc.workload, port)
+
+			refCode, refOut, refErr := capture(t, []string{"-config", cfgPath, "-allinone", "-timeout", "60s"})
+			if refCode != 0 {
+				t.Fatalf("allinone exit %d: %s", refCode, refErr)
+			}
+
+			outs := make([]string, 3)
+			var wg sync.WaitGroup
+			for i, p := range []string{"p0", "p1", "p2"} {
+				i, p := i, p
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					code, out, errOut := capture(t, []string{"-config", cfgPath, "-node", p, "-timeout", "60s"})
+					if code != 0 {
+						t.Errorf("%s exit %d: %s", p, code, errOut)
+						return
+					}
+					outs[i] = out
+				}()
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			got := sortedLines(outs...)
+			want := sortedLines(refOut)
+			if got != want {
+				t.Fatalf("multi-node results differ from allinone reference:\n--- multi:\n%s\n--- allinone:\n%s", got, want)
+			}
+			if want == "" {
+				t.Fatal("empty result set proves nothing")
+			}
+		})
+	}
+}
+
+// TestDeadPeerYieldsTypedError: one node passes the ready barrier and
+// vanishes; the survivors must exit with code 3 (the typed unresponsive
+// detector error) naming the dead principal — not hang.
+func TestDeadPeerYieldsTypedError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up real UDP sockets")
+	}
+	dir := t.TempDir()
+	cfgPath := writeTestConfig(t, dir, "NoAuth", "pathvector", 7421)
+	codes := make([]int, 3)
+	errs := make([]string, 3)
+	var wg sync.WaitGroup
+	for i, p := range []string{"p0", "p1", "p2"} {
+		i, p := i, p
+		args := []string{"-config", cfgPath, "-node", p, "-timeout", "30s", "-unresponsive", "2s"}
+		if p == "p2" {
+			args = append(args, "-dieafterjoin")
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			codes[i], _, errs[i] = capture(t, args)
+		}()
+	}
+	wg.Wait()
+	if codes[2] != 0 {
+		t.Fatalf("fault-injected node exited %d: %s", codes[2], errs[2])
+	}
+	for i := 0; i < 2; i++ {
+		if codes[i] != 3 {
+			t.Fatalf("survivor p%d exited %d (want 3): %s", i, codes[i], errs[i])
+		}
+		if !strings.Contains(errs[i], "p2") || !strings.Contains(errs[i], "no termination report") {
+			t.Fatalf("survivor p%d error does not name the dead principal: %s", i, errs[i])
+		}
+	}
+}
+
+// TestCLIErrors covers the config-driven failure paths end to end.
+func TestCLIErrors(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := writeTestConfig(t, dir, "NoAuth", "pathvector", 7431)
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no config", []string{"-node", "p0"}, "-config is required"},
+		{"absent config", []string{"-config", filepath.Join(dir, "nope.json"), "-node", "p0"}, "no such file"},
+		{"no mode", []string{"-config", cfgPath}, "one of -node, -allinone or -genkeys"},
+		{"unknown principal", []string{"-config", cfgPath, "-node", "px"}, `no node named "px"`},
+		{"genkeys without rsa", []string{"-config", cfgPath, "-genkeys"}, "uses no RSA keys"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, errOut := capture(t, tc.args)
+			if code != 1 || !strings.Contains(errOut, tc.want) {
+				t.Fatalf("exit %d, stderr %q; want exit 1 containing %q", code, errOut, tc.want)
+			}
+		})
+	}
+}
+
+// TestGenKeysProvisionsConfig: -genkeys writes loadable key files exactly
+// where the config points.
+func TestGenKeysProvisionsConfig(t *testing.T) {
+	dir := t.TempDir()
+	cfg := cluster.Config{
+		Cluster:  "genkeys",
+		Policy:   "RSA",
+		Workload: cluster.WorkloadConfig{Name: "pathvector", Seed: 1},
+		Nodes: []cluster.NodeConfig{
+			{Principal: "p0", Addr: "127.0.0.1:7441", KeyFile: filepath.Join(dir, "p0.pem")},
+			{Principal: "p1", Addr: "127.0.0.1:0", KeyFile: filepath.Join(dir, "p1.pem")},
+		},
+	}
+	data, _ := json.Marshal(cfg)
+	cfgPath := filepath.Join(dir, "c.json")
+	if err := os.WriteFile(cfgPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := capture(t, []string{"-config", cfgPath, "-genkeys"})
+	if code != 0 {
+		t.Fatalf("genkeys exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "p0.pem") || !strings.Contains(out, "p1.pem") {
+		t.Fatalf("genkeys output: %s", out)
+	}
+	loaded, err := cluster.LoadConfig(cfgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"p0", "p1"} {
+		if _, err := loaded.LoadNodeKey(p); err != nil {
+			t.Fatalf("generated key for %s unusable: %v", p, err)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"fmt"
+
+	"secureblox/internal/apps"
+	"secureblox/internal/cluster"
+	"secureblox/internal/datalog"
+	"secureblox/internal/engine"
+	"secureblox/internal/graph"
+)
+
+// workloadQuery returns the rule set named by the config.
+func workloadQuery(cfg *cluster.Config) (string, error) {
+	switch cfg.Workload.Name {
+	case "pathvector":
+		return apps.PathVectorQuery, nil
+	case "hashjoin":
+		return apps.HashJoinQuery, nil
+	default:
+		return "", fmt.Errorf("unknown workload %q", cfg.Workload.Name)
+	}
+}
+
+// hashJoinConfig maps the deployment config onto the experiment's
+// parameters, applying the paper's defaults (§8.2: 900/800/72).
+func hashJoinConfig(cfg *cluster.Config, n int) apps.HashJoinConfig {
+	hc := apps.HashJoinConfig{
+		N: n, Seed: cfg.Workload.Seed,
+		SizeA: cfg.Workload.SizeA, SizeB: cfg.Workload.SizeB, JoinValues: cfg.Workload.JoinValues,
+	}
+	if hc.SizeA <= 0 {
+		hc.SizeA = 900
+	}
+	if hc.SizeB <= 0 {
+		hc.SizeB = 800
+	}
+	if hc.JoinValues <= 0 {
+		hc.JoinValues = 72
+	}
+	return hc
+}
+
+// workloadFacts builds node idx's partition of the workload's base facts,
+// using the same deterministic input generators as the in-process
+// experiment harness (internal/apps) — everything is a pure function of
+// the config, so separate processes agree on the global input without
+// exchanging a byte of it.
+func workloadFacts(cfg *cluster.Config, mem *cluster.Membership, idx int) ([]engine.Fact, error) {
+	switch cfg.Workload.Name {
+	case "pathvector":
+		degree := cfg.Workload.Degree
+		if degree <= 0 {
+			degree = 3
+		}
+		g := graph.RandomConnected(len(mem.Members), degree, cfg.Workload.Seed)
+		return apps.PathVectorLinkFacts(g, mem.Addrs(), idx), nil
+	case "hashjoin":
+		common, parts, _ := apps.HashJoinInput(hashJoinConfig(cfg, len(mem.Members)), mem.Principals())
+		return append(common, parts[idx]...), nil
+	}
+	return nil, fmt.Errorf("unknown workload %q", cfg.Workload.Name)
+}
+
+// workloadResults renders node idx's partition of the final result set as
+// principal-keyed, tab-separated lines. Addresses never appear: the lines
+// of a multi-process UDP run and of the in-process memnet reference must
+// be byte-identical, and bound addresses are the one thing the two modes
+// do not share.
+func workloadResults(cfg *cluster.Config, mem *cluster.Membership, idx int, ws *engine.Workspace) ([]string, error) {
+	byAddr := mem.Names()
+	prin := func(v datalog.Value) string {
+		if p, ok := byAddr[v.Str]; ok {
+			return p
+		}
+		return v.Str
+	}
+	var lines []string
+	switch cfg.Workload.Name {
+	case "pathvector":
+		// Every node owns its bestcost rows: shortest path costs from
+		// itself to every reachable peer.
+		for _, t := range ws.Tuples("bestcost") {
+			if len(t) != 3 {
+				continue
+			}
+			lines = append(lines, fmt.Sprintf("bestcost\t%s\t%s\t%d", prin(t[0]), prin(t[1]), t[2].Int))
+		}
+	case "hashjoin":
+		// The full join result streams to the initiator (node 0); other
+		// nodes own no result rows.
+		if idx == 0 {
+			for _, t := range ws.Tuples("joinresult") {
+				if len(t) != 3 {
+					continue
+				}
+				lines = append(lines, fmt.Sprintf("joinresult\t%d\t%d\t%d", t[0].Int, t[1].Int, t[2].Int))
+			}
+		}
+	default:
+		return nil, fmt.Errorf("unknown workload %q", cfg.Workload.Name)
+	}
+	return lines, nil
+}

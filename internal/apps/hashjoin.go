@@ -78,6 +78,71 @@ type HashJoinResult struct {
 	Cluster      *core.Cluster
 }
 
+// HashJoinInput generates the deterministic workload input of §8.2 from
+// the config alone: the metadata every node asserts (per-principal hash
+// ranges over [0, 2^63) and the initiator singleton, bound to the given
+// principal names in order), the initial table partitions (tuples assigned
+// to nodes by their first attribute, the pre-rehash placement), and the
+// expected |A ⋈ B| for validation. It is shared by the in-process driver
+// and cmd/sbxnode, whose separate OS processes must agree on the global
+// input without exchanging it — any change to the scenario changes every
+// deployment mode at once.
+func HashJoinInput(cfg HashJoinConfig, principals []string) (common []engine.Fact, parts [][]engine.Fact, expected int) {
+	// Tables: join attribute drawn uniformly from JoinValues distinct
+	// values (randomized per trial, §8.2).
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	joinDomain := make([]int64, cfg.JoinValues)
+	for i := range joinDomain {
+		joinDomain[i] = int64(rng.Intn(1 << 30))
+	}
+	type row struct{ k, v int64 }
+	rowsA := make([]row, cfg.SizeA)
+	for i := range rowsA {
+		rowsA[i] = row{int64(i), joinDomain[i%cfg.JoinValues]}
+	}
+	rowsB := make([]row, cfg.SizeB)
+	for i := range rowsB {
+		rowsB[i] = row{int64(1000000 + i), joinDomain[i%cfg.JoinValues]}
+	}
+	countA := map[int64]int{}
+	for _, r := range rowsA {
+		countA[r.v]++
+	}
+	for _, r := range rowsB {
+		expected += countA[r.v]
+	}
+
+	// Hash-range metadata plus the initiator singleton (node 0).
+	lo := int64(0)
+	step := int64((uint64(1) << 63) / uint64(cfg.N))
+	for j := 0; j < cfg.N; j++ {
+		hi := lo + step
+		if j == cfg.N-1 {
+			hi = int64(^uint64(0) >> 1) // 2^63-1; sha1 UDF yields < 2^63
+		}
+		pv := datalog.Prin(principals[j])
+		common = append(common,
+			engine.Fact{Pred: "prin_minhash", Tuple: datalog.Tuple{pv, datalog.Int64(lo)}},
+			engine.Fact{Pred: "prin_maxhash", Tuple: datalog.Tuple{pv, datalog.Int64(hi)}},
+		)
+		lo = hi
+	}
+	common = append(common, engine.Fact{
+		Pred: "initiator", Tuple: datalog.Tuple{datalog.Prin(principals[0])},
+	})
+
+	parts = make([][]engine.Fact, cfg.N)
+	for _, r := range rowsA {
+		i := int(r.k) % cfg.N
+		parts[i] = append(parts[i], engine.Fact{Pred: "a", Tuple: datalog.Tuple{datalog.Int64(r.k), datalog.Int64(r.v)}})
+	}
+	for _, r := range rowsB {
+		i := int(r.k) % cfg.N
+		parts[i] = append(parts[i], engine.Fact{Pred: "b", Tuple: datalog.Tuple{datalog.Int64(r.k), datalog.Int64(r.v)}})
+	}
+	return common, parts, expected
+}
+
 // RunHashJoin executes the join to the distributed fixpoint. The caller
 // must Stop() the result's Cluster.
 func RunHashJoin(cfg HashJoinConfig) (*HashJoinResult, error) {
@@ -108,54 +173,7 @@ func RunHashJoin(cfg HashJoinConfig) (*HashJoinResult, error) {
 		}
 	}()
 
-	// Generate tables: join attribute drawn uniformly from JoinValues
-	// distinct values (randomized per trial, §8.2).
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	joinDomain := make([]int64, cfg.JoinValues)
-	for i := range joinDomain {
-		joinDomain[i] = int64(rng.Intn(1 << 30))
-	}
-	type row struct{ k, v int64 }
-	rowsA := make([]row, cfg.SizeA)
-	for i := range rowsA {
-		rowsA[i] = row{int64(i), joinDomain[i%cfg.JoinValues]}
-	}
-	rowsB := make([]row, cfg.SizeB)
-	for i := range rowsB {
-		rowsB[i] = row{int64(1000000 + i), joinDomain[i%cfg.JoinValues]}
-	}
-	// Expected |A ⋈ B| on the second attribute.
-	countA := map[int64]int{}
-	for _, r := range rowsA {
-		countA[r.v]++
-	}
-	expected := 0
-	for _, r := range rowsB {
-		expected += countA[r.v]
-	}
-
-	// Hash-range facts (the initial partitioning metadata, on every node)
-	// plus the initiator singleton.
-	var common []engine.Fact
-	span := int64(1) << 62 // ranges cover [0, 2^63) in N slices of 2^62*2/N ... use exact arithmetic below
-	_ = span
-	lo := int64(0)
-	step := int64((uint64(1) << 63) / uint64(cfg.N))
-	for j := 0; j < cfg.N; j++ {
-		hi := lo + step
-		if j == cfg.N-1 {
-			hi = int64(^uint64(0) >> 1) // 2^63-1; sha1 UDF yields < 2^63
-		}
-		pv := datalog.Prin(core.PrincipalName(j))
-		common = append(common,
-			engine.Fact{Pred: "prin_minhash", Tuple: datalog.Tuple{pv, datalog.Int64(lo)}},
-			engine.Fact{Pred: "prin_maxhash", Tuple: datalog.Tuple{pv, datalog.Int64(hi)}},
-		)
-		lo = hi
-	}
-	common = append(common, engine.Fact{
-		Pred: "initiator", Tuple: datalog.Tuple{datalog.Prin(core.PrincipalName(0))},
-	})
+	common, parts, expected := HashJoinInput(cfg, c.Principals)
 	for i := range c.Nodes {
 		if _, err := c.Nodes[i].WS.Assert(common); err != nil {
 			return nil, fmt.Errorf("hashjoin: metadata on node %d: %w", i, err)
@@ -163,17 +181,6 @@ func RunHashJoin(cfg HashJoinConfig) (*HashJoinResult, error) {
 	}
 
 	c.Start()
-	// Initial partitions: tuples assigned to nodes by their FIRST
-	// attribute (round-robin hash), the pre-rehash placement.
-	parts := make([][]engine.Fact, cfg.N)
-	for _, r := range rowsA {
-		i := int(r.k) % cfg.N
-		parts[i] = append(parts[i], engine.Fact{Pred: "a", Tuple: datalog.Tuple{datalog.Int64(r.k), datalog.Int64(r.v)}})
-	}
-	for _, r := range rowsB {
-		i := int(r.k) % cfg.N
-		parts[i] = append(parts[i], engine.Fact{Pred: "b", Tuple: datalog.Tuple{datalog.Int64(r.k), datalog.Int64(r.v)}})
-	}
 	for i, facts := range parts {
 		if len(facts) > 0 {
 			c.AssertAt(i, facts)

@@ -83,6 +83,23 @@ type PathVectorResult struct {
 	Cluster         *core.Cluster
 }
 
+// PathVectorLinkFacts builds node i's slice of the initial link
+// distribution: its adjacency in g, expressed over the nodes' real
+// transport addresses so the scenario is transport-agnostic. Shared by
+// the in-process driver and cmd/sbxnode, whose separate OS processes
+// derive the same graph from the workload seed.
+func PathVectorLinkFacts(g *graph.Graph, addrs []string, i int) []engine.Fact {
+	var facts []engine.Fact
+	me := datalog.NodeV(addrs[i])
+	for _, nb := range g.Neighbors(i) {
+		facts = append(facts, engine.Fact{
+			Pred:  "link",
+			Tuple: datalog.Tuple{me, datalog.NodeV(addrs[nb])},
+		})
+	}
+	return facts
+}
+
 // RunPathVector executes the protocol on a random connected graph to the
 // distributed fixpoint. The caller must Stop() the returned result's
 // Cluster (kept open so tests can inspect node state).
@@ -104,19 +121,9 @@ func RunPathVector(cfg PathVectorConfig) (*PathVectorResult, error) {
 		return nil, err
 	}
 	c.Start()
-	// Distribute initial links to all nodes simultaneously (§8.1). Links
-	// are expressed over the endpoints' real addresses so the scenario is
-	// transport-agnostic.
+	// Distribute initial links to all nodes simultaneously (§8.1).
 	for i := 0; i < cfg.N; i++ {
-		var facts []engine.Fact
-		me := datalog.NodeV(c.Addrs[i])
-		for _, nb := range g.Neighbors(i) {
-			facts = append(facts, engine.Fact{
-				Pred:  "link",
-				Tuple: datalog.Tuple{me, datalog.NodeV(c.Addrs[nb])},
-			})
-		}
-		if len(facts) > 0 {
+		if facts := PathVectorLinkFacts(g, c.Addrs, i); len(facts) > 0 {
 			c.AssertAt(i, facts)
 		}
 	}

@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"context"
+	"crypto/rsa"
+	"fmt"
+	"time"
+
+	"secureblox/internal/dist"
+	"secureblox/internal/seccrypto"
+	"secureblox/internal/transport"
+	"secureblox/internal/wire"
+)
+
+// Runtime is one process's attachment to a cluster deployment: the config
+// entry it runs as, its bound node endpoint, its keystore, and the
+// bootstrap state that turns the declarative config into a live
+// Membership. Lifecycle: NewRuntime (bind + load keys) → Join (handshake)
+// → caller assembles its workspace and node → Ready (barrier) → node
+// runs → Leave (drain + stop) → Close.
+type Runtime struct {
+	cfg       *Config
+	spec      PolicySpec
+	principal string
+	idx       int
+	net       transport.Network
+	ep        transport.Transport
+	priv      *rsa.PrivateKey
+	pubDER    []byte
+	ks        *seccrypto.KeyStore
+	seedAddr  string
+	mem       *Membership
+	directory []byte            // encoded CtrlDirectory message (seed only)
+	gossiped  map[string]string // principal → addr heard via CtrlMember
+	ctrlCh    chan wire.Join    // post-Start control records (departure barrier)
+}
+
+// NewRuntime binds the node's endpoint on net at its configured listen
+// address, loads its private key, and derives its shared secrets — every
+// per-process precondition of the join handshake. The config must already
+// be validated (LoadConfig/ParseConfig validate). The runtime does not
+// take ownership of net; callers close it after Close.
+func NewRuntime(cfg *Config, principal string, net transport.Network) (*Runtime, error) {
+	idx := cfg.NodeIndex(principal)
+	if idx < 0 {
+		return nil, fmt.Errorf("cluster %s: no node named %q in config (have %v)", cfg.Cluster, principal, cfg.principalList())
+	}
+	priv, err := cfg.LoadNodeKey(principal)
+	if err != nil {
+		return nil, err
+	}
+	ep, err := net.Listen(cfg.Nodes[idx].Addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster %s: node %s: %w", cfg.Cluster, principal, err)
+	}
+	rt := &Runtime{
+		cfg:       cfg,
+		spec:      cfg.Spec(),
+		principal: principal,
+		idx:       idx,
+		net:       net,
+		ep:        ep,
+		priv:      priv,
+		ks:        cfg.BuildKeyStore(principal, priv),
+		seedAddr:  cfg.Seed().Addr,
+		gossiped:  make(map[string]string),
+	}
+	if priv != nil {
+		rt.pubDER = seccrypto.MarshalPublicKey(&priv.PublicKey)
+	}
+	return rt, nil
+}
+
+// Principal returns the identity this runtime runs as.
+func (rt *Runtime) Principal() string { return rt.principal }
+
+// Index returns this node's position in deployment order.
+func (rt *Runtime) Index() int { return rt.idx }
+
+// IsSeed reports whether this runtime is the bootstrap seed (the config's
+// first node).
+func (rt *Runtime) IsSeed() bool { return rt.idx == 0 }
+
+// Endpoint returns the node's bound transport endpoint. During bootstrap
+// the runtime consumes its receive channel; after Ready returns, ownership
+// passes to the dist.Node built over it.
+func (rt *Runtime) Endpoint() transport.Transport { return rt.ep }
+
+// KeyStore returns this node's keystore: private key and derived secrets
+// from config, peer public keys from the join directory.
+func (rt *Runtime) KeyStore() *seccrypto.KeyStore { return rt.ks }
+
+// Membership returns the directory Join established, or nil before Join.
+func (rt *Runtime) Membership() *Membership { return rt.mem }
+
+// BindNode routes the bootstrap-record control traffic that arrives after
+// the node's transaction loop takes over the endpoint (the departure
+// barrier's CtrlLeave/CtrlBye) back into the runtime. It must be called
+// before n.Start, on the node built over rt.Endpoint().
+func (rt *Runtime) BindNode(n *dist.Node) {
+	rt.ctrlCh = make(chan wire.Join, 8*len(rt.cfg.Nodes)+8)
+	n.OnControl = func(from string, payload []byte) {
+		rec, err := wire.DecodeJoin(payload)
+		if err != nil || rec.Cluster != rt.cfg.Cluster {
+			return
+		}
+		select {
+		case rt.ctrlCh <- rec:
+		default: // overflow: drop, the sender's resend tick covers it
+		}
+	}
+}
+
+// Leave departs gracefully: the node's queued work is drained — including
+// the asynchronous outbound sign-and-send stage, so the last commits reach
+// the wire — and, on transports with a retransmit layer, the endpoint's
+// unacknowledged frames are flushed (closing right after a single send of
+// e.g. the departure release would cut its retransmit window and strand a
+// peer behind one lost datagram). Then the node stops and closes its
+// endpoint. The context bounds the flush; on expiry the node is stopped
+// anyway and the error returned.
+func (rt *Runtime) Leave(ctx context.Context, n *dist.Node) error {
+	err := n.Drain(ctx)
+	rt.flushEndpoint(ctx)
+	n.Stop()
+	return err
+}
+
+// flushEndpoint waits until the endpoint's reliability layer holds no
+// unacknowledged frame, when the transport exposes that (memnet delivers
+// synchronously and has nothing to flush). Best effort: a frame addressed
+// to a peer that already departed will never be acknowledged, and must
+// not turn a clean exit into a failure — the loop gives up on ctx expiry
+// or after a bounded grace.
+func (rt *Runtime) flushEndpoint(ctx context.Context) {
+	pending, ok := rt.ep.(interface{ PendingFrames() int })
+	if !ok {
+		return
+	}
+	deadline := time.After(2 * time.Second)
+	for pending.PendingFrames() > 0 {
+		select {
+		case <-ctx.Done():
+			return
+		case <-deadline:
+			return
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// Close releases what the runtime itself holds. It is safe before Join;
+// after a node was built over the endpoint, stopping the node already
+// closed it and Close is a no-op.
+func (rt *Runtime) Close() {
+	rt.ep.Close()
+}

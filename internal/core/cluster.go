@@ -1,10 +1,11 @@
 package core
 
 import (
-	"crypto/rsa"
+	"context"
 	"fmt"
 	"time"
 
+	"secureblox/internal/cluster"
 	"secureblox/internal/datalog"
 	"secureblox/internal/dist"
 	"secureblox/internal/engine"
@@ -12,7 +13,6 @@ import (
 	"secureblox/internal/metrics"
 	"secureblox/internal/seccrypto"
 	"secureblox/internal/transport"
-	"secureblox/internal/udf"
 	"secureblox/internal/wire"
 )
 
@@ -47,7 +47,10 @@ type ClusterConfig struct {
 // Cluster is a set of SecureBlox nodes over one network, plus the compiled
 // program they all run. Fixpoint detection is fully distributed: a
 // wire-level termination detector shares the nodes' transport and no
-// in-process state.
+// in-process state. NewCluster is the in-process convenience over the same
+// cluster.Membership abstraction that multi-process deployments establish
+// through the join handshake — the per-node assembly below the directory
+// (NodeAssembly.Build) is one shared code path.
 type Cluster struct {
 	Cfg        ClusterConfig
 	Net        transport.Network
@@ -59,6 +62,11 @@ type Cluster struct {
 	// NodeAddr when building address-valued facts.
 	Addrs    []string
 	Compiled *generics.Result
+	// Directory is the cluster's principal directory — the same
+	// abstraction a multi-process deployment receives from the bootstrap
+	// handshake, built statically here because every endpoint lives in
+	// this process.
+	Directory *cluster.Membership
 	// KeyStores holds each node's key material (indexed like Nodes), so
 	// applications can install additional keys (e.g. onion-circuit keys)
 	// before Start.
@@ -130,10 +138,6 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			}
 		}
 	}()
-	if cfg.Policy.BatchSign && cfg.Policy.Auth != AuthRSA {
-		return nil, fmt.Errorf("cluster: BatchSign requires the RSA scheme, got %s", cfg.Policy.Auth)
-	}
-
 	// Endpoints first: socket-backed networks only know their addresses
 	// after binding, and the principal directory must carry real ones.
 	var eps []transport.Transport
@@ -150,26 +154,11 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: listen for detector: %w", err)
 	}
-	c.det = dist.NewDetector(detEp, c.Addrs)
 
 	// Compile once: the program is identical on every node.
-	gc := generics.NewCompiler()
-	for _, src := range cfg.Policy.Sources() {
-		if err := gc.AddPolicy(src); err != nil {
-			return nil, fmt.Errorf("cluster: policy: %w", err)
-		}
-	}
-	for _, src := range cfg.ExtraPolicies {
-		if err := gc.AddPolicy(src); err != nil {
-			return nil, fmt.Errorf("cluster: extra policy: %w", err)
-		}
-	}
-	if err := gc.AddPolicy(dist.ExportDecl); err != nil {
-		return nil, err
-	}
-	res, err := gc.Compile(cfg.Query)
+	res, err := CompileProgram(cfg.Policy, cfg.Query, cfg.ExtraPolicies)
 	if err != nil {
-		return nil, fmt.Errorf("cluster: compile: %w", err)
+		return nil, fmt.Errorf("cluster: %w", err)
 	}
 	c.Compiled = res
 
@@ -178,64 +167,50 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		return nil, err
 	}
 
-	var exportables []string
-	for _, t := range res.MetaFacts["exportable"] {
-		exportables = append(exportables, t[0])
+	// The principal directory — built statically here, established by the
+	// bootstrap handshake in multi-process deployments; everything below
+	// it is shared.
+	c.Directory = &cluster.Membership{Members: make([]cluster.Member, cfg.N)}
+	for i, p := range c.Principals {
+		m := cluster.Member{Principal: p, Addr: c.Addrs[i]}
+		if cfg.Policy.Auth == AuthRSA {
+			m.PubKeyDER = ts.Stores[p].PublicKeyDER(p)
+		}
+		c.Directory.Members[i] = m
 	}
+	c.det = dist.NewDetector(detEp, c.Addrs)
+	c.det.Names = c.Directory.Names()
 
-	var preVerify func(wire.Message)
 	if cfg.Policy.Auth == AuthRSA {
 		c.pool = seccrypto.NewVerifyPool(0)
 		// Outbound mirror of the verify pool: rsa_sign memoizes across
 		// re-derivations, and batch mode signs envelope digests here too.
 		c.spool = seccrypto.NewSignPool(0)
-		// Public key material is identical in every keystore, so one
-		// address→key map (and one shared hook) serves all nodes.
-		preVerify = c.preVerifier(ts.Stores[c.Principals[0]])
 	}
 
 	for i := 0; i < cfg.N; i++ {
 		ks := ts.Stores[c.Principals[i]]
-		reg, err := udf.NewRegistryWithPools(ks, seccrypto.NewDeterministicRand(cfg.Seed+2), c.pool, c.spool)
+		n, err := NodeAssembly{
+			Policy:           cfg.Policy,
+			Compiled:         res,
+			Directory:        c.Directory,
+			Index:            i,
+			KeyStore:         ks,
+			Endpoint:         eps[i],
+			VerifyPool:       c.pool,
+			SignPool:         c.spool,
+			Seed:             cfg.Seed,
+			TrustAll:         cfg.TrustAllPrincipals,
+			GrantWriteAccess: cfg.GrantWriteAccess,
+		}.Build()
 		if err != nil {
-			return nil, err
-		}
-		ws := engine.NewWorkspace(reg)
-		ws.EntityBase = int64(i+1) << 40 // node-disjoint entity ids
-		if err := ws.Install(res.Program); err != nil {
-			return nil, fmt.Errorf("cluster: install on node %d: %w", i, err)
-		}
-		if err := c.assertSetup(ws, i, ks, exportables); err != nil {
-			return nil, fmt.Errorf("cluster: setup on node %d: %w", i, err)
-		}
-		n := dist.NewNode(c.Principals[i], ws, eps[i])
-		n.SetPeers(c.Addrs)
-		n.PreVerify = preVerify
-		if cfg.Policy.BatchSign {
-			c.bindBatchSigner(n, ks)
+			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
 		}
 		c.Nodes = append(c.Nodes, n)
 		c.KeyStores = append(c.KeyStores, ks)
 	}
 	built = true
 	return c, nil
-}
-
-// bindBatchSigner installs the outbound batch-signing hooks on one node:
-// each shipped envelope's payload digest is signed with the node's private
-// key through the shared signing pool, whose memo turns the warm-up issued
-// at enqueue time into a cache hit by the time the sender stage needs the
-// signature (footnote 2's "sign batch aggregates").
-func (c *Cluster) bindBatchSigner(n *dist.Node, ks *seccrypto.KeyStore) {
-	priv := ks.PrivateKey()
-	privDER := ks.PrivateKeyDER()
-	spool := c.spool
-	n.SignBatch = func(digest []byte) ([]byte, error) {
-		return spool.Sign(priv, privDER, digest)
-	}
-	n.WarmSignBatch = func(digest []byte) {
-		spool.Warm(priv, privDER, digest)
-	}
 }
 
 // SignPoolStats returns the shared signing pool's cache hits and misses
@@ -248,103 +223,11 @@ func (c *Cluster) SignPoolStats() (hits, misses int64) {
 	return c.spool.Stats()
 }
 
-// preVerifier builds a node's inbound pre-verification hook: payloads from
-// a known peer address are decoded speculatively and their signatures
-// submitted to the shared worker pool against the claimed sender's public
-// key — the same key the sigRSA policy's verification constraint will look
-// up, so the cached result is exactly what the transaction consumes. A
-// batch envelope instead warms one check of its aggregate signature over
-// the digest of the received payload sequence — the exact triple the
-// sigRSABatch constraint will ask the pool for, once per envelope.
-// Encrypted or undecodable payloads are skipped; they verify inline inside
-// the transaction as before. This is an accelerator only: acceptance is
-// still decided by the compiled policy constraints.
-func (c *Cluster) preVerifier(ks *seccrypto.KeyStore) func(wire.Message) {
-	type pubEntry struct {
-		pub *rsa.PublicKey
-		der []byte
-	}
-	byAddr := make(map[string]pubEntry, len(c.Principals))
-	for j, p := range c.Principals {
-		der := ks.PublicKeyDER(p)
-		pub, err := ks.ParsePub(der)
-		if err != nil {
-			continue
-		}
-		byAddr[c.Addrs[j]] = pubEntry{pub: pub, der: der}
-	}
-	pool := c.pool
-	return func(msg wire.Message) {
-		pe, ok := byAddr[msg.From]
-		if !ok {
-			return
-		}
-		if msg.Kind == wire.MsgBatch {
-			if len(msg.Sig) > 0 && len(msg.Payloads) > 0 {
-				pool.Warm(pe.pub, pe.der, wire.BatchDigest(msg.Payloads), msg.Sig)
-			}
-			return
-		}
-		for _, pl := range msg.Payloads {
-			p, err := wire.DecodePayload(pl)
-			if err != nil || len(p.Sig) == 0 {
-				continue
-			}
-			pool.Warm(pe.pub, pe.der, wire.SigData(p.Pred, p.Vals), p.Sig)
-		}
-	}
-}
-
 // MemNet returns the underlying MemNetwork when the cluster runs over the
 // simulated transport, nil otherwise. Tests use it for fault injection.
 func (c *Cluster) MemNet() *transport.MemNetwork {
 	m, _ := c.Net.(*transport.MemNetwork)
 	return m
-}
-
-// assertSetup installs the principal directory and per-scheme key material
-// on one node (the out-of-band dissemination of §3).
-func (c *Cluster) assertSetup(ws *engine.Workspace, i int, ks *seccrypto.KeyStore, exportables []string) error {
-	var facts []engine.Fact
-	self := datalog.Prin(c.Principals[i])
-	facts = append(facts, engine.Fact{Pred: "self", Tuple: datalog.Tuple{self}})
-	for j, p := range c.Principals {
-		pv := datalog.Prin(p)
-		facts = append(facts,
-			engine.Fact{Pred: "principal", Tuple: datalog.Tuple{pv}},
-			engine.Fact{Pred: "principal_node", Tuple: datalog.Tuple{pv, datalog.NodeV(c.Addrs[j])}},
-		)
-		if c.Cfg.Policy.Delegation == DelegateTrustworthy && c.Cfg.TrustAllPrincipals {
-			facts = append(facts, engine.Fact{Pred: "trustworthy", Tuple: datalog.Tuple{pv}})
-		}
-		if c.Cfg.Policy.Authorization && c.Cfg.GrantWriteAccess {
-			for _, t := range exportables {
-				facts = append(facts, engine.Fact{Pred: "writeAccess$" + t, Tuple: datalog.Tuple{pv}})
-			}
-		}
-	}
-	if c.Cfg.Policy.Auth == AuthRSA {
-		facts = append(facts, engine.Fact{Pred: "private_key", Tuple: datalog.Tuple{datalog.BytesV(ks.PrivateKeyDER())}})
-		for _, p := range c.Principals {
-			facts = append(facts, engine.Fact{
-				Pred:  "public_key",
-				Tuple: datalog.Tuple{datalog.Prin(p), datalog.BytesV(ks.PublicKeyDER(p))},
-			})
-		}
-	}
-	if c.Cfg.Policy.Auth == AuthHMAC || c.Cfg.Policy.Encrypt {
-		for _, p := range c.Principals {
-			if p == c.Principals[i] {
-				continue
-			}
-			facts = append(facts, engine.Fact{
-				Pred:  "secret",
-				Tuple: datalog.Tuple{datalog.Prin(p), datalog.BytesV(ks.Secret(p))},
-			})
-		}
-	}
-	_, err := ws.Assert(facts)
-	return err
 }
 
 // Start launches every node's transaction loop and marks the experiment's
@@ -396,10 +279,19 @@ func (c *Cluster) RetractAt(i int, facts []engine.Fact) {
 // detector first, no fixpoint was proven and the returned duration is
 // zero rather than a fake measurement.
 func (c *Cluster) WaitFixpoint() time.Duration {
-	if !c.det.Wait() {
-		return 0
+	d, _ := c.WaitFixpointCtx(context.Background())
+	return d
+}
+
+// WaitFixpointCtx is WaitFixpoint with cancellation and a typed failure: a
+// zero duration plus dist.ErrDetectorClosed when Stop raced the wait, a
+// *dist.UnresponsiveError naming the dead principal when a node stops
+// answering probes, or ctx's error.
+func (c *Cluster) WaitFixpointCtx(ctx context.Context) (time.Duration, error) {
+	if err := c.det.WaitQuiescent(ctx); err != nil {
+		return 0, err
 	}
-	return time.Since(c.startAt)
+	return time.Since(c.startAt), nil
 }
 
 // StartTime returns the experiment start timestamp.

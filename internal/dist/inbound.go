@@ -70,19 +70,25 @@ func (n *Node) handleMessage(in transport.InMsg, msg wire.Message, err error) {
 	n.commit(facts)
 }
 
-// handleProbe answers a termination-detection probe with a local snapshot:
-// the monotone peer-message counters plus whether local work is queued or
-// an outbound chunk is still in the sender stage. Because probes are
-// served by the transaction loop itself, a report is always taken between
-// transactions, never mid-commit — and because outPending is read before
-// the counters (and decremented after ctrSent is bumped), a report that
-// claims passivity always includes every completed send in its counters.
+// handleProbe routes one control datagram: termination-detection probes
+// are answered with a local snapshot, and any other control payload (the
+// cluster runtime's bootstrap/departure records) is handed to the
+// OnControl hook. A probe's report holds the monotone peer-message
+// counters plus whether local work is queued or an outbound chunk is still
+// in the sender stage. Because probes are served by the transaction loop
+// itself, a report is always taken between transactions, never mid-commit
+// — and because outPending is read before the counters (and decremented
+// after ctrSent is bumped), a report that claims passivity always includes
+// every completed send in its counters.
 func (n *Node) handleProbe(replyTo string, msg wire.Message) {
 	if len(msg.Payloads) != 1 {
 		return
 	}
 	c, err := wire.DecodeControl(msg.Payloads[0])
 	if err != nil || c.Type != wire.CtrlProbe {
+		if err != nil && n.OnControl != nil {
+			n.OnControl(replyTo, msg.Payloads[0])
+		}
 		return
 	}
 	n.mu.Lock()

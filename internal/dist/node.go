@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -46,6 +47,13 @@ type Node struct {
 	// by the time the sender stage needs it. It must be cheap and must not
 	// block.
 	WarmSignBatch func(digest []byte)
+	// OnControl, if set before Start, receives the payload of every
+	// MsgControl datagram that is not a termination-detection record,
+	// with the transport-level sender address. The cluster runtime uses it
+	// to run its departure barrier over the node's own endpoint while the
+	// transaction loop owns the receive channel. It runs on the loop
+	// goroutine and must not block.
+	OnControl func(from string, payload []byte)
 
 	ep transport.Transport
 
@@ -84,6 +92,14 @@ type Node struct {
 	// send is still in flight.
 	outCh      chan outChunk
 	outPending atomic.Int64
+
+	// busy is set by the loop goroutine around each unit of work
+	// (drainLocal run or inbound message). Drain needs it: a batch that
+	// was popped from pending but is still mid-commit is otherwise
+	// invisible (pending empty, its dispatches not yet counted in
+	// outPending), and Drain returning during that window would let Stop
+	// discard the commit's exports.
+	busy atomic.Bool
 }
 
 // batch is one queued unit of local work: a transaction's base facts,
@@ -148,6 +164,38 @@ func (n *Node) Start() {
 		n.wg.Add(1)
 		go n.run()
 	})
+}
+
+// Drain blocks until the node holds no queued local work and no outbound
+// chunk is still in the sign-and-send stage, or ctx is cancelled. It is
+// the graceful half of leaving a cluster: Stop discards whatever is still
+// queued, so a departing node that wants its last commits on the wire
+// drains first, then stops. Drain does not prevent new work from arriving;
+// callers stop asserting before draining.
+func (n *Node) Drain(ctx context.Context) error {
+	for {
+		n.mu.Lock()
+		idle := len(n.pending) == 0
+		stopped := n.stopped
+		n.mu.Unlock()
+		if stopped {
+			return nil // nothing left to drain; Stop already discarded it
+		}
+		// Order matters: pending was read under the mutex, so a batch the
+		// loop already popped implies the loop set busy first (it takes
+		// the same mutex to pop); and once busy clears, every dispatch of
+		// that work is visible in outPending.
+		if idle && !n.busy.Load() && n.outPending.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-n.stopCh:
+			return nil
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
 }
 
 // Stop shuts the loop down, discards any still-queued work, and closes the
@@ -246,7 +294,9 @@ func (n *Node) run() {
 			}
 			return
 		case <-n.wake:
+			n.busy.Store(true)
 			n.drainLocal()
+			n.busy.Store(false)
 		case m, ok := <-rawCh:
 			if !ok {
 				// Endpoint closed underneath us; serve local work
@@ -254,14 +304,18 @@ func (n *Node) run() {
 				rawCh = nil
 				continue
 			}
+			n.busy.Store(true)
 			msg, err := wire.DecodeMessage(m.Data)
 			n.handleMessage(m, msg, err)
+			n.busy.Store(false)
 		case e, ok := <-envCh:
 			if !ok {
 				envCh = nil
 				continue
 			}
+			n.busy.Store(true)
 			n.handleMessage(e.in, e.msg, e.err)
+			n.busy.Store(false)
 		}
 	}
 }

@@ -1,12 +1,43 @@
 package dist
 
 import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"secureblox/internal/transport"
 	"secureblox/internal/wire"
 )
+
+// ErrDetectorClosed is returned by WaitQuiescent when the detector's
+// endpoint closed before quiescence was proven.
+var ErrDetectorClosed = errors.New("dist: detector endpoint closed")
+
+// UnresponsiveError reports that one or more nodes stopped answering
+// termination probes: a probe wave re-probed them for the detector's full
+// unresponsiveness budget without a single report. In a multi-process
+// deployment this is how a crashed peer surfaces — as a typed error naming
+// the dead principal, not as a hang.
+type UnresponsiveError struct {
+	// Principals names the unresponsive nodes (their transport addresses
+	// when the detector was given no principal directory).
+	Principals []string
+	// Addrs are the corresponding transport addresses.
+	Addrs []string
+	// Wave is the probe wave that gave up.
+	Wave uint64
+	// After is how long the wave kept re-probing before giving up.
+	After time.Duration
+}
+
+func (e *UnresponsiveError) Error() string {
+	return fmt.Sprintf("dist: no termination report from %s after %v (wave %d)",
+		strings.Join(e.Principals, ", "), e.After.Round(time.Millisecond), e.Wave)
+}
 
 // Detector observes distributed termination purely through wire-level
 // control messages — Mattern's counting-wave method. It owns one transport
@@ -30,6 +61,20 @@ type Detector struct {
 	// ReplyTimeout is how long one wave waits for stragglers before
 	// re-probing nodes that have not answered. Zero means 1s.
 	ReplyTimeout time.Duration
+	// UnresponsiveAfter bounds how long one wave keeps re-probing a silent
+	// node before WaitQuiescent gives up with an UnresponsiveError — the
+	// difference between a crashed remote process surfacing as a typed
+	// error and hanging the caller forever. Zero (the default) means no
+	// bound: probes are only answered between transactions, so a bound
+	// must exceed the longest transaction a deployment can commit, a
+	// judgement the in-process drivers cannot make for their callers.
+	// Multi-process deployments (sbxnode) set it; cmd/sbxnode defaults it
+	// to 15s.
+	UnresponsiveAfter time.Duration
+	// Names maps node transport addresses to principal names, so an
+	// UnresponsiveError can name the dead principal rather than a socket.
+	// Optional; addresses are used verbatim when absent.
+	Names map[string]string
 
 	ep     transport.Transport
 	nodes  []string
@@ -50,9 +95,9 @@ func NewDetector(ep transport.Transport, nodes []string) *Detector {
 }
 
 // Close shuts the detector's endpoint down; a concurrent or later Wait
-// returns false once it observes the closed endpoint. Close deliberately
-// does not take the Wait mutex — it is the only way to unblock a Wait
-// whose fixpoint is unreachable.
+// returns once it observes the closed endpoint. Close deliberately does
+// not take the Wait mutex — it is the only way to unblock a Wait whose
+// fixpoint is unreachable.
 func (d *Detector) Close() error {
 	return d.ep.Close()
 }
@@ -64,41 +109,69 @@ type waveSum struct {
 }
 
 // Wait blocks until two consecutive probe waves prove global quiescence,
-// returning true; it returns false only if the detector is closed. Every
-// call runs fresh waves, so work enqueued before the call is always
-// observed.
+// returning true; false means no fixpoint was proven (the detector closed,
+// or — with UnresponsiveAfter set — a node stopped answering probes for
+// the whole budget). Callers that need to distinguish those outcomes, and
+// to cancel the wait, use WaitQuiescent.
 func (d *Detector) Wait() bool {
+	return d.WaitQuiescent(context.Background()) == nil
+}
+
+// WaitQuiescent blocks until two consecutive probe waves prove global
+// quiescence, returning nil. It fails with ErrDetectorClosed when the
+// detector's endpoint closes, with the context's error when ctx is
+// cancelled, and with a typed *UnresponsiveError naming the silent
+// principals when a node answers no probe for UnresponsiveAfter — a remote
+// process that died mid-run yields that error instead of hanging the
+// survivors forever. Every call runs fresh waves, so work enqueued before
+// the call is always observed.
+func (d *Detector) WaitQuiescent(ctx context.Context) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	prev, ok := d.collect()
+	prev, err := d.collect(ctx)
 	delay := time.Millisecond
 	for {
-		if !ok {
-			return false
+		if err != nil {
+			return err
 		}
-		cur, curOK := d.collect()
-		if !curOK {
-			return false
+		var cur waveSum
+		cur, err = d.collect(ctx)
+		if err != nil {
+			return err
 		}
 		if !prev.active && !cur.active &&
 			prev.sent == cur.sent && prev.recv == cur.recv &&
 			cur.sent == cur.recv {
-			return true
+			return nil
 		}
 		prev = cur
 		// Back off a little between unsuccessful wave pairs so an idle
 		// wait (e.g. a message crossing a slow link) doesn't spin.
-		time.Sleep(delay)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(delay):
+		}
 		if delay < 20*time.Millisecond {
 			delay = delay * 3 / 2
 		}
 	}
 }
 
+// unresponsiveAfter returns the configured probe-silence budget.
+func (d *Detector) unresponsiveAfter() time.Duration {
+	if d.UnresponsiveAfter <= 0 {
+		return time.Duration(1<<63 - 1) // unbounded
+	}
+	return d.UnresponsiveAfter
+}
+
 // collect runs one complete wave: probe every node, gather one report per
-// node for this wave number, re-probing stragglers on a timeout. It only
-// fails (ok=false) when the detector endpoint closes.
-func (d *Detector) collect() (sum waveSum, ok bool) {
+// node for this wave number, re-probing stragglers on a per-probe timeout.
+// It fails with ErrDetectorClosed when the detector endpoint closes, the
+// context's error on cancellation, and a typed *UnresponsiveError when a
+// node has answered nothing for the whole unresponsiveness budget.
+func (d *Detector) collect(ctx context.Context) (sum waveSum, err error) {
 	d.wave++
 	wave := d.wave
 	probe := wire.EncodeMessage(wire.Message{
@@ -110,6 +183,8 @@ func (d *Detector) collect() (sum waveSum, ok bool) {
 	if timeout <= 0 {
 		timeout = time.Second
 	}
+	start := time.Now()
+	budget := d.unresponsiveAfter()
 	reports := make(map[string]wire.Control, len(d.nodes))
 	for len(reports) < len(d.nodes) {
 		for _, addr := range d.nodes {
@@ -124,7 +199,7 @@ func (d *Detector) collect() (sum waveSum, ok bool) {
 			case in, open := <-d.ep.Receive():
 				if !open {
 					deadline.Stop()
-					return sum, false
+					return sum, ErrDetectorClosed
 				}
 				msg, err := wire.DecodeMessage(in.Data)
 				if err != nil || msg.Kind != wire.MsgControl || len(msg.Payloads) != 1 {
@@ -138,16 +213,42 @@ func (d *Detector) collect() (sum waveSum, ok bool) {
 					continue // a spoofed report must not complete a wave
 				}
 				reports[in.From] = c
+			case <-ctx.Done():
+				deadline.Stop()
+				return sum, ctx.Err()
 			case <-deadline.C:
 				break recv // re-probe whoever has not answered
 			}
 		}
 		deadline.Stop()
+		if elapsed := time.Since(start); len(reports) < len(d.nodes) && elapsed > budget {
+			return sum, d.unresponsive(reports, wave, elapsed)
+		}
 	}
 	for _, c := range reports {
 		sum.sent += c.Sent
 		sum.recv += c.Recv
 		sum.active = sum.active || c.Active
 	}
-	return sum, true
+	return sum, nil
+}
+
+// unresponsive builds the typed error naming every node still missing from
+// a wave's report set.
+func (d *Detector) unresponsive(reports map[string]wire.Control, wave uint64, elapsed time.Duration) *UnresponsiveError {
+	e := &UnresponsiveError{Wave: wave, After: elapsed}
+	for _, addr := range d.nodes {
+		if _, ok := reports[addr]; ok {
+			continue
+		}
+		name := d.Names[addr]
+		if name == "" {
+			name = addr
+		}
+		e.Principals = append(e.Principals, name)
+		e.Addrs = append(e.Addrs, addr)
+	}
+	sort.Strings(e.Principals)
+	sort.Strings(e.Addrs)
+	return e
 }

@@ -1,0 +1,79 @@
+package seccrypto
+
+import (
+	"crypto/hmac"
+	"crypto/rsa"
+	"crypto/sha1"
+	"encoding/pem"
+	"fmt"
+	"os"
+)
+
+// privatePEMType is the PEM block type for PKCS#1 RSA private keys, the
+// on-disk form sbxnode deployments store per-principal key material in.
+const privatePEMType = "RSA PRIVATE KEY"
+
+// EncodePrivateKeyPEM renders a private key as a PKCS#1 PEM block, the
+// format cluster config key files hold.
+func EncodePrivateKeyPEM(k *rsa.PrivateKey) []byte {
+	return pem.EncodeToMemory(&pem.Block{Type: privatePEMType, Bytes: MarshalPrivateKey(k)})
+}
+
+// ParsePrivateKeyPEM parses a PKCS#1 PEM private key, rejecting empty
+// input, non-PEM bytes, wrong block types and corrupt DER with distinct
+// errors — config validation surfaces these verbatim.
+func ParsePrivateKeyPEM(data []byte) (*rsa.PrivateKey, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("seccrypto: empty key material")
+	}
+	block, _ := pem.Decode(data)
+	if block == nil {
+		return nil, fmt.Errorf("seccrypto: no PEM block found")
+	}
+	if block.Type != privatePEMType {
+		return nil, fmt.Errorf("seccrypto: PEM block is %q, want %q", block.Type, privatePEMType)
+	}
+	k, err := ParsePrivateKey(block.Bytes)
+	if err != nil {
+		return nil, fmt.Errorf("seccrypto: corrupt private key DER: %w", err)
+	}
+	return k, nil
+}
+
+// LoadPrivateKeyFile reads and parses one PEM private key file.
+func LoadPrivateKeyFile(path string) (*rsa.PrivateKey, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("seccrypto: read key file: %w", err)
+	}
+	k, err := ParsePrivateKeyPEM(data)
+	if err != nil {
+		return nil, fmt.Errorf("seccrypto: key file %s: %w", path, err)
+	}
+	return k, nil
+}
+
+// WritePrivateKeyFile stores a private key as owner-only PEM.
+func WritePrivateKeyFile(path string, k *rsa.PrivateKey) error {
+	return os.WriteFile(path, EncodePrivateKeyPEM(k), 0o600)
+}
+
+// DerivePairSecret derives the pairwise shared secret two principals use
+// for HMAC and AES from one cluster-wide secret: HMAC-SHA1 keyed by the
+// cluster secret over the sorted principal pair, truncated to SecretLen.
+// Both sides compute the same bytes from config alone, which replaces the
+// in-process TrustSetup's random pairwise generation when nodes run as
+// separate OS processes — the out-of-band key distribution the paper
+// assumes, made concrete as one secret in the deployment config.
+func DerivePairSecret(clusterSecret []byte, p, q string) []byte {
+	if q < p {
+		p, q = q, p
+	}
+	mac := hmac.New(sha1.New, clusterSecret)
+	// Length-prefix the first name so ("ab","c") and ("a","bc") cannot
+	// collide.
+	fmt.Fprintf(mac, "%d:", len(p))
+	mac.Write([]byte(p))
+	mac.Write([]byte(q))
+	return mac.Sum(nil)[:SecretLen]
+}

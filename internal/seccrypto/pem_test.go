@@ -1,0 +1,86 @@
+package seccrypto
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPrivateKeyPEMRoundTrip(t *testing.T) {
+	k, err := GenerateRSAKey(NewDeterministicRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParsePrivateKeyPEM(EncodePrivateKeyPEM(k))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if !got.Equal(k) {
+		t.Fatal("key changed across PEM round trip")
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p0.pem")
+	if err := WritePrivateKeyFile(path, k); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Mode().Perm() != 0o600 {
+		t.Fatalf("key file mode = %v (err %v), want 0600", fi.Mode(), err)
+	}
+	got, err = LoadPrivateKeyFile(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if !got.Equal(k) {
+		t.Fatal("key changed across file round trip")
+	}
+}
+
+func TestParsePrivateKeyPEMErrors(t *testing.T) {
+	k, _ := GenerateRSAKey(NewDeterministicRand(1))
+	good := EncodePrivateKeyPEM(k)
+	corrupt := bytes.Replace(good, []byte("MII"), []byte("AAA"), 1)
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"empty", nil, "empty key material"},
+		{"not pem", []byte("not a pem at all"), "no PEM block"},
+		{"wrong type", []byte("-----BEGIN CERTIFICATE-----\nAAAA\n-----END CERTIFICATE-----\n"), "want \"RSA PRIVATE KEY\""},
+		{"corrupt der", corrupt, "corrupt private key DER"},
+	}
+	for _, c := range cases {
+		_, err := ParsePrivateKeyPEM(c.data)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+	if _, err := LoadPrivateKeyFile(filepath.Join(t.TempDir(), "absent.pem")); err == nil {
+		t.Fatal("loading a missing key file succeeded")
+	}
+}
+
+func TestDerivePairSecret(t *testing.T) {
+	cs := []byte("cluster secret bytes")
+	ab := DerivePairSecret(cs, "alice", "bob")
+	ba := DerivePairSecret(cs, "bob", "alice")
+	if !bytes.Equal(ab, ba) {
+		t.Fatal("pair secret is not symmetric")
+	}
+	if len(ab) != SecretLen {
+		t.Fatalf("secret length %d, want %d", len(ab), SecretLen)
+	}
+	if bytes.Equal(ab, DerivePairSecret(cs, "alice", "carol")) {
+		t.Fatal("distinct pairs share a secret")
+	}
+	if bytes.Equal(ab, DerivePairSecret([]byte("other"), "alice", "bob")) {
+		t.Fatal("distinct cluster secrets share a pair secret")
+	}
+	// Concatenation ambiguity: ("ab","c") vs ("a","bc").
+	if bytes.Equal(DerivePairSecret(cs, "ab", "c"), DerivePairSecret(cs, "a", "bc")) {
+		t.Fatal("length prefix missing: concatenation collision")
+	}
+}

@@ -1,0 +1,133 @@
+package transport
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// networksUnderTest returns both Network implementations keyed by name, so
+// bind semantics are asserted in parity: what the join handshake relies on
+// over real sockets must hold over the simulated network too. The UDP
+// network runs in Strict (hint-honouring) deployment mode, which is what
+// sbxnode uses; memnet always honours hints.
+func networksUnderTest() map[string]Network {
+	return map[string]Network{
+		"memnet": NewMemNetwork(),
+		"udpnet": &UDPNetwork{Strict: true},
+	}
+}
+
+// TestPortZeroExposesBoundAddr: an endpoint created with a port-0 hint must
+// expose its assigned bound address after Listen — a concrete, nonzero
+// port that peers can actually send to.
+func TestPortZeroExposesBoundAddr(t *testing.T) {
+	for name, nw := range networksUnderTest() {
+		t.Run(name, func(t *testing.T) {
+			defer nw.Close()
+			ep, err := nw.Listen("127.0.0.1:0")
+			if err != nil {
+				t.Fatalf("listen: %v", err)
+			}
+			host, port, err := net.SplitHostPort(ep.Addr())
+			if err != nil {
+				t.Fatalf("bound addr %q unparseable: %v", ep.Addr(), err)
+			}
+			if host != "127.0.0.1" {
+				t.Fatalf("bound host = %q, want 127.0.0.1", host)
+			}
+			if port == "0" || port == "" {
+				t.Fatalf("bound addr %q still has port 0", ep.Addr())
+			}
+			peer, err := nw.Listen("127.0.0.1:0")
+			if err != nil {
+				t.Fatalf("peer listen: %v", err)
+			}
+			if peer.Addr() == ep.Addr() {
+				t.Fatalf("two port-0 endpoints share address %q", ep.Addr())
+			}
+			// The exposed address must be live: a datagram sent to it from a
+			// sibling endpoint arrives.
+			if err := peer.Send(ep.Addr(), []byte("ping")); err != nil {
+				t.Fatalf("send to bound addr: %v", err)
+			}
+			select {
+			case in := <-ep.Receive():
+				if string(in.Data) != "ping" {
+					t.Fatalf("got %q, want ping", in.Data)
+				}
+				if in.From != peer.Addr() {
+					t.Fatalf("datagram From = %q, want sender's bound addr %q", in.From, peer.Addr())
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("datagram to bound addr never arrived")
+			}
+		})
+	}
+}
+
+// TestConcreteHintIsHonoured: both networks bind the exact hinted address
+// when it names a usable concrete port, so config-file listen addresses
+// mean the same thing in-process and over real sockets.
+func TestConcreteHintIsHonoured(t *testing.T) {
+	for name, nw := range networksUnderTest() {
+		t.Run(name, func(t *testing.T) {
+			defer nw.Close()
+			// Pick a concrete free port the OS just handed out.
+			probe, err := nw.Listen("127.0.0.1:0")
+			if err != nil {
+				t.Fatalf("probe listen: %v", err)
+			}
+			want := probe.Addr()
+			probe.Close()
+			if name == "udpnet" {
+				// Give the OS a beat to tear the socket down.
+				time.Sleep(10 * time.Millisecond)
+			}
+			ep, err := nw.Listen(want)
+			if err != nil {
+				t.Skipf("rebinding %s: %v", want, err)
+			}
+			if ep.Addr() != want {
+				t.Fatalf("bound %q, want hinted %q", ep.Addr(), want)
+			}
+		})
+	}
+}
+
+func TestUDPStrictBindFailures(t *testing.T) {
+	taken, err := (&UDPNetwork{}).Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer taken.Close()
+
+	strict := &UDPNetwork{Strict: true}
+	if _, err := strict.Listen(taken.Addr()); err == nil {
+		t.Fatal("strict bind of a taken address succeeded")
+	}
+	if _, err := strict.Listen("not-an-address"); err == nil {
+		t.Fatal("strict bind of garbage succeeded")
+	}
+	if _, err := strict.Listen("10.255.255.1:7000"); err == nil {
+		t.Skip("10.255.255.1 is bindable here")
+	}
+
+	// Non-strict mode (the in-process driver) ignores hints entirely: the
+	// simulated 10.0.0.x addresses must never reach a real bind, and a
+	// taken port is not an error because it is not requested.
+	lenient := &UDPNetwork{}
+	defer lenient.Close()
+	ep, err := lenient.Listen(taken.Addr())
+	if err != nil {
+		t.Fatalf("lenient listen: %v", err)
+	}
+	if ep.Addr() == taken.Addr() {
+		t.Fatal("lenient bind claims the taken address")
+	}
+	if ep2, err := lenient.Listen("10.255.255.1:7000"); err != nil {
+		t.Fatalf("lenient listen with unroutable hint: %v", err)
+	} else if host, _, _ := net.SplitHostPort(ep2.Addr()); host != "127.0.0.1" {
+		t.Fatalf("lenient bind left loopback: %s", ep2.Addr())
+	}
+}

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"fmt"
+	"net"
 	"sync"
 )
 
@@ -17,6 +18,7 @@ type MemNetwork struct {
 	mu        sync.Mutex
 	endpoints map[string]*MemEndpoint
 	stats     map[string]*Stats
+	nextPort  int // ephemeral-port counter for port-0 hints
 
 	// OnDeliver, if set, is invoked (outside locks) for every delivered
 	// datagram — used by tests for fault injection.
@@ -44,19 +46,36 @@ func (n *MemNetwork) Endpoint(addr string) *MemEndpoint {
 	return ep
 }
 
+// memEphemeralBase is where the simulated network starts assigning ports
+// for port-0 hints, mirroring the OS ephemeral range.
+const memEphemeralBase = 49152
+
 // Listen implements Network: the simulated network honours the hinted
 // address exactly, failing like a real bind would if it is already taken.
-// Check and registration share one critical section so concurrent Listens
-// with the same hint cannot both succeed.
+// A hint with port 0 behaves like an OS ephemeral bind: the network assigns
+// a fresh port on the hinted host and the returned endpoint's Addr() — not
+// the hint — is the authoritative, sendable address, exactly as over real
+// sockets (the join handshake relies on this parity). Check and
+// registration share one critical section so concurrent Listens with the
+// same hint cannot both succeed.
 func (n *MemNetwork) Listen(hint string) (Transport, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if _, taken := n.endpoints[hint]; taken {
-		return nil, fmt.Errorf("%w: %s", ErrAddrInUse, hint)
+	addr := hint
+	if host, port, err := net.SplitHostPort(hint); err == nil && port == "0" {
+		for {
+			n.nextPort++
+			addr = net.JoinHostPort(host, fmt.Sprint(memEphemeralBase+n.nextPort-1))
+			if _, taken := n.endpoints[addr]; !taken {
+				break
+			}
+		}
+	} else if _, taken := n.endpoints[addr]; taken {
+		return nil, fmt.Errorf("%w: %s", ErrAddrInUse, addr)
 	}
-	ep := &MemEndpoint{net: n, addr: hint, q: newQueue()}
-	n.endpoints[hint] = ep
-	n.stats[hint] = &Stats{}
+	ep := &MemEndpoint{net: n, addr: addr, q: newQueue()}
+	n.endpoints[addr] = ep
+	n.stats[addr] = &Stats{}
 	return ep, nil
 }
 

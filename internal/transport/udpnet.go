@@ -112,13 +112,22 @@ func (ep *UDPEndpoint) Close() error {
 	return err
 }
 
-// UDPNetwork implements Network over real UDP sockets: each Listen binds an
-// ephemeral port on BindHost and wraps it in the reliable ack/retransmit
-// layer, so the cluster driver's message-counting termination detection is
-// correct even though raw UDP drops, duplicates and reorders datagrams.
+// UDPNetwork implements Network over real UDP sockets: each Listen binds a
+// socket and wraps it in the reliable ack/retransmit layer, so the cluster
+// driver's message-counting termination detection is correct even though
+// raw UDP drops, duplicates and reorders datagrams.
 type UDPNetwork struct {
-	// BindHost is the interface endpoints bind to. Defaults to loopback.
+	// BindHost is the interface endpoints bind to in the default
+	// hint-ignoring mode. Defaults to loopback.
 	BindHost string
+	// Strict makes Listen bind the hinted address exactly or fail. Off
+	// (the in-process driver's mode), hints are ignored entirely and every
+	// endpoint binds an ephemeral port on BindHost — the driver's
+	// simulated 10.0.0.x hints must never reach a real bind, where they
+	// could claim a routable interface on a fixed port. Multi-process
+	// deployments set Strict: a node that silently bound somewhere other
+	// than its configured address could never be found by its peers.
+	Strict bool
 	// Reliability tunes the ack/retransmit layer shared by all endpoints.
 	Reliability ReliableConfig
 
@@ -129,16 +138,29 @@ type UDPNetwork struct {
 // NewUDPNetwork returns a loopback UDP network with default reliability.
 func NewUDPNetwork() *UDPNetwork { return &UDPNetwork{} }
 
-// Listen implements Network. The hint is ignored: real sockets bind an
-// ephemeral port, and the returned endpoint's Addr() is authoritative.
-func (n *UDPNetwork) Listen(string) (Transport, error) {
-	host := n.BindHost
-	if host == "" {
-		host = "127.0.0.1"
+// Listen implements Network. In Strict mode the hint is bound exactly as
+// given (a port-0 hint binds an OS-assigned ephemeral port on the hinted
+// host); otherwise the hint is ignored and an ephemeral port on BindHost
+// is bound. Either way the returned endpoint's Addr() is the OS-assigned
+// bound address and is what peers must send to.
+func (n *UDPNetwork) Listen(hint string) (Transport, error) {
+	var bind string
+	if n.Strict {
+		host, port, err := net.SplitHostPort(hint)
+		if err != nil || host == "" {
+			return nil, fmt.Errorf("transport: unusable listen address %q", hint)
+		}
+		bind = net.JoinHostPort(host, port)
+	} else {
+		host := n.BindHost
+		if host == "" {
+			host = "127.0.0.1"
+		}
+		bind = host + ":0"
 	}
-	raw, err := ListenUDP(host + ":0")
+	raw, err := ListenUDP(bind)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("transport: bind %s: %w", bind, err)
 	}
 	ep := NewReliable(raw, n.Reliability)
 	n.mu.Lock()

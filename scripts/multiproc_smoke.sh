@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Multi-process cluster smoke: three real sbxnode OS processes over UDP
+# loopback, bootstrapped from a config file with RSA keys loaded from disk,
+# run pathvector to the distributed fixpoint; their merged result set must
+# be byte-identical to the in-process memnet reference (-allinone). A
+# second phase kills one member right after the ready barrier and asserts
+# the survivors fail with the typed unresponsive-detector error (exit 3)
+# naming the dead principal — not a hang.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+go build -o "$work/sbxnode" ./cmd/sbxnode
+
+cat > "$work/cluster.json" <<EOF
+{
+  "cluster": "ci-pv3",
+  "policy": "RSA",
+  "workload": {"name": "pathvector", "seed": 42, "degree": 3},
+  "bootstrap_timeout": "60s",
+  "nodes": [
+    {"principal": "p0", "addr": "127.0.0.1:7501", "key_file": "$work/p0.pem"},
+    {"principal": "p1", "addr": "127.0.0.1:0",    "key_file": "$work/p1.pem"},
+    {"principal": "p2", "addr": "127.0.0.1:0",    "key_file": "$work/p2.pem"}
+  ]
+}
+EOF
+
+echo "== provisioning RSA keys"
+"$work/sbxnode" -genkeys -config "$work/cluster.json"
+
+echo "== in-process memnet reference (-allinone)"
+"$work/sbxnode" -config "$work/cluster.json" -allinone -timeout 120s > "$work/allinone.out"
+[ -s "$work/allinone.out" ] || { echo "FAIL: empty reference result set"; exit 1; }
+
+echo "== 3 sbxnode OS processes over UDP loopback"
+"$work/sbxnode" -config "$work/cluster.json" -node p1 -timeout 120s > "$work/p1.out" &
+pid1=$!
+"$work/sbxnode" -config "$work/cluster.json" -node p2 -timeout 120s > "$work/p2.out" &
+pid2=$!
+"$work/sbxnode" -config "$work/cluster.json" -node p0 -timeout 120s > "$work/p0.out"
+wait "$pid1" "$pid2"
+
+sort "$work"/p[0-9].out > "$work/multi.out"
+if ! diff -u "$work/allinone.out" "$work/multi.out"; then
+    echo "FAIL: multi-process result set differs from in-process reference"
+    exit 1
+fi
+echo "OK: result sets byte-identical ($(wc -l < "$work/multi.out") rows)"
+
+echo "== kill-one-mid-run: p2 vanishes after the ready barrier"
+set +e
+"$work/sbxnode" -config "$work/cluster.json" -node p1 -timeout 60s -unresponsive 3s > /dev/null 2> "$work/k1.err" &
+pid1=$!
+"$work/sbxnode" -config "$work/cluster.json" -node p2 -timeout 60s -dieafterjoin > /dev/null 2>&1 &
+pid2=$!
+"$work/sbxnode" -config "$work/cluster.json" -node p0 -timeout 60s -unresponsive 3s > /dev/null 2> "$work/k0.err"
+rc0=$?
+wait "$pid1"; rc1=$?
+wait "$pid2"; rc2=$?
+set -e
+
+[ "$rc2" -eq 0 ] || { echo "FAIL: fault-injected node exited $rc2"; exit 1; }
+for i in 0 1; do
+    rc_var="rc$i"
+    [ "${!rc_var}" -eq 3 ] || { echo "FAIL: survivor p$i exited ${!rc_var}, want 3 (typed detector error)"; cat "$work/k$i.err"; exit 1; }
+    grep -q "no termination report from p2" "$work/k$i.err" || { echo "FAIL: survivor p$i error does not name p2:"; cat "$work/k$i.err"; exit 1; }
+done
+echo "OK: survivors surfaced the typed unresponsive error naming p2"
