@@ -61,9 +61,18 @@ func benchPathVector(b *testing.B, policies []core.PolicyConfig, report func(*te
 	for _, p := range policies {
 		for _, n := range pvSizes {
 			b.Run(fmt.Sprintf("%s/n=%d", p.Name(), n), func(b *testing.B) {
+				// The evaluator counters are process-wide; reset so this
+				// (scheme, size) cell reports only its own rounds and any
+				// join-plan regression is attributed to the run that caused it.
+				metrics.EngineReset()
 				for i := 0; i < b.N; i++ {
 					report(b, runPV(b, n, p))
 				}
+				s := metrics.EngineTotals()
+				if s.FullScanFallbacks != 0 {
+					b.Fatalf("join plan regression: %s", s)
+				}
+				b.ReportMetric(float64(s.FixpointRounds)/float64(b.N), "rounds")
 			})
 		}
 	}

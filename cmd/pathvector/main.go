@@ -19,8 +19,20 @@ import (
 	"secureblox/internal/apps"
 	"secureblox/internal/core"
 	"secureblox/internal/metrics"
+	"secureblox/internal/obs"
 	"secureblox/internal/seccrypto"
+	"secureblox/internal/transport"
 )
+
+// udpDiag renders the reliable layer's process-wide counters for failure
+// output when the sweep runs over UDP — a stall with exploding retransmits
+// is a very different bug from a silent link.
+func udpDiag(mode string) string {
+	if mode != "udp" {
+		return ""
+	}
+	return " [transport: " + transport.ReliabilityTotals().String() + "]"
+}
 
 func parseSizes(s string) ([]int, error) {
 	var out []int
@@ -42,11 +54,20 @@ func main() {
 	seed := flag.Int64("seed", 1, "base random seed")
 	transportFlag := flag.String("transport", "mem", "cluster transport: mem (in-process) or udp (real loopback sockets)")
 	batchSign := flag.Bool("batchsign", false, "add footnote 2's batch-signed RSA scheme (one signature per export batch) to the sweep")
+	debugAddr := flag.String("debugaddr", "", "serve /metrics and /debug/spans on this address while the sweep runs (e.g. 127.0.0.1:0)")
 	flag.Parse()
 
 	sizes, err := parseSizes(*sizesFlag)
 	if err != nil {
 		log.Fatalf("bad -sizes: %v", err)
+	}
+	if *debugAddr != "" {
+		addr, stopDebug, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			log.Fatalf("debug server: %v", err)
+		}
+		defer stopDebug()
+		fmt.Printf("# observability endpoints on http://%s/metrics\n", addr)
 	}
 
 	// Every (scheme, size) combination is run once per trial; all figures
@@ -73,10 +94,10 @@ func main() {
 			Transport: *transportFlag,
 		})
 		if err != nil {
-			log.Fatalf("n=%d %s: %v", n, p.Name(), err)
+			log.Fatalf("n=%d %s: %v%s", n, p.Name(), err, udpDiag(*transportFlag))
 		}
 		if res.Violations != 0 {
-			log.Fatalf("n=%d %s: %d violations", n, p.Name(), res.Violations)
+			log.Fatalf("n=%d %s: %d violations%s", n, p.Name(), res.Violations, udpDiag(*transportFlag))
 		}
 		defer res.Cluster.Stop()
 		return res

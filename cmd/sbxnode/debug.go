@@ -9,6 +9,7 @@ import (
 
 	"secureblox/internal/dist"
 	"secureblox/internal/metrics"
+	"secureblox/internal/obs"
 	"secureblox/internal/seccrypto"
 )
 
@@ -41,11 +42,13 @@ func publishOnce(name string, v expvar.Var) {
 	}
 }
 
-// startDebugServer serves the process's live counters as JSON over HTTP at
-// /debug/vars: the engine's process-wide EngineStats (index probes, scans,
-// fixpoint rounds), the dist runtime's ship/receive counters and dedup-set
-// size, and the RSA sign work. It returns the bound address and a stop
-// function.
+// startDebugServer serves the process's observability surface over HTTP:
+// /metrics (the unified obs registry in Prometheus text format),
+// /debug/spans (the wave-trace span ring, for cross-node causal-tree
+// reconstruction), and /debug/vars with the original expvar snapshots —
+// the engine's process-wide EngineStats, the dist runtime's ship/receive
+// counters and dedup-set size, and the RSA sign/verify work. It returns
+// the bound address and a stop function.
 func startDebugServer(addr string) (string, func(), error) {
 	publishOnce("sbx_engine", expvar.Func(func() any {
 		s := metrics.EngineTotals()
@@ -76,7 +79,10 @@ func startDebugServer(addr string) (string, func(), error) {
 		return out
 	}))
 	publishOnce("sbx_crypto", expvar.Func(func() any {
-		out := map[string]int64{"rsa_sign_ops": seccrypto.SignOps()}
+		out := map[string]int64{
+			"rsa_sign_ops":   seccrypto.SignOps(),
+			"rsa_verify_ops": seccrypto.VerifyOps(),
+		}
 		debugState.mu.Lock()
 		defer debugState.mu.Unlock()
 		if p := debugState.pools; p != nil && p.sign != nil {
@@ -84,14 +90,24 @@ func startDebugServer(addr string) (string, func(), error) {
 			out["sign_pool_hits"] = hits
 			out["sign_pool_misses"] = misses
 		}
+		if p := debugState.pools; p != nil && p.verify != nil {
+			hits, misses := p.verify.Stats()
+			out["verify_pool_hits"] = hits
+			out["verify_pool_misses"] = misses
+		}
 		return out
 	}))
 
+	// A dedicated mux rather than http.DefaultServeMux: obs.Mount
+	// registers fixed routes, and a second server in the same process
+	// (tests, allinone) must not panic on duplicate patterns.
+	mux := http.NewServeMux()
+	obs.Mount(mux)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("debug server: %w", err)
 	}
-	srv := &http.Server{Handler: http.DefaultServeMux}
+	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
 	return ln.Addr().String(), func() { srv.Close() }, nil
 }

@@ -1,0 +1,141 @@
+package apps
+
+import (
+	"testing"
+
+	"secureblox/internal/core"
+	"secureblox/internal/datalog"
+	"secureblox/internal/engine"
+	"secureblox/internal/obs"
+)
+
+// chainLinks returns node i's link facts for the chain 0-1-2-3-…:
+// edges to its immediate neighbors.
+func chainLinks(addrs []string, i int) []engine.Fact {
+	me := datalog.NodeV(addrs[i])
+	var facts []engine.Fact
+	for _, j := range []int{i - 1, i + 1} {
+		if j < 0 || j >= len(addrs) {
+			continue
+		}
+		facts = append(facts, engine.Fact{
+			Pred:  "link",
+			Tuple: datalog.Tuple{me, datalog.NodeV(addrs[j])},
+		})
+	}
+	return facts
+}
+
+// TestWaveTraceSpansMultiHopDerivation drives a genuinely multi-hop
+// derivation wave through a 4-node chain and asserts that the spans
+// recorded independently at every node reassemble — by trace ID alone —
+// into the wave's causal tree. The chain 0-1-2-3 first settles with every
+// node except 1 holding its links; node 1's late link assertion is then
+// the only hop-0 transaction in flight: its advertisement of the path to
+// node 0 reaches node 2 (hop 1), which extends it and re-advertises to
+// node 3 (hop 2). Path-vector loop prevention means a star or triangle
+// never produces hop 2 — the chain is the smallest topology where wave
+// tracing shows something per-node counters cannot.
+func TestWaveTraceSpansMultiHopDerivation(t *testing.T) {
+	c, err := core.NewCluster(core.ClusterConfig{
+		N:      4,
+		Policy: core.PolicyConfig{Delegation: core.DelegateNone},
+		Query:  PathVectorQuery,
+		Seed:   11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	c.Start()
+
+	// Phase 1: everyone but node 1 asserts links; the cluster settles.
+	for _, i := range []int{0, 2, 3} {
+		c.AssertAt(i, chainLinks(c.Addrs, i))
+	}
+	c.WaitFixpoint()
+
+	// Phase 2: node 1's links alone, with a clean span ring, so the only
+	// hop-0 transaction is the one whose wave we reconstruct.
+	obs.ResetSpans()
+	c.AssertAt(1, chainLinks(c.Addrs, 1))
+	c.WaitFixpoint()
+	if v := c.Violations(); len(v) != 0 {
+		t.Fatalf("violations: %v", v[0])
+	}
+
+	all := obs.Spans()
+	var trace uint64
+	for _, s := range all {
+		if s.Node == c.Addrs[1] && s.Stage == obs.StageFixpoint && s.Hop == 0 && s.Peer == "" {
+			trace = s.Trace
+			break
+		}
+	}
+	if trace == 0 {
+		t.Fatalf("no hop-0 fixpoint span at node 1 among %d spans", len(all))
+	}
+
+	w := obs.BuildWave(trace, all)
+	if w == nil {
+		t.Fatal("BuildWave found no spans for the trace")
+	}
+	if w.Node != c.Addrs[1] || w.Hop != 0 {
+		t.Fatalf("wave root = %s hop %d, want %s hop 0", w.Node, w.Hop, c.Addrs[1])
+	}
+
+	// The wave must span the whole chain: node 2 at hop 1 and node 3 at
+	// hop 2 — the same trace ID carried across three nodes.
+	got := map[string]*obs.WaveNode{}
+	var walk func(n *obs.WaveNode)
+	walk = func(n *obs.WaveNode) {
+		got[n.Node] = n
+		for _, ch := range n.Children {
+			walk(ch)
+		}
+	}
+	walk(w)
+	for i, wantHop := range map[int]int{1: 0, 2: 1, 3: 2} {
+		n := got[c.Addrs[i]]
+		if n == nil {
+			t.Fatalf("node %d (%s) missing from wave %d; participants %v",
+				i, c.Addrs[i], trace, w.Participants())
+		}
+		if n.Hop != wantHop {
+			t.Errorf("node %d joined the wave at hop %d, want %d", i, n.Hop, wantHop)
+		}
+		for _, s := range n.Spans {
+			if s.Trace != trace {
+				t.Errorf("node %d holds span with trace %d, want %d", i, s.Trace, trace)
+			}
+		}
+	}
+	if d := w.Depth(); d < 3 {
+		t.Errorf("wave depth = %d, want >= 3 (a multi-hop chain)", d)
+	}
+	// Causal edges: node 2 hangs off node 1, node 3 off node 2.
+	if p := got[c.Addrs[2]]; p != nil {
+		found := false
+		for _, ch := range w.Children {
+			if ch.Node == c.Addrs[2] {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("node 2 is not a direct child of the originating node")
+		}
+	}
+	if n3 := got[c.Addrs[3]]; n3 != nil {
+		parentOf3 := ""
+		for addr, n := range got {
+			for _, ch := range n.Children {
+				if ch == n3 {
+					parentOf3 = addr
+				}
+			}
+		}
+		if parentOf3 != c.Addrs[2] {
+			t.Errorf("node 3's wave parent = %q, want node 2 (%s)", parentOf3, c.Addrs[2])
+		}
+	}
+}

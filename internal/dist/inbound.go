@@ -3,7 +3,7 @@ package dist
 import (
 	"secureblox/internal/datalog"
 	"secureblox/internal/engine"
-	"secureblox/internal/transport"
+	"secureblox/internal/obs"
 	"secureblox/internal/wire"
 )
 
@@ -35,7 +35,8 @@ import (
 // batch-signing policy's constraints verify the signature against what
 // this node really saw, once per envelope thanks to the memoizing verify
 // pool.
-func (n *Node) handleMessage(in transport.InMsg, msg wire.Message, err error) {
+func (n *Node) handleMessage(e envelope) {
+	in, msg, err := e.in, e.msg, e.err
 	if err == nil && msg.Kind == wire.MsgControl {
 		n.handleProbe(in.From, msg)
 		return
@@ -48,7 +49,25 @@ func (n *Node) handleMessage(in transport.InMsg, msg wire.Message, err error) {
 	if err != nil || len(msg.Payloads) == 0 {
 		return // malformed or empty datagram: drop it
 	}
-	self := datalog.NodeV(n.localAddr())
+	// Adopt the sender's wave: the transaction below and anything it ships
+	// continue the envelope's trace at its stamped hop. A pre-trace sender
+	// (zero trace) starts a fresh wave here.
+	n.curTrace, n.curHop, n.curPeer = msg.Trace, msg.Hop, msg.From
+	if n.curTrace == 0 {
+		n.curTrace = obs.NewTraceID()
+	}
+	addr := n.localAddr()
+	obs.RecordSpan(obs.Span{
+		Trace: n.curTrace, Hop: int(n.curHop), Node: addr, Principal: n.Principal,
+		Stage: obs.StageDecode, Peer: msg.From, Start: e.at, Dur: e.decodeDur,
+	})
+	if e.verifyDur > 0 {
+		obs.RecordSpan(obs.Span{
+			Trace: n.curTrace, Hop: int(n.curHop), Node: addr, Principal: n.Principal,
+			Stage: obs.StageVerify, Peer: msg.From, Start: e.at.Add(e.decodeDur), Dur: e.verifyDur,
+		})
+	}
+	self := datalog.NodeV(addr)
 	from := datalog.NodeV(msg.From)
 	facts := make([]engine.Fact, 0, len(msg.Payloads))
 	for _, p := range msg.Payloads {

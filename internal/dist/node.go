@@ -9,6 +9,7 @@ import (
 	"secureblox/internal/datalog"
 	"secureblox/internal/engine"
 	"secureblox/internal/metrics"
+	"secureblox/internal/obs"
 	"secureblox/internal/transport"
 	"secureblox/internal/wire"
 )
@@ -93,6 +94,18 @@ type Node struct {
 	outCh      chan outChunk
 	outPending atomic.Int64
 
+	// Wave-trace context of the unit of work the loop is currently
+	// applying (loop-goroutine only): the trace ID and hop distance any
+	// chunk the unit ships is stamped with, and the peer whose message
+	// triggered it (empty for locally asserted work).
+	curTrace uint64
+	curHop   uint32
+	curPeer  string
+
+	// pumpDepth counts envelopes decoded by the pre-verify pump but not
+	// yet consumed by the loop — the pump-backlog gauge.
+	pumpDepth atomic.Int64
+
 	// busy is set by the loop goroutine around each unit of work
 	// (drainLocal run or inbound message). Drain needs it: a batch that
 	// was popped from pending but is still mid-commit is otherwise
@@ -112,15 +125,27 @@ type batch struct {
 // NewNode builds a node over an installed workspace and an open endpoint.
 // The node takes ownership of the endpoint: Stop closes it.
 func NewNode(principal string, ws *engine.Workspace, ep transport.Transport) *Node {
-	return &Node{
+	n := &Node{
 		Principal: principal,
 		WS:        ws,
-		Metrics:   &metrics.NodeMetrics{},
+		Metrics:   metrics.NewNodeMetrics(principal),
 		ep:        ep,
 		wake:      make(chan struct{}, 1),
 		stopCh:    make(chan struct{}),
 		sent:      make(map[string]bool),
 	}
+	// Internal pipeline state, scraped as gauges. Re-registering the same
+	// principal replaces the function, so rebuilding clusters in one
+	// process always scrapes the newest node.
+	l := obs.Labels{"principal": principal}
+	r := obs.Default()
+	r.Help("sbx_sent_set_size", "Live size of the export dedup set.")
+	r.Help("sbx_outbound_pending_chunks", "Chunks queued in the sign-and-send stage, not yet on the wire.")
+	r.Help("sbx_preverify_backlog", "Datagrams decoded by the pre-verify pump, not yet applied.")
+	r.GaugeFunc("sbx_sent_set_size", l, func() float64 { return float64(n.sentSize.Load()) })
+	r.GaugeFunc("sbx_outbound_pending_chunks", l, func() float64 { return float64(n.outPending.Load()) })
+	r.GaugeFunc("sbx_preverify_backlog", l, func() float64 { return float64(n.pumpDepth.Load()) })
+	return n
 }
 
 // SetPeers fixes the cluster membership this node's termination counters
@@ -249,11 +274,17 @@ func (n *Node) Violations() []error {
 	return append([]error(nil), n.violations...)
 }
 
-// envelope is one inbound datagram plus its (single) wire decode.
+// envelope is one inbound datagram plus its (single) wire decode and the
+// stage timings taken where the work actually happened, so the loop can
+// record decode/verify spans without re-measuring.
 type envelope struct {
 	in  transport.InMsg
 	msg wire.Message
 	err error
+
+	at        time.Time     // when decoding began
+	decodeDur time.Duration // wire decode time
+	verifyDur time.Duration // PreVerify hand-off time (pump path only)
 }
 
 // run is the per-node transaction loop of §5.2: drain local batches and
@@ -290,6 +321,7 @@ func (n *Node) run() {
 			}
 			if envCh != nil {
 				for range envCh {
+					n.pumpDepth.Add(-1)
 				}
 			}
 			return
@@ -305,16 +337,18 @@ func (n *Node) run() {
 				continue
 			}
 			n.busy.Store(true)
+			at := time.Now()
 			msg, err := wire.DecodeMessage(m.Data)
-			n.handleMessage(m, msg, err)
+			n.handleMessage(envelope{in: m, msg: msg, err: err, at: at, decodeDur: time.Since(at)})
 			n.busy.Store(false)
 		case e, ok := <-envCh:
 			if !ok {
 				envCh = nil
 				continue
 			}
+			n.pumpDepth.Add(-1)
 			n.busy.Store(true)
-			n.handleMessage(e.in, e.msg, e.err)
+			n.handleMessage(e)
 			n.busy.Store(false)
 		}
 	}
@@ -338,13 +372,19 @@ func (n *Node) pump(in <-chan transport.InMsg) <-chan envelope {
 		}()
 		defer close(out)
 		for m := range in {
+			at := time.Now()
 			msg, err := wire.DecodeMessage(m.Data)
+			e := envelope{in: m, msg: msg, err: err, at: at, decodeDur: time.Since(at)}
 			if err == nil && msg.Kind != wire.MsgControl {
+				vstart := time.Now()
 				n.PreVerify(msg)
+				e.verifyDur = time.Since(vstart)
 			}
+			n.pumpDepth.Add(1)
 			select {
-			case out <- envelope{in: m, msg: msg, err: err}:
+			case out <- e:
 			case <-n.stopCh:
+				n.pumpDepth.Add(-1)
 				return
 			}
 		}
@@ -367,6 +407,9 @@ func (n *Node) drainLocal() {
 		for j < len(batches) && batches[j].retract == batches[i].retract {
 			j++
 		}
+		// Each run is a transaction that may originate a derivation wave:
+		// mint a fresh trace at hop 0 with no triggering peer.
+		n.curTrace, n.curHop, n.curPeer = obs.NewTraceID(), 0, ""
 		if batches[i].retract {
 			n.retractRun(batches[i:j])
 		} else {
@@ -399,6 +442,7 @@ func (n *Node) commitRun(run []batch) {
 	res, err := n.WS.Assert(mergeFacts(run))
 	if err == nil {
 		n.Metrics.RecordTxn(time.Since(start))
+		n.fixpointSpan(start)
 		n.ship(res.Inserted["export"])
 		return
 	}
@@ -418,7 +462,23 @@ func (n *Node) commit(facts []engine.Fact) {
 		return
 	}
 	n.Metrics.RecordTxn(time.Since(start))
+	n.fixpointSpan(start)
 	n.ship(res.Inserted["export"])
+}
+
+// fixpointSpan records the fixpoint stage (the workspace transaction just
+// committed, policy checks included) under the loop's current wave context.
+func (n *Node) fixpointSpan(start time.Time) {
+	obs.RecordSpan(obs.Span{
+		Trace:     n.curTrace,
+		Hop:       int(n.curHop),
+		Node:      n.localAddr(),
+		Principal: n.Principal,
+		Stage:     obs.StageFixpoint,
+		Peer:      n.curPeer,
+		Start:     start,
+		Dur:       time.Since(start),
+	})
 }
 
 // retractRun retracts a run of batches, merged when possible (with the
@@ -432,6 +492,7 @@ func (n *Node) retractRun(run []batch) {
 		start := time.Now()
 		if err := n.WS.Retract(mergeFacts(run)); err == nil {
 			n.Metrics.RecordTxn(time.Since(start))
+			n.fixpointSpan(start)
 			applied = true
 		} else {
 			for _, b := range run {
@@ -452,6 +513,7 @@ func (n *Node) retractOnce(facts []engine.Fact) bool {
 		return false
 	}
 	n.Metrics.RecordTxn(time.Since(start))
+	n.fixpointSpan(start)
 	return true
 }
 

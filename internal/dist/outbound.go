@@ -2,8 +2,10 @@ package dist
 
 import (
 	"fmt"
+	"time"
 
 	"secureblox/internal/datalog"
+	"secureblox/internal/obs"
 	"secureblox/internal/transport"
 	"secureblox/internal/wire"
 )
@@ -17,6 +19,13 @@ type outChunk struct {
 	payloads  [][]byte
 	digest    []byte // batch-signing mode: BatchDigest(payloads), computed once
 	oversized bool   // single payload beyond the datagram budget, shipped alone
+
+	// Wave-trace context, captured on the loop goroutine at dispatch so
+	// the sender stage can stamp the envelope and record spans without
+	// touching loop-owned state.
+	trace uint64 // wave the shipping transaction belongs to
+	hop   uint32 // receiver's hop: the local hop plus one
+	node  string // local address, for span attribution
 }
 
 // ship sends the export tuples a transaction newly derived. The Inserted
@@ -121,6 +130,7 @@ func chunkRoute(to, from string, keys []string, payloads [][]byte, batchSigned b
 // next transaction while workers compute the signature — the outbound
 // mirror of the inbound pre-verify pump (footnote 2).
 func (n *Node) dispatch(c outChunk) {
+	c.trace, c.hop, c.node = n.curTrace, n.curHop+1, n.localAddr()
 	if n.SignBatch != nil {
 		c.digest = wire.BatchDigest(c.payloads)
 	}
@@ -161,8 +171,9 @@ func (n *Node) sender() {
 // again when next offered; over UDP the reliable layer below retransmits
 // accepted datagrams until delivery, over memnet delivery is immediate.
 func (n *Node) sendChunk(c outChunk) {
-	msg := wire.Message{From: c.from, Payloads: c.payloads}
+	msg := wire.Message{From: c.from, Payloads: c.payloads, Trace: c.trace, Hop: c.hop}
 	if n.SignBatch != nil {
+		signStart := time.Now()
 		sig, err := n.SignBatch(c.digest)
 		if err != nil {
 			n.recordViolation(fmt.Errorf("dist: batch signing of %d payloads to %s failed: %w", len(c.payloads), c.to, err))
@@ -170,8 +181,13 @@ func (n *Node) sendChunk(c outChunk) {
 			return
 		}
 		msg.Kind, msg.Sig = wire.MsgBatch, sig
+		obs.RecordSpan(obs.Span{
+			Trace: c.trace, Hop: int(c.hop) - 1, Node: c.node, Principal: n.Principal,
+			Stage: obs.StageSign, Peer: c.to, Start: signStart, Dur: time.Since(signStart),
+		})
 	}
 	data := wire.EncodeMessage(msg)
+	shipStart := time.Now()
 	if err := n.ep.Send(c.to, data); err != nil {
 		if c.oversized {
 			n.recordViolation(fmt.Errorf("dist: oversized payload (%d bytes) to %s dropped: %w", len(c.payloads[0]), c.to, err))
@@ -185,6 +201,10 @@ func (n *Node) sendChunk(c outChunk) {
 		n.ctrSent.Add(1)
 	}
 	n.Metrics.RecordSent(len(data))
+	obs.RecordSpan(obs.Span{
+		Trace: c.trace, Hop: int(c.hop) - 1, Node: c.node, Principal: n.Principal,
+		Stage: obs.StageShip, Peer: c.to, Start: shipStart, Dur: time.Since(shipStart),
+	})
 }
 
 // releaseKeys queues a failed chunk's dedup keys for reclamation. It is

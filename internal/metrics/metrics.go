@@ -5,13 +5,20 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
 	"time"
+
+	"secureblox/internal/obs"
 )
 
-// NodeMetrics accumulates one node's runtime measurements.
+// NodeMetrics accumulates one node's runtime measurements. A zero value
+// works standalone; NewNodeMetrics additionally mirrors every count into
+// the process-wide obs registry under a principal label, which is how the
+// /metrics endpoint and the BENCH emitters see per-node behaviour without
+// reaching into nodes.
 type NodeMetrics struct {
 	mu           sync.Mutex
 	txnCount     int64
@@ -21,6 +28,38 @@ type NodeMetrics struct {
 	lastActivity time.Time
 	traffic      Traffic
 	msgsIn       int64
+
+	// obs registry mirrors (nil on a zero-value NodeMetrics).
+	cMsgsSent, cBytesSent *obs.Counter
+	cMsgsRecv, cBytesRecv *obs.Counter
+	cMsgsProcessed        *obs.Counter
+	cTxns, cViolations    *obs.Counter
+	hTxn                  *obs.Histogram
+}
+
+// NewNodeMetrics returns metrics that also report into the default obs
+// registry, labeled with the owning node's principal.
+func NewNodeMetrics(principal string) *NodeMetrics {
+	l := obs.Labels{"principal": principal}
+	r := obs.Default()
+	r.Help("sbx_msgs_sent_total", "Application messages shipped to peers.")
+	r.Help("sbx_bytes_sent_total", "Application bytes shipped to peers.")
+	r.Help("sbx_msgs_recv_total", "Application messages received from peers.")
+	r.Help("sbx_bytes_recv_total", "Application bytes received from peers.")
+	r.Help("sbx_msgs_processed_total", "Inbound datagrams consumed by the transaction loop (malformed included).")
+	r.Help("sbx_txns_total", "Committed workspace transactions.")
+	r.Help("sbx_violations_total", "Rejected (rolled-back) batches.")
+	r.Help("sbx_txn_duration_seconds", "Local transaction duration (paper Figure 7).")
+	return &NodeMetrics{
+		cMsgsSent:      r.Counter("sbx_msgs_sent_total", l),
+		cBytesSent:     r.Counter("sbx_bytes_sent_total", l),
+		cMsgsRecv:      r.Counter("sbx_msgs_recv_total", l),
+		cBytesRecv:     r.Counter("sbx_bytes_recv_total", l),
+		cMsgsProcessed: r.Counter("sbx_msgs_processed_total", l),
+		cTxns:          r.Counter("sbx_txns_total", l),
+		cViolations:    r.Counter("sbx_violations_total", l),
+		hTxn:           r.Histogram("sbx_txn_duration_seconds", l, nil),
+	}
 }
 
 // Traffic is one node's application-level traffic: the encoded bytes and
@@ -41,6 +80,10 @@ func (m *NodeMetrics) RecordSent(bytes int) {
 	m.traffic.MsgsSent++
 	m.traffic.BytesSent += int64(bytes)
 	m.mu.Unlock()
+	if m.cMsgsSent != nil {
+		m.cMsgsSent.Inc()
+		m.cBytesSent.Add(int64(bytes))
+	}
 }
 
 // RecordRecv adds one received application message of the given size.
@@ -49,6 +92,10 @@ func (m *NodeMetrics) RecordRecv(bytes int) {
 	m.traffic.MsgsRecv++
 	m.traffic.BytesRecv += int64(bytes)
 	m.mu.Unlock()
+	if m.cMsgsRecv != nil {
+		m.cMsgsRecv.Inc()
+		m.cBytesRecv.Add(int64(bytes))
+	}
 }
 
 // Traffic returns the application-level traffic counters.
@@ -64,6 +111,9 @@ func (m *NodeMetrics) RecordMsgProcessed() {
 	m.mu.Lock()
 	m.msgsIn++
 	m.mu.Unlock()
+	if m.cMsgsProcessed != nil {
+		m.cMsgsProcessed.Inc()
+	}
 }
 
 // MsgsProcessed returns how many inbound datagrams the loop has consumed —
@@ -82,6 +132,10 @@ func (m *NodeMetrics) RecordTxn(d time.Duration) {
 	m.lastActivity = time.Now()
 	m.completions = append(m.completions, m.lastActivity)
 	m.mu.Unlock()
+	if m.cTxns != nil {
+		m.cTxns.Inc()
+		m.hTxn.Observe(d.Seconds())
+	}
 }
 
 // TxnCompletions returns the completion timestamps of every transaction,
@@ -98,6 +152,9 @@ func (m *NodeMetrics) RecordViolation() {
 	m.violations++
 	m.lastActivity = time.Now()
 	m.mu.Unlock()
+	if m.cViolations != nil {
+		m.cViolations.Inc()
+	}
 }
 
 // TxnStats returns the transaction count and mean duration.
@@ -178,6 +235,33 @@ func EngineAccumulate(d EngineStats) {
 	engineMu.Lock()
 	engineTotals = engineTotals.Add(d)
 	engineMu.Unlock()
+	r := obs.Default()
+	if d.IndexProbes != 0 {
+		r.Counter("sbx_engine_index_probes_total", nil).Add(d.IndexProbes)
+	}
+	if d.LeadingScans != 0 {
+		r.Counter("sbx_engine_leading_scans_total", nil).Add(d.LeadingScans)
+	}
+	if d.FullScanFallbacks != 0 {
+		r.Counter("sbx_engine_fullscan_fallbacks_total", nil).Add(d.FullScanFallbacks)
+	}
+	if d.FixpointRounds != 0 {
+		r.Counter("sbx_engine_fixpoint_rounds_total", nil).Add(d.FixpointRounds)
+	}
+}
+
+func init() {
+	r := obs.Default()
+	r.Help("sbx_engine_index_probes_total", "Join steps answered by a hash index.")
+	r.Help("sbx_engine_leading_scans_total", "Full scans with no bound column (legitimate outer loops).")
+	r.Help("sbx_engine_fullscan_fallbacks_total", "Scans forced despite bound columns — should stay 0.")
+	r.Help("sbx_engine_fixpoint_rounds_total", "Semi-naïve rounds across all fixpoints.")
+	// Register at zero so /metrics shows the engine family even before the
+	// first transaction.
+	r.Counter("sbx_engine_index_probes_total", nil)
+	r.Counter("sbx_engine_leading_scans_total", nil)
+	r.Counter("sbx_engine_fullscan_fallbacks_total", nil)
+	r.Counter("sbx_engine_fixpoint_rounds_total", nil)
 }
 
 // EngineTotals returns the process-wide evaluator counters.
@@ -185,6 +269,16 @@ func EngineTotals() EngineStats {
 	engineMu.Lock()
 	defer engineMu.Unlock()
 	return engineTotals
+}
+
+// EngineReset zeroes the process-wide evaluator counters. Benchmarks and
+// multi-run drivers call it between runs so one run's probe and round
+// counts don't bleed into the next report. The obs registry counters are
+// cumulative by design (Prometheus semantics) and are not reset.
+func EngineReset() {
+	engineMu.Lock()
+	engineTotals = EngineStats{}
+	engineMu.Unlock()
 }
 
 // CDF is an empirical cumulative distribution over durations.
@@ -223,14 +317,25 @@ func (c *CDF) FractionBy(d time.Duration) float64 {
 	return float64(n) / float64(len(c.samples))
 }
 
-// Quantile returns the q-quantile (0 <= q <= 1) of the samples.
+// Quantile returns the q-quantile (0 <= q <= 1) of the samples using the
+// nearest-rank definition: the smallest sample such that at least a q
+// fraction of the distribution is at or below it. (The previous
+// float-index truncation underestimated upper quantiles at small sample
+// counts — p99 of 10 samples returned the 9th-ranked sample instead of
+// the maximum.)
 func (c *CDF) Quantile(q float64) time.Duration {
 	if len(c.samples) == 0 {
 		return 0
 	}
 	s := append([]time.Duration(nil), c.samples...)
 	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	idx := int(q * float64(len(s)-1))
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
 	return s[idx]
 }
 

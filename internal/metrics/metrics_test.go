@@ -69,6 +69,58 @@ func TestCDFQuantilesAndFraction(t *testing.T) {
 	}
 }
 
+// TestCDFQuantileNearestRank pins the nearest-rank definition against
+// hand-computed cases. The old float-index truncation agreed with
+// nearest-rank at low quantiles but underestimated the tail: p99 of 10
+// samples must be the maximum, not the 9th-ranked sample.
+func TestCDFQuantileNearestRank(t *testing.T) {
+	ms := func(v int) time.Duration { return time.Duration(v) * time.Millisecond }
+	tenUp := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10} // insertion order is irrelevant
+	cases := []struct {
+		name    string
+		samples []int
+		q       float64
+		want    time.Duration
+	}{
+		{"p99 of 10 is the max", tenUp, 0.99, ms(10)},
+		{"p90 of 10 is the 9th", tenUp, 0.90, ms(9)},
+		{"p91 of 10 rounds up to the max", tenUp, 0.91, ms(10)},
+		{"p50 of 10 is the 5th", tenUp, 0.50, ms(5)},
+		{"p100 is the max", tenUp, 1.0, ms(10)},
+		{"p0 clamps to the min", tenUp, 0.0, ms(1)},
+		{"single sample, any q", []int{7}, 0.5, ms(7)},
+		{"p50 of 2 is the lower", []int{3, 9}, 0.5, ms(3)},
+		{"p51 of 2 is the upper", []int{3, 9}, 0.51, ms(9)},
+		{"unsorted input is sorted first", []int{9, 1, 5}, 1.0 / 3.0, ms(1)},
+	}
+	for _, tc := range cases {
+		c := &CDF{}
+		for _, v := range tc.samples {
+			c.Add(ms(v))
+		}
+		if got := c.Quantile(tc.q); got != tc.want {
+			t.Errorf("%s: Quantile(%g) = %v, want %v", tc.name, tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestEngineReset(t *testing.T) {
+	EngineAccumulate(EngineStats{IndexProbes: 2, FixpointRounds: 1})
+	if EngineTotals() == (EngineStats{}) {
+		t.Fatal("accumulate had no effect")
+	}
+	EngineReset()
+	if got := EngineTotals(); got != (EngineStats{}) {
+		t.Errorf("totals after reset = %+v, want zero", got)
+	}
+	// The totals must keep working after a reset.
+	EngineAccumulate(EngineStats{LeadingScans: 4})
+	if got := EngineTotals(); got != (EngineStats{LeadingScans: 4}) {
+		t.Errorf("totals after reset+accumulate = %+v", got)
+	}
+	EngineReset()
+}
+
 func TestTableFormatting(t *testing.T) {
 	out := Table("nodes",
 		Series{Label: "NoAuth", X: []float64{6, 12}, Y: []float64{1.5, 3.25}},

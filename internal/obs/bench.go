@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// BenchSchemeResult is one (security scheme, cluster size) measurement of
+// a BENCH_*.json report: the figures' headline quantities plus the
+// registry-sourced latency quantiles.
+type BenchSchemeResult struct {
+	Scheme string `json:"scheme"`
+	N      int    `json:"n"`
+	// FixpointSeconds is the distributed fixpoint latency (Figures 4/5).
+	FixpointSeconds float64 `json:"fixpoint_s"`
+	// RSASignOps is the run's delta of private-key signature operations
+	// (footnote 2's dominant cost).
+	RSASignOps int64 `json:"rsa_sign_ops"`
+	// BytesShipped is the total application bytes put on the wire across
+	// all nodes (Figures 6/12 report this per node).
+	BytesShipped int64 `json:"bytes_shipped"`
+	// Txns and the quantiles describe the per-transaction latency
+	// distribution, pulled from the registry's sbx_txn_duration_seconds
+	// histogram delta over the run (Figures 7/10/11).
+	Txns     int64   `json:"txns"`
+	TxnP50Ms float64 `json:"txn_p50_ms"`
+	TxnP90Ms float64 `json:"txn_p90_ms"`
+	TxnP99Ms float64 `json:"txn_p99_ms"`
+	// FixpointRounds is the engine's semi-naïve round total for the run.
+	FixpointRounds int64 `json:"fixpoint_rounds"`
+}
+
+// BenchReport is the schema of a BENCH_*.json file: one figure's workload
+// at one size, every scheme measured, written by cmd/benchjson so the perf
+// trajectory is recorded machine-readably across PRs instead of living
+// only in EXPERIMENTS.md prose.
+type BenchReport struct {
+	// Figure names the paper figure the workload reproduces, e.g.
+	// "fig4_pathvector".
+	Figure string `json:"figure"`
+	// Workload is the scenario ("pathvector", "hashjoin").
+	Workload string `json:"workload"`
+	// Transport is the cluster substrate the run used ("mem" or "udp").
+	Transport string `json:"transport"`
+	// Quick marks scaled-down sizes (CI) as opposed to the paper's full
+	// sweep.
+	Quick bool `json:"quick"`
+	// GeneratedAt is the RFC3339 timestamp of the run.
+	GeneratedAt string `json:"generated_at"`
+	// Results holds one entry per (scheme, size).
+	Results []BenchSchemeResult `json:"results"`
+}
+
+// WriteBenchJSON writes a report to path with a trailing newline, creating
+// or truncating the file.
+func WriteBenchJSON(path string, r BenchReport) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshal bench report: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+)
+
+// MetricsHandler serves the registry in Prometheus text exposition format
+// — the /metrics endpoint.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, r.Render())
+	})
+}
+
+// SpansHandler serves the process's span ring as a JSON array — the
+// /debug/spans endpoint a wave-trace collector scrapes from every node.
+// Filter one wave with ?trace=<id>.
+func SpansHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		all := Spans()
+		if t := req.URL.Query().Get("trace"); t != "" {
+			var id uint64
+			if _, err := fmt.Sscanf(t, "%d", &id); err != nil {
+				http.Error(w, "bad trace id", http.StatusBadRequest)
+				return
+			}
+			filtered := all[:0]
+			for _, s := range all {
+				if s.Trace == id {
+					filtered = append(filtered, s)
+				}
+			}
+			all = filtered
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(all)
+	})
+}
+
+// Mount registers the observability endpoints on a mux: /metrics
+// (Prometheus text over the default registry), /debug/spans (span dump),
+// and /debug/vars (expvar, for continuity with the original debug server).
+func Mount(mux *http.ServeMux) {
+	mux.Handle("/metrics", MetricsHandler(Default()))
+	mux.Handle("/debug/spans", SpansHandler())
+	mux.Handle("/debug/vars", expvar.Handler())
+}
+
+// ServeDebug starts an HTTP server with the standard observability
+// endpoints on addr, returning the bound address and a stop function. The
+// benchmark drivers expose this behind -debugaddr so a sweep in flight can
+// be scraped like a deployment.
+func ServeDebug(addr string) (string, func(), error) {
+	mux := http.NewServeMux()
+	Mount(mux)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: debug server: %w", err)
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Pipeline stage names, in causal order through one node. Policy
+// constraint checks (signature verification, write-access sweeps) run
+// inside the workspace transaction, so their cost is part of the
+// StageFixpoint span; StageVerify covers the speculative pre-verification
+// pump that warms those checks ahead of the transaction.
+const (
+	StageDecode   = "decode"   // wire decode of an inbound datagram
+	StageVerify   = "verify"   // pre-verify pump warming signature checks
+	StageFixpoint = "fixpoint" // workspace transaction incl. policy checks
+	StageSign     = "sign"     // outbound batch-envelope signing
+	StageShip     = "ship"     // datagram handed to the transport
+)
+
+// Span is one timed pipeline stage of a derivation wave at one node. The
+// wave's trace ID is stamped on every outbound batch envelope and
+// propagated from the inbound batch that triggered the deriving
+// transaction, so spans recorded independently on every node of a cluster
+// reassemble into the wave's causal tree (see BuildWave).
+type Span struct {
+	// Trace identifies the derivation wave (unique per originating
+	// transaction, process-wide random base so separate OS processes
+	// cannot collide).
+	Trace uint64 `json:"trace"`
+	// Hop is the wave's distance from its originating transaction: 0 at
+	// the node that asserted the base facts, h+1 after shipping from hop h.
+	Hop int `json:"hop"`
+	// Node is the recording node's transport address (the cluster-wide
+	// identity peers address it by).
+	Node string `json:"node"`
+	// Principal is the recording node's principal, for display.
+	Principal string `json:"principal,omitempty"`
+	// Stage is one of the Stage* constants.
+	Stage string `json:"stage"`
+	// Peer is the transport address on the other side of this stage:
+	// the sender for inbound stages, the destination for outbound ones.
+	// Empty for locally originated work.
+	Peer string `json:"peer,omitempty"`
+	// Start is when the stage began.
+	Start time.Time `json:"start"`
+	// Dur is how long the stage took.
+	Dur time.Duration `json:"dur_ns"`
+}
+
+// traceBase randomizes the high half of trace IDs per process so the IDs
+// minted by different OS processes of one cluster cannot collide; the low
+// half is a process-local sequence.
+var (
+	traceBase uint64
+	traceSeq  atomic.Uint64
+	baseOnce  sync.Once
+)
+
+// NewTraceID mints a process-unique wave identifier (never 0 — a zero
+// trace on the wire means "untraced").
+func NewTraceID() uint64 {
+	baseOnce.Do(func() {
+		var b [8]byte
+		if _, err := crand.Read(b[:]); err == nil {
+			traceBase = binary.LittleEndian.Uint64(b[:]) &^ 0xFFFFFFFF
+		}
+	})
+	id := traceBase | (traceSeq.Add(1) & 0xFFFFFFFF)
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+// spanCap bounds the process-global span ring. At ~120 bytes per span this
+// caps tracing memory near 2 MB regardless of how many fixpoints one
+// process runs; older waves are overwritten by newer ones.
+const spanCap = 16384
+
+// spanRing is the process-global span store: one bounded ring all nodes of
+// the process record into. In multi-process deployments each process's
+// ring is that node's span dump; in-process clusters share one ring and
+// filter by Span.Node.
+type spanRing struct {
+	mu    sync.Mutex
+	buf   []Span
+	next  int
+	full  bool
+	drops int64
+}
+
+var spans spanRing
+
+// RecordSpan appends one span to the process-global ring.
+func RecordSpan(s Span) {
+	spans.mu.Lock()
+	if spans.buf == nil {
+		spans.buf = make([]Span, spanCap)
+	}
+	if spans.full {
+		spans.drops++
+	}
+	spans.buf[spans.next] = s
+	spans.next++
+	if spans.next == len(spans.buf) {
+		spans.next = 0
+		spans.full = true
+	}
+	spans.mu.Unlock()
+}
+
+// Spans returns the ring's current contents in recording order (oldest
+// first).
+func Spans() []Span {
+	spans.mu.Lock()
+	defer spans.mu.Unlock()
+	if spans.buf == nil {
+		return nil
+	}
+	if !spans.full {
+		return append([]Span(nil), spans.buf[:spans.next]...)
+	}
+	out := make([]Span, 0, len(spans.buf))
+	out = append(out, spans.buf[spans.next:]...)
+	return append(out, spans.buf[:spans.next]...)
+}
+
+// ResetSpans clears the ring (tests and benchmark iterations).
+func ResetSpans() {
+	spans.mu.Lock()
+	spans.buf, spans.next, spans.full, spans.drops = nil, 0, false, 0
+	spans.mu.Unlock()
+}
+
+// SpanDrops reports how many spans were overwritten before being read —
+// nonzero means the ring was too small for the workload between scrapes.
+func SpanDrops() int64 {
+	spans.mu.Lock()
+	defer spans.mu.Unlock()
+	return spans.drops
+}

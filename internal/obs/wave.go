@@ -1,0 +1,174 @@
+package obs
+
+import "sort"
+
+// WaveNode is one node's participation in a derivation wave: every span it
+// recorded for the trace, its first-arrival hop, and the nodes whose
+// first exposure to the wave came from it.
+type WaveNode struct {
+	// Node is the transport address identifying the participant.
+	Node string `json:"node"`
+	// Principal is the participant's principal when known.
+	Principal string `json:"principal,omitempty"`
+	// Hop is the wave's distance from the origin at this node's first
+	// involvement.
+	Hop int `json:"hop"`
+	// Spans are every span the node recorded for the trace, in hop then
+	// start order.
+	Spans []Span `json:"spans"`
+	// Children are the nodes this one propagated the wave to (first
+	// exposure; a node re-reached over a longer path stays under its
+	// first parent).
+	Children []*WaveNode `json:"children,omitempty"`
+}
+
+// BuildWave reconstructs one derivation wave's causal tree across nodes
+// from a merged collection of per-node span dumps: the root is the node
+// that originated the wave (hop 0), and each other participant hangs off
+// the peer its lowest-hop inbound span names as sender. This is how a
+// convergence tail at n=72 becomes explainable — the tree shows which
+// hop chains the last transactions sit at, instead of guessing from
+// aggregate latencies.
+//
+// Returns nil if the trace appears in no span. Participants whose claimed
+// parent is absent from the dump (lost spans, partial collection) are
+// attached to the root so the tree always contains every observed node.
+func BuildWave(trace uint64, all []Span) *WaveNode {
+	byNode := make(map[string]*WaveNode)
+	var order []string
+	for _, s := range all {
+		if s.Trace != trace || s.Node == "" {
+			continue
+		}
+		n := byNode[s.Node]
+		if n == nil {
+			n = &WaveNode{Node: s.Node, Hop: s.Hop}
+			byNode[s.Node] = n
+			order = append(order, s.Node)
+		}
+		if s.Principal != "" {
+			n.Principal = s.Principal
+		}
+		if s.Hop < n.Hop {
+			n.Hop = s.Hop
+		}
+		n.Spans = append(n.Spans, s)
+	}
+	if len(byNode) == 0 {
+		return nil
+	}
+	for _, n := range byNode {
+		sort.Slice(n.Spans, func(i, j int) bool {
+			if n.Spans[i].Hop != n.Spans[j].Hop {
+				return n.Spans[i].Hop < n.Spans[j].Hop
+			}
+			return n.Spans[i].Start.Before(n.Spans[j].Start)
+		})
+	}
+
+	// Root: the lowest-hop participant (hop 0 at the originating node;
+	// with partial dumps, the earliest hop observed).
+	sort.Strings(order)
+	root := byNode[order[0]]
+	for _, a := range order {
+		if byNode[a].Hop < root.Hop {
+			root = byNode[a]
+		}
+	}
+
+	// parent of X = the Peer named by X's lowest-hop span that has one
+	// (the sender of the message that first exposed X to the wave).
+	for _, addr := range order {
+		n := byNode[addr]
+		if n == root {
+			continue
+		}
+		var parent *WaveNode
+		for _, s := range n.Spans {
+			if s.Peer == "" || s.Peer == addr {
+				continue
+			}
+			if p, ok := byNode[s.Peer]; ok && p != n {
+				parent = p
+				break
+			}
+		}
+		if parent == nil {
+			// Unknown parent (lost spans, partial collection): keep the
+			// node visible under the root rather than dropping it.
+			parent = root
+		}
+		if wouldCycle(parent, n, byNode) {
+			parent = root
+		}
+		parent.Children = append(parent.Children, n)
+	}
+	for _, n := range byNode {
+		sort.Slice(n.Children, func(i, j int) bool {
+			if n.Children[i].Hop != n.Children[j].Hop {
+				return n.Children[i].Hop < n.Children[j].Hop
+			}
+			return n.Children[i].Node < n.Children[j].Node
+		})
+	}
+	return root
+}
+
+// wouldCycle reports whether attaching child under parent would create a
+// cycle (possible with partial dumps where two nodes name each other).
+func wouldCycle(parent, child *WaveNode, byNode map[string]*WaveNode) bool {
+	seen := map[string]bool{child.Node: true}
+	for p := parent; p != nil; {
+		if seen[p.Node] {
+			return true
+		}
+		seen[p.Node] = true
+		p = findParent(p, byNode)
+	}
+	return false
+}
+
+// findParent locates the current parent of n among the already-linked
+// nodes (nil if unlinked so far).
+func findParent(n *WaveNode, byNode map[string]*WaveNode) *WaveNode {
+	for _, cand := range byNode {
+		for _, c := range cand.Children {
+			if c == n {
+				return cand
+			}
+		}
+	}
+	return nil
+}
+
+// Depth returns the height of the wave tree: 1 for a root-only wave, 3 for
+// a two-hop chain. A multi-hop derivation shows up as Depth >= 3.
+func (w *WaveNode) Depth() int {
+	if w == nil {
+		return 0
+	}
+	max := 0
+	for _, c := range w.Children {
+		if d := c.Depth(); d > max {
+			max = d
+		}
+	}
+	return 1 + max
+}
+
+// Participants returns every node address in the tree, sorted.
+func (w *WaveNode) Participants() []string {
+	var out []string
+	var walk func(*WaveNode)
+	walk = func(n *WaveNode) {
+		out = append(out, n.Node)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	if w != nil {
+		walk(w)
+	}
+	sort.Strings(out)
+	return out
+}

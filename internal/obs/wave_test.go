@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func span(trace uint64, hop int, node, stage, peer string, at time.Duration) Span {
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	return Span{
+		Trace: trace, Hop: hop, Node: node, Stage: stage, Peer: peer,
+		Start: base.Add(at), Dur: time.Millisecond,
+	}
+}
+
+func TestBuildWaveChain(t *testing.T) {
+	// a originates (hop 0), ships to b (hop 1), b ships to c (hop 2).
+	spans := []Span{
+		span(7, 0, "a", StageFixpoint, "", 0),
+		span(7, 0, "a", StageSign, "b", 1*time.Millisecond),
+		span(7, 0, "a", StageShip, "b", 2*time.Millisecond),
+		span(7, 1, "b", StageDecode, "a", 3*time.Millisecond),
+		span(7, 1, "b", StageFixpoint, "a", 4*time.Millisecond),
+		span(7, 1, "b", StageShip, "c", 5*time.Millisecond),
+		span(7, 2, "c", StageDecode, "b", 6*time.Millisecond),
+		span(7, 2, "c", StageFixpoint, "b", 7*time.Millisecond),
+		// Unrelated trace must not leak in.
+		span(9, 0, "x", StageFixpoint, "", 0),
+	}
+	w := BuildWave(7, spans)
+	if w == nil {
+		t.Fatal("BuildWave returned nil for a known trace")
+	}
+	if w.Node != "a" || w.Hop != 0 {
+		t.Fatalf("root = %s@%d, want a@0", w.Node, w.Hop)
+	}
+	if len(w.Children) != 1 || w.Children[0].Node != "b" {
+		t.Fatalf("a's children = %v, want [b]", w.Children)
+	}
+	b := w.Children[0]
+	if len(b.Children) != 1 || b.Children[0].Node != "c" {
+		t.Fatalf("b's children = %v, want [c]", b.Children)
+	}
+	if d := w.Depth(); d != 3 {
+		t.Errorf("Depth = %d, want 3", d)
+	}
+	got := w.Participants()
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("Participants = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Participants = %v, want %v", got, want)
+		}
+	}
+	for _, n := range []*WaveNode{w, b, b.Children[0]} {
+		for _, s := range n.Spans {
+			if s.Trace != 7 {
+				t.Errorf("node %s holds span from trace %d", n.Node, s.Trace)
+			}
+		}
+	}
+}
+
+func TestBuildWaveFanOut(t *testing.T) {
+	// a ships to b and c in the same wave; both are direct children.
+	spans := []Span{
+		span(3, 0, "a", StageFixpoint, "", 0),
+		span(3, 0, "a", StageShip, "b", 1*time.Millisecond),
+		span(3, 0, "a", StageShip, "c", 1*time.Millisecond),
+		span(3, 1, "b", StageDecode, "a", 2*time.Millisecond),
+		span(3, 1, "c", StageDecode, "a", 2*time.Millisecond),
+	}
+	w := BuildWave(3, spans)
+	if w == nil || w.Node != "a" {
+		t.Fatalf("root = %v, want a", w)
+	}
+	if len(w.Children) != 2 {
+		t.Fatalf("children = %d, want 2 (fan-out)", len(w.Children))
+	}
+	if d := w.Depth(); d != 2 {
+		t.Errorf("Depth = %d, want 2", d)
+	}
+}
+
+func TestBuildWaveOrphanAttachesToRoot(t *testing.T) {
+	// c's decode names a peer that recorded no spans (dropped from the
+	// ring); c must still appear in the tree, attached to the root.
+	spans := []Span{
+		span(5, 0, "a", StageFixpoint, "", 0),
+		span(5, 2, "c", StageDecode, "ghost", 1*time.Millisecond),
+	}
+	w := BuildWave(5, spans)
+	if w == nil || w.Node != "a" {
+		t.Fatalf("root = %v, want a", w)
+	}
+	if len(w.Children) != 1 || w.Children[0].Node != "c" {
+		t.Fatalf("orphan not attached to root: %v", w.Children)
+	}
+}
+
+func TestBuildWaveUnknownTrace(t *testing.T) {
+	spans := []Span{span(1, 0, "a", StageFixpoint, "", 0)}
+	if w := BuildWave(2, spans); w != nil {
+		t.Errorf("BuildWave(unknown) = %v, want nil", w)
+	}
+}
+
+func TestNewTraceIDNonZeroAndDistinct(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID()
+		if id == 0 {
+			t.Fatal("NewTraceID returned 0 (the unset sentinel)")
+		}
+		if seen[id] {
+			t.Fatalf("NewTraceID repeated %d within one process", id)
+		}
+		seen[id] = true
+	}
+}

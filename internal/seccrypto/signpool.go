@@ -155,12 +155,14 @@ func (p *SignPool) Warm(priv *rsa.PrivateKey, privDER, data []byte) {
 	defer p.mu.Unlock()
 	if _, exists := p.cache[k]; exists {
 		p.hits.Add(1)
+		cSignHits.Inc()
 		return
 	}
 	e := &signEntry{done: make(chan struct{})}
 	select {
 	case p.jobs <- signJob{priv: priv, data: data, e: e}:
 		p.misses.Add(1)
+		cSignMisses.Inc()
 		p.cache[k] = e
 		p.pruneLocked()
 	default:
@@ -175,12 +177,14 @@ func (p *SignPool) Sign(priv *rsa.PrivateKey, privDER, data []byte) ([]byte, err
 	p.mu.Lock()
 	if e, exists := p.cache[k]; exists {
 		p.hits.Add(1)
+		cSignHits.Inc()
 		p.mu.Unlock()
 		<-e.done
 		return e.sig, e.err
 	}
 	e := &signEntry{done: make(chan struct{})}
 	p.misses.Add(1)
+	cSignMisses.Inc()
 	p.cache[k] = e
 	p.pruneLocked()
 	p.mu.Unlock()

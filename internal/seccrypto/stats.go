@@ -1,0 +1,42 @@
+package seccrypto
+
+import (
+	"sync/atomic"
+
+	"secureblox/internal/obs"
+)
+
+// verifyOps counts every RSAVerify invocation process-wide, the inbound
+// counterpart of signOps.
+var verifyOps atomic.Int64
+
+// VerifyOps returns the cumulative count of RSA signature verifications
+// performed by this process.
+func VerifyOps() int64 { return verifyOps.Load() }
+
+// obs registry mirrors of the package counters. Registered at init so the
+// crypto families render (at zero) on /metrics before the first operation.
+var (
+	cSignOps      *obs.Counter
+	cVerifyOps    *obs.Counter
+	cSignHits     *obs.Counter
+	cSignMisses   *obs.Counter
+	cVerifyHits   *obs.Counter
+	cVerifyMisses *obs.Counter
+)
+
+func init() {
+	r := obs.Default()
+	r.Help("sbx_rsa_sign_ops_total", "RSA private-key signature computations (paper footnote 2's dominant cost).")
+	r.Help("sbx_rsa_verify_ops_total", "RSA public-key signature verifications.")
+	r.Help("sbx_signpool_hits_total", "Sign requests served from the memoizing sign pool cache.")
+	r.Help("sbx_signpool_misses_total", "Sign requests that required an RSA computation.")
+	r.Help("sbx_verifypool_hits_total", "Verify requests served from the memoizing verify pool cache.")
+	r.Help("sbx_verifypool_misses_total", "Verify requests that required an RSA computation.")
+	cSignOps = r.Counter("sbx_rsa_sign_ops_total", nil)
+	cVerifyOps = r.Counter("sbx_rsa_verify_ops_total", nil)
+	cSignHits = r.Counter("sbx_signpool_hits_total", nil)
+	cSignMisses = r.Counter("sbx_signpool_misses_total", nil)
+	cVerifyHits = r.Counter("sbx_verifypool_hits_total", nil)
+	cVerifyMisses = r.Counter("sbx_verifypool_misses_total", nil)
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // VerifyPool parallelizes RSA signature verification with a memoizing
@@ -27,6 +28,8 @@ type VerifyPool struct {
 	mu      sync.Mutex
 	cache   map[[32]byte]*verifyEntry
 	maxSize int
+
+	hits, misses atomic.Int64
 }
 
 type verifyEntry struct {
@@ -87,6 +90,13 @@ func (p *VerifyPool) Close() {
 	}
 }
 
+// Stats returns how many Verify/Warm requests were served from the cache
+// (hits) and how many required an RSA computation (misses), mirroring
+// SignPool.Stats.
+func (p *VerifyPool) Stats() (hits, misses int64) {
+	return p.hits.Load(), p.misses.Load()
+}
+
 // key derives the cache key for one verification triple. Length prefixes
 // keep distinct triples from colliding by concatenation.
 func verifyCacheKey(pubDER, data, sig []byte) [32]byte {
@@ -134,11 +144,15 @@ func (p *VerifyPool) Warm(pub *rsa.PublicKey, pubDER, data, sig []byte) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if _, exists := p.cache[k]; exists {
+		p.hits.Add(1)
+		cVerifyHits.Inc()
 		return
 	}
 	e := &verifyEntry{done: make(chan struct{})}
 	select {
 	case p.jobs <- verifyJob{pub: pub, data: data, sig: sig, e: e}:
+		p.misses.Add(1)
+		cVerifyMisses.Inc()
 		p.cache[k] = e
 		p.pruneLocked()
 	default:
@@ -152,11 +166,15 @@ func (p *VerifyPool) Verify(pub *rsa.PublicKey, pubDER, data, sig []byte) bool {
 	k := verifyCacheKey(pubDER, data, sig)
 	p.mu.Lock()
 	if e, exists := p.cache[k]; exists {
+		p.hits.Add(1)
+		cVerifyHits.Inc()
 		p.mu.Unlock()
 		<-e.done
 		return e.ok
 	}
 	e := &verifyEntry{done: make(chan struct{})}
+	p.misses.Add(1)
+	cVerifyMisses.Inc()
 	p.cache[k] = e
 	p.pruneLocked()
 	p.mu.Unlock()

@@ -6,7 +6,61 @@ import (
 	"hash/crc32"
 	"sync"
 	"time"
+
+	"secureblox/internal/obs"
 )
+
+// obs registry mirrors of the reliability counters, aggregated across every
+// endpoint of the process. Registered at init so the transport families
+// render (at zero) on /metrics even on loss-free runs.
+var (
+	cRetransmits *obs.Counter
+	cDupDrops    *obs.Counter
+	cCRCRejects  *obs.Counter
+	cLosses      *obs.Counter
+)
+
+func init() {
+	r := obs.Default()
+	r.Help("sbx_transport_retransmits_total", "Data frames re-sent while awaiting acknowledgement.")
+	r.Help("sbx_transport_dup_drops_total", "Redelivered frames suppressed by the receive dedup window.")
+	r.Help("sbx_transport_crc_rejects_total", "Inbound datagrams dropped as garbage or CRC failures.")
+	r.Help("sbx_transport_frame_losses_total", "Frames abandoned after MaxAttempts retransmissions.")
+	cRetransmits = r.Counter("sbx_transport_retransmits_total", nil)
+	cDupDrops = r.Counter("sbx_transport_dup_drops_total", nil)
+	cCRCRejects = r.Counter("sbx_transport_crc_rejects_total", nil)
+	cLosses = r.Counter("sbx_transport_frame_losses_total", nil)
+}
+
+// ReliabilityStats is one endpoint's view of the reliable layer's work:
+// how much redundancy (retransmits), redundancy's cost at the receiver
+// (dup drops), corruption (CRC rejects) and abandonment (losses) the
+// substrate exhibited. The UDP smokes print these on failure — a stall is
+// diagnosed very differently when retransmits are exploding than when the
+// link is silent.
+type ReliabilityStats struct {
+	Retransmits int64 // data frames re-sent
+	DupDrops    int64 // redelivered frames suppressed
+	CRCRejects  int64 // garbage/corrupted datagrams dropped
+	Losses      int64 // frames abandoned after MaxAttempts
+}
+
+// String renders the counters compactly for failure output and logs.
+func (s ReliabilityStats) String() string {
+	return fmt.Sprintf("retransmits=%d dup-drops=%d crc-rejects=%d losses=%d",
+		s.Retransmits, s.DupDrops, s.CRCRejects, s.Losses)
+}
+
+// ReliabilityTotals returns the process-wide reliability counters summed
+// over every endpoint, current and closed.
+func ReliabilityTotals() ReliabilityStats {
+	return ReliabilityStats{
+		Retransmits: cRetransmits.Value(),
+		DupDrops:    cDupDrops.Value(),
+		CRCRejects:  cCRCRejects.Value(),
+		Losses:      cLosses.Value(),
+	}
+}
 
 // Reliable-layer frame types. Distinctive bytes keep random garbage from
 // parsing as a frame by accident (a CRC check backstops the rest).
@@ -50,12 +104,15 @@ type ReliableEndpoint struct {
 	cfg   ReliableConfig
 	q     *queue
 
-	mu      sync.Mutex
-	nextSeq map[string]uint64              // per-destination last used seq
-	pending map[string]map[uint64]*unacked // per-destination unacked frames
-	seen    map[string]*dedupState         // per-source delivery dedup
-	losses  int64                          // frames dropped after MaxAttempts
-	closed  bool
+	mu          sync.Mutex
+	nextSeq     map[string]uint64              // per-destination last used seq
+	pending     map[string]map[uint64]*unacked // per-destination unacked frames
+	seen        map[string]*dedupState         // per-source delivery dedup
+	losses      int64                          // frames dropped after MaxAttempts
+	retransmits int64                          // data frames re-sent
+	dupDrops    int64                          // redeliveries suppressed
+	crcRejects  int64                          // garbage/corrupted frames dropped
+	closed      bool
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -207,6 +264,18 @@ func (r *ReliableEndpoint) Losses() int64 {
 	return r.losses
 }
 
+// Reliability returns this endpoint's reliability counters.
+func (r *ReliableEndpoint) Reliability() ReliabilityStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return ReliabilityStats{
+		Retransmits: r.retransmits,
+		DupDrops:    r.dupDrops,
+		CRCRejects:  r.crcRejects,
+		Losses:      r.losses,
+	}
+}
+
 // PendingFrames returns how many frames are awaiting acknowledgement.
 func (r *ReliableEndpoint) PendingFrames() int {
 	r.mu.Lock()
@@ -239,6 +308,10 @@ func (r *ReliableEndpoint) recvLoop() {
 	for in := range r.inner.Receive() {
 		typ, seq, payload, ok := decodeFrame(in.Data)
 		if !ok {
+			r.mu.Lock()
+			r.crcRejects++
+			r.mu.Unlock()
+			cCRCRejects.Inc()
 			continue // garbage or corrupted: drop, sender will retransmit
 		}
 		switch typ {
@@ -259,7 +332,9 @@ func (r *ReliableEndpoint) recvLoop() {
 				r.seen[in.From] = st
 			}
 			if seq <= st.floor || st.above[seq] {
+				r.dupDrops++
 				r.mu.Unlock()
+				cDupDrops.Inc()
 				continue // duplicate
 			}
 			st.above[seq] = true
@@ -286,6 +361,7 @@ func (r *ReliableEndpoint) retransmitLoop() {
 			frame []byte
 		}
 		var due []resend
+		var lost int64
 		r.mu.Lock()
 		for to, m := range r.pending {
 			for seq, u := range m {
@@ -293,12 +369,20 @@ func (r *ReliableEndpoint) retransmitLoop() {
 				if r.cfg.MaxAttempts > 0 && u.attempts > r.cfg.MaxAttempts {
 					delete(m, seq)
 					r.losses++
+					lost++
 					continue
 				}
 				due = append(due, resend{to: to, frame: u.frame})
 			}
 		}
+		r.retransmits += int64(len(due))
 		r.mu.Unlock()
+		if lost > 0 {
+			cLosses.Add(lost)
+		}
+		if len(due) > 0 {
+			cRetransmits.Add(int64(len(due)))
+		}
 		for _, d := range due {
 			_ = r.inner.Send(d.to, d.frame)
 		}

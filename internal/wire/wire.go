@@ -227,11 +227,24 @@ type Message struct {
 	From     string   // sender node address
 	Sig      []byte   // MsgBatch only: signature over BatchDigest(Payloads)
 	Payloads [][]byte // opaque export payloads (possibly encrypted)
+
+	// Trace and Hop carry the derivation wave's identity on data and
+	// batch envelopes (never on control records): Trace is stamped by the
+	// transaction that originated the wave and propagated unchanged, Hop
+	// counts shipping steps from that origin. A zero Trace means the
+	// message is untraced. Tracing rides the envelope, not the signed
+	// payloads, so it changes no signature or policy semantics.
+	Trace uint64
+	Hop   uint32
 }
 
 // PayloadOverhead upper-bounds the framing bytes EncodeMessage adds per
 // payload (one uvarint length prefix).
 const PayloadOverhead = binary.MaxVarintLen64
+
+// traceOverhead upper-bounds the trace-ID and hop-count framing on data
+// and batch envelopes.
+const traceOverhead = binary.MaxVarintLen64 + binary.MaxVarintLen32
 
 // MessageOverhead upper-bounds the encoded size of a message from the
 // given sender, excluding the payloads and their framing. Callers sizing
@@ -239,7 +252,7 @@ const PayloadOverhead = binary.MaxVarintLen64
 // len(p) per payload, so the size estimate stays in lockstep with the
 // actual encoding.
 func MessageOverhead(from string) int {
-	return 1 + binary.MaxVarintLen64 + len(from) + binary.MaxVarintLen64
+	return 1 + binary.MaxVarintLen64 + len(from) + traceOverhead + binary.MaxVarintLen64
 }
 
 // MaxBatchSig upper-bounds the batch signature length the batch-envelope
@@ -277,6 +290,10 @@ func EncodeMessage(m Message) []byte {
 	if m.Kind == MsgBatch {
 		buf = appendUvarint(buf, uint64(len(m.Sig)))
 		buf = append(buf, m.Sig...)
+	}
+	if m.Kind != MsgControl {
+		buf = appendUvarint(buf, m.Trace)
+		buf = appendUvarint(buf, uint64(m.Hop))
 	}
 	buf = appendUvarint(buf, uint64(len(m.Payloads)))
 	for _, p := range m.Payloads {
@@ -316,6 +333,21 @@ func DecodeMessage(buf []byte) (Message, error) {
 		}
 		m.Sig = append([]byte(nil), buf[:sl]...)
 		buf = buf[sl:]
+	}
+	if m.Kind != MsgControl {
+		m.Trace, buf, err = readUvarint(buf)
+		if err != nil {
+			return m, err
+		}
+		var hop uint64
+		hop, buf, err = readUvarint(buf)
+		if err != nil {
+			return m, err
+		}
+		if hop > 1<<32-1 {
+			return m, fmt.Errorf("wire: hop count %d out of range", hop)
+		}
+		m.Hop = uint32(hop)
 	}
 	cnt, buf, err := readUvarint(buf)
 	if err != nil {

@@ -36,12 +36,41 @@ echo "== in-process memnet reference (-allinone)"
 [ -s "$work/allinone.out" ] || { echo "FAIL: empty reference result set"; exit 1; }
 
 echo "== 3 sbxnode OS processes over UDP loopback"
+debugaddr="127.0.0.1:7911"
 "$work/sbxnode" -config "$work/cluster.json" -node p1 -timeout 120s > "$work/p1.out" &
 pid1=$!
 "$work/sbxnode" -config "$work/cluster.json" -node p2 -timeout 120s > "$work/p2.out" &
 pid2=$!
-"$work/sbxnode" -config "$work/cluster.json" -node p0 -timeout 120s > "$work/p0.out"
+# Scrape p0's /metrics continuously while it runs, keeping the last
+# successful scrape: the run must be observable from the outside, not
+# only measurable after the fact.
+(
+    while :; do
+        if curl -sf "http://$debugaddr/metrics" > "$work/metrics.tmp" 2>/dev/null; then
+            mv "$work/metrics.tmp" "$work/metrics.out"
+        fi
+        sleep 0.05
+    done
+) &
+scraper=$!
+"$work/sbxnode" -config "$work/cluster.json" -node p0 -timeout 120s -debugaddr "$debugaddr" > "$work/p0.out"
 wait "$pid1" "$pid2"
+kill "$scraper" 2>/dev/null || true
+wait "$scraper" 2>/dev/null || true
+
+[ -s "$work/metrics.out" ] || { echo "FAIL: never scraped /metrics from the live p0 process"; exit 1; }
+# An RSA pathvector run must show transactions, engine work, RSA
+# signatures and shipped bytes on the scraped node.
+for series in sbx_txns_total sbx_engine_index_probes_total sbx_rsa_sign_ops_total sbx_bytes_sent_total; do
+    val=$(awk -v s="$series" '$1 ~ "^"s && $1 !~ /^#/ { sum += $NF } END { print sum+0 }' "$work/metrics.out")
+    [ "$val" -gt 0 ] || { echo "FAIL: /metrics series $series is $val, want > 0"; cat "$work/metrics.out"; exit 1; }
+done
+# The UDP reliability counters must at least be present (zero is fine on
+# a healthy loopback).
+for series in sbx_transport_retransmits_total sbx_transport_dup_drops_total sbx_transport_crc_rejects_total; do
+    grep -q "^$series" "$work/metrics.out" || { echo "FAIL: /metrics lacks $series"; exit 1; }
+done
+echo "OK: live /metrics scrape shows txns, engine probes, RSA signs, bytes shipped"
 
 sort "$work"/p[0-9].out > "$work/multi.out"
 if ! diff -u "$work/allinone.out" "$work/multi.out"; then
