@@ -12,8 +12,8 @@ package secureblox
 
 import (
 	"fmt"
-	"math/rand"
 	"os"
+	"runtime"
 	"testing"
 
 	"secureblox/internal/apps"
@@ -36,7 +36,7 @@ func benchSizes(full []int, quick []int) []int {
 var (
 	pvSizes = benchSizes(
 		[]int{6, 12, 18, 24, 30, 36, 42, 48, 54, 60, 66, 72},
-		[]int{6, 12, 18})
+		[]int{6, 12, 18, 24})
 	hjSizes = benchSizes(
 		[]int{6, 12, 18, 24, 30, 36, 42, 48},
 		[]int{6, 12, 18})
@@ -267,75 +267,94 @@ func BenchmarkEngineTransitiveClosure(b *testing.B) {
 	}
 }
 
+// closureAllocCeiling bounds allocations per sequential closure iteration.
+// The evaluator reuses its evalEnv, delta projection indexes and per-rule
+// frames across fixpoint rounds, so allocs/op is dominated by tuple
+// storage for the ~60k derived reachable facts (measured: ~131k allocs/op).
+// The ceiling has ~50% headroom and catches a reintroduced per-round or
+// per-delta-tuple allocation, which multiplies that figure.
+const closureAllocCeiling = 200_000
+
+// benchFixpointWorkers are the engine parallelism settings each fixpoint
+// workload is measured at: p0 is the classic sequential path, p1 the
+// parallel machinery without concurrency (its overhead), p2..p8 the scaling
+// curve. cmd/benchjson records the same sweep as BENCH_engine_parallel.json.
+var benchFixpointWorkers = []int{0, 1, 2, 4, 8}
+
 // BenchmarkEngineFixpoint measures the local evaluator's join machinery in
 // isolation — the per-transaction cost under every security policy. The
-// closure case exercises recursive semi-naïve evaluation (delta probing);
-// the multijoin case exercises a three-way join whose middle atom binds a
+// closure case exercises recursive semi-naïve evaluation over a dense
+// random digraph (delta probing, hash-partitioned parallel rounds); the
+// multijoin case exercises a three-way join whose middle atom binds a
 // non-first column, the shape that historically forced a full relation scan.
 func BenchmarkEngineFixpoint(b *testing.B) {
 	b.Run("closure", func(b *testing.B) {
-		prog, err := datalog.Parse(`
-			reachable(X,Y) <- link(X,Y).
-			reachable(X,Y) <- link(X,Z), reachable(Z,Y).
-		`)
+		prog, err := datalog.Parse(engine.BenchClosureSrc)
 		if err != nil {
 			b.Fatal(err)
 		}
-		var facts []engine.Fact
-		for i := 0; i < 120; i++ {
-			facts = append(facts, engine.Fact{Pred: "link",
-				Tuple: datalog.Tuple{datalog.Int64(int64(i)), datalog.Int64(int64(i + 1))}})
-		}
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			w := engine.NewWorkspace(nil)
-			if err := w.Install(prog); err != nil {
-				b.Fatal(err)
-			}
-			if _, err := w.Assert(facts); err != nil {
-				b.Fatal(err)
-			}
-			if w.Count("reachable") != 121*120/2 {
-				b.Fatal("wrong closure size")
-			}
-			if s := w.Stats(); s.FullScanFallbacks != 0 {
-				b.Fatalf("join plan regression: %s", s)
-			}
+		facts, want := engine.BenchClosureInput(250, 1000, 7)
+		for _, workers := range benchFixpointWorkers {
+			b.Run(fmt.Sprintf("p%d", workers), func(b *testing.B) {
+				b.ReportAllocs()
+				var before, after runtime.MemStats
+				runtime.ReadMemStats(&before)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					w := engine.NewWorkspace(nil)
+					w.Parallelism = workers
+					if err := w.Install(prog); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := w.Assert(facts); err != nil {
+						b.Fatal(err)
+					}
+					if got := w.Count("reachable"); got != want {
+						b.Fatalf("closure size %d, want %d", got, want)
+					}
+					if s := w.Stats(); s.FullScanFallbacks != 0 {
+						b.Fatalf("join plan regression: %s", s)
+					}
+				}
+				b.StopTimer()
+				runtime.ReadMemStats(&after)
+				if workers == 0 {
+					perOp := float64(after.Mallocs-before.Mallocs) / float64(b.N)
+					if perOp > closureAllocCeiling {
+						b.Fatalf("allocation regression: %.0f allocs/op (ceiling %d)",
+							perOp, closureAllocCeiling)
+					}
+				}
+			})
 		}
 	})
 	b.Run("multijoin", func(b *testing.B) {
-		prog, err := datalog.Parse(`q(X,W) <- a(X,Y), b(Z,Y), c(Z,W).`)
+		prog, err := datalog.Parse(engine.BenchMultijoinSrc)
 		if err != nil {
 			b.Fatal(err)
 		}
-		rng := rand.New(rand.NewSource(7))
-		var facts []engine.Fact
-		add := func(pred string, n, dom int) {
-			for i := 0; i < n; i++ {
-				facts = append(facts, engine.Fact{Pred: pred, Tuple: datalog.Tuple{
-					datalog.Int64(int64(rng.Intn(dom))), datalog.Int64(int64(rng.Intn(dom)))}})
-			}
-		}
-		add("a", 600, 400)
-		add("b", 600, 400)
-		add("c", 600, 400)
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			w := engine.NewWorkspace(nil)
-			if err := w.Install(prog); err != nil {
-				b.Fatal(err)
-			}
-			if _, err := w.Assert(facts); err != nil {
-				b.Fatal(err)
-			}
-			if w.Count("q") == 0 {
-				b.Fatal("empty join result")
-			}
-			if s := w.Stats(); s.FullScanFallbacks != 0 {
-				b.Fatalf("join plan regression: %s", s)
-			}
+		facts := engine.BenchMultijoinInput(600, 400, 7)
+		for _, workers := range benchFixpointWorkers {
+			b.Run(fmt.Sprintf("p%d", workers), func(b *testing.B) {
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					w := engine.NewWorkspace(nil)
+					w.Parallelism = workers
+					if err := w.Install(prog); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := w.Assert(facts); err != nil {
+						b.Fatal(err)
+					}
+					if w.Count("q") == 0 {
+						b.Fatal("empty join result")
+					}
+					if s := w.Stats(); s.FullScanFallbacks != 0 {
+						b.Fatalf("join plan regression: %s", s)
+					}
+				}
+			})
 		}
 	})
 }

@@ -400,15 +400,16 @@ func assembleNodeWithPools(cfg *cluster.Config, mem *cluster.Membership, idx int
 		}
 	}
 	node, err := core.NodeAssembly{
-		Policy:     pol,
-		Compiled:   res,
-		Directory:  mem,
-		Index:      idx,
-		KeyStore:   ks,
-		Endpoint:   ep,
-		VerifyPool: pools.verify,
-		SignPool:   pools.sign,
-		Seed:       cfg.Workload.Seed,
+		Policy:      pol,
+		Compiled:    res,
+		Directory:   mem,
+		Index:       idx,
+		KeyStore:    ks,
+		Endpoint:    ep,
+		VerifyPool:  pools.verify,
+		SignPool:    pools.sign,
+		Seed:        cfg.Workload.Seed,
+		Parallelism: cfg.Parallelism,
 	}.Build()
 	return node, pools, err
 }

@@ -58,6 +58,9 @@ type HashJoinConfig struct {
 	// Transport selects the cluster substrate ("", "mem" or "udp"); see
 	// core.NewNetwork.
 	Transport string
+	// Parallelism configures each node's engine fixpoint (0 sequential,
+	// >= 1 stratified parallel workers); results are identical.
+	Parallelism int
 }
 
 // DefaultHashJoinConfig returns the paper's workload parameters.
@@ -155,11 +158,12 @@ func RunHashJoin(cfg HashJoinConfig) (*HashJoinResult, error) {
 		return nil, err
 	}
 	c, err := core.NewCluster(core.ClusterConfig{
-		N:      cfg.N,
-		Policy: cfg.Policy,
-		Query:  HashJoinQuery,
-		Seed:   cfg.Seed,
-		Net:    net,
+		N:           cfg.N,
+		Policy:      cfg.Policy,
+		Query:       HashJoinQuery,
+		Seed:        cfg.Seed,
+		Net:         net,
+		Parallelism: cfg.Parallelism,
 	})
 	if err != nil {
 		return nil, err

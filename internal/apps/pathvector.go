@@ -70,6 +70,9 @@ type PathVectorConfig struct {
 	// in-process network, "udp" for real loopback sockets (see
 	// core.NewNetwork). The scenario and its results are identical.
 	Transport string
+	// Parallelism configures each node's engine fixpoint (0 sequential,
+	// >= 1 stratified parallel workers); results are identical.
+	Parallelism int
 }
 
 // PathVectorResult carries the metrics of one run (paper §8.1).
@@ -111,11 +114,12 @@ func RunPathVector(cfg PathVectorConfig) (*PathVectorResult, error) {
 		return nil, err
 	}
 	c, err := core.NewCluster(core.ClusterConfig{
-		N:      cfg.N,
-		Policy: cfg.Policy,
-		Query:  PathVectorQuery,
-		Seed:   cfg.Seed,
-		Net:    net,
+		N:           cfg.N,
+		Policy:      cfg.Policy,
+		Query:       PathVectorQuery,
+		Seed:        cfg.Seed,
+		Net:         net,
+		Parallelism: cfg.Parallelism,
 	})
 	if err != nil {
 		return nil, err

@@ -99,6 +99,10 @@ type NodeAssembly struct {
 	SignPool   *seccrypto.SignPool
 	// Seed drives deterministic UDF randomness.
 	Seed int64
+	// Parallelism selects the engine's fixpoint evaluator: 0 runs the
+	// classic sequential path, >= 1 the stratified parallel fixpoint with
+	// that many workers. Results are identical; see engine.Workspace.
+	Parallelism int
 	// TrustAll and GrantWriteAccess mirror ClusterConfig's directory
 	// pre-population switches.
 	TrustAll         bool
@@ -117,6 +121,7 @@ func (a NodeAssembly) Build() (*dist.Node, error) {
 	}
 	ws := engine.NewWorkspace(reg)
 	ws.EntityBase = int64(a.Index+1) << 40 // node-disjoint entity ids
+	ws.Parallelism = a.Parallelism
 	if err := ws.Install(a.Compiled.Program); err != nil {
 		return nil, fmt.Errorf("core: install on %s: %w", me.Principal, err)
 	}

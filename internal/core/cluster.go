@@ -42,6 +42,9 @@ type ClusterConfig struct {
 	// Net is the transport the cluster runs over. Nil means a fresh
 	// in-process MemNetwork. The cluster takes ownership: Stop closes it.
 	Net transport.Network
+	// Parallelism configures each node's engine fixpoint: 0 sequential,
+	// >= 1 stratified parallel evaluation with that many workers.
+	Parallelism int
 }
 
 // Cluster is a set of SecureBlox nodes over one network, plus the compiled
@@ -200,6 +203,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			VerifyPool:       c.pool,
 			SignPool:         c.spool,
 			Seed:             cfg.Seed,
+			Parallelism:      cfg.Parallelism,
 			TrustAll:         cfg.TrustAllPrincipals,
 			GrantWriteAccess: cfg.GrantWriteAccess,
 		}.Build()

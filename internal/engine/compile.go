@@ -43,6 +43,9 @@ type step struct {
 	keyCols   []int     // match on a functional predicate: [0..KeyArity)
 	useFn     bool      // match: all key columns bound → functional lookup
 	probeIdx  *colIndex // secondary index registered for boundCols
+	// cse marks a match against a memoized shared-subplan relation installed
+	// by common-subexpression elimination; evaluating it counts as a CSE hit.
+	cse bool
 }
 
 // headEx is a head-existential variable with its entity type.
@@ -69,6 +72,18 @@ type CompiledRule struct {
 	headRels    []*Relation
 	bodySlots   []int // slots of bodyVars, in the same (name-sorted) order
 	aggOverSlot int   // slot of agg.Over, -1 when absent
+
+	// bound carries the planner's bound-variable set between planRule and
+	// finalizeRule so Install can run cross-rule passes (CSE) on planned
+	// steps; finalizeRule clears it.
+	bound map[string]bool
+	// parSafe marks rules a fixpoint worker may evaluate concurrently:
+	// no head-existential entity creation, no UDF steps, no aggregation —
+	// their evaluation only reads relations, never touches shared state.
+	parSafe bool
+	// fcache is a frame reused by the single-threaded evaluation paths.
+	// Parallel workers keep disjoint per-worker frame pools instead.
+	fcache *frame
 }
 
 // String returns the source form of the rule.
@@ -494,8 +509,24 @@ func describeStep(s step) string {
 	}
 }
 
-// compileRule plans a rule for execution.
+// compileRule plans a rule for execution: normalize and order the body, then
+// fix the slot-addressed execution form. Install splits the two phases so
+// common-subexpression elimination can rewrite planned step lists in between.
 func (w *Workspace) compileRule(r *datalog.Rule) (*CompiledRule, error) {
+	cr, err := w.planRule(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.finalizeRule(cr); err != nil {
+		return nil, err
+	}
+	return cr, nil
+}
+
+// planRule normalizes a rule and orders its body into planned steps. The
+// returned rule carries the planner's bound-variable set (cr.bound) and has
+// no slot numbering yet — finalizeRule fixes the execution form.
+func (w *Workspace) planRule(r *datalog.Rule) (*CompiledRule, error) {
 	c := &compiler{w: w}
 	body, err := c.normalizeLiterals(r.Body)
 	if err != nil {
@@ -531,11 +562,17 @@ func (w *Workspace) compileRule(r *datalog.Rule) (*CompiledRule, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rule %s: %w", r, err)
 	}
+	return &CompiledRule{src: r, heads: heads, steps: steps, agg: r.Agg, aggOverSlot: -1, bound: bound}, nil
+}
 
+// finalizeRule compiles a planned rule's execution form: slot allocation,
+// access-path selection and index registration, head compilation, and
+// head-existential analysis.
+func (w *Workspace) finalizeRule(cr *CompiledRule) error {
+	r, heads, steps, bound := cr.src, cr.heads, cr.steps, cr.bound
 	sa := newSlotAlloc()
 	w.finalizeSteps(steps, sa)
 
-	cr := &CompiledRule{src: r, heads: heads, steps: steps, agg: r.Agg, aggOverSlot: -1}
 	for _, h := range heads {
 		cr.cheads = append(cr.cheads, sa.compileAtom(h))
 		cr.headRels = append(cr.headRels, w.ensureRelation(h.ConcreteName()))
@@ -562,7 +599,7 @@ func (w *Workspace) compileRule(r *datalog.Rule) (*CompiledRule, error) {
 		if bound[v] {
 			continue
 		}
-		if r.Agg != nil && v == r.Agg.Result {
+		if cr.agg != nil && v == cr.agg.Result {
 			continue
 		}
 		entType := ""
@@ -580,35 +617,44 @@ func (w *Workspace) compileRule(r *datalog.Rule) (*CompiledRule, error) {
 			}
 		}
 		if entType == "" {
-			return nil, fmt.Errorf("rule %s: head variable %s is unbound and has no entity type", r, v)
+			return fmt.Errorf("rule %s: head variable %s is unbound and has no entity type", r, v)
 		}
 		cr.exVars = append(cr.exVars, headEx{name: v, entType: entType, slot: sa.slot(v)})
 	}
 	sort.Slice(cr.exVars, func(i, j int) bool { return cr.exVars[i].name < cr.exVars[j].name })
 
-	if r.Agg != nil {
+	if cr.agg != nil {
 		if len(heads) != 1 || !heads[0].Functional() {
-			return nil, fmt.Errorf("rule %s: aggregation requires a single functional head", r)
+			return fmt.Errorf("rule %s: aggregation requires a single functional head", r)
 		}
-		if r.Agg.Over != "" && !bound[r.Agg.Over] {
-			return nil, fmt.Errorf("rule %s: aggregate variable %s not bound by body", r, r.Agg.Over)
+		if cr.agg.Over != "" && !bound[cr.agg.Over] {
+			return fmt.Errorf("rule %s: aggregate variable %s not bound by body", r, cr.agg.Over)
 		}
 		val, ok := heads[0].Args[heads[0].KeyArity].(datalog.Var)
-		if !ok || val.Name != r.Agg.Result {
-			return nil, fmt.Errorf("rule %s: aggregation head value must be the result variable %s", r, r.Agg.Result)
+		if !ok || val.Name != cr.agg.Result {
+			return fmt.Errorf("rule %s: aggregation head value must be the result variable %s", r, cr.agg.Result)
 		}
 		for i := 0; i < heads[0].KeyArity; i++ {
 			if v, ok := heads[0].Args[i].(datalog.Var); ok && !bound[v.Name] {
-				return nil, fmt.Errorf("rule %s: aggregation group key %s not bound by body", r, v.Name)
+				return fmt.Errorf("rule %s: aggregation group key %s not bound by body", r, v.Name)
 			}
 		}
-		if r.Agg.Over != "" {
-			cr.aggOverSlot = sa.slot(r.Agg.Over)
+		if cr.agg.Over != "" {
+			cr.aggOverSlot = sa.slot(cr.agg.Over)
 		}
 	}
 	cr.nSlots = len(sa.names)
 	cr.slotNames = sa.names
-	return cr, nil
+	cr.bound = nil
+	cr.parSafe = cr.agg == nil && len(cr.exVars) == 0
+	for i := range steps {
+		if steps[i].kind == stepUDF {
+			// UDFs may be stateful (crypto pools, entity minting); keep rules
+			// calling them on the single-threaded path.
+			cr.parSafe = false
+		}
+	}
+	return nil
 }
 
 // compileConstraint plans an integrity constraint. RHS atoms over builtin

@@ -1,0 +1,274 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"secureblox/internal/datalog"
+)
+
+// Common-subexpression elimination over planned rules. BloxGenerics
+// expansion stamps out families of rules that open with the same joins
+// (same predicates, same constants, same variable-sharing pattern); the
+// fixpoint then re-evaluates that shared join once per rule per round. This
+// pass detects maximal shared body prefixes across the rules of one Install
+// batch and rewrites each member to read a memoized intermediate relation
+// ("$cse<N>") that a single synthetic rule derives, so the shared subplan
+// runs once per round.
+//
+// A prefix is shareable when it consists only of match and comparison steps
+// (no negation, UDFs, or kind checks — those carry non-local semantics),
+// contains at least one match, and binds at least one variable. Signatures
+// canonicalize variable names by first occurrence, so "edge(X,Y), cost(Y,C)"
+// and "edge(A,B), cost(B,D)" share a subplan.
+
+// prefixEligible returns the number of leading steps usable in a shared
+// prefix.
+func prefixEligible(steps []step) int {
+	n := 0
+	for i := range steps {
+		if steps[i].kind != stepMatch && steps[i].kind != stepCmp {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// prefixVars returns the variables bound by steps[0:l] in first-binding
+// order — the column order of the memoized relation.
+func prefixVars(steps []step, l int) []string {
+	var vars []string
+	seen := map[string]bool{}
+	add := func(t datalog.Term) {
+		if v, ok := t.(datalog.Var); ok && !seen[v.Name] {
+			seen[v.Name] = true
+			vars = append(vars, v.Name)
+		}
+	}
+	for i := 0; i < l; i++ {
+		s := &steps[i]
+		switch s.kind {
+		case stepMatch:
+			for _, a := range s.atom.Args {
+				add(a)
+			}
+		case stepCmp:
+			if s.op == "=" {
+				add(s.l)
+				add(s.r)
+			}
+		}
+	}
+	return vars
+}
+
+// termSig appends a canonical encoding of a plain term: variables numbered
+// by first occurrence across the whole prefix, constants by their storage
+// key, one-level expressions structurally.
+func termSig(t datalog.Term, canon map[string]int, sb *strings.Builder) bool {
+	switch tt := t.(type) {
+	case datalog.Var:
+		id, ok := canon[tt.Name]
+		if !ok {
+			id = len(canon)
+			canon[tt.Name] = id
+		}
+		sb.WriteByte('v')
+		sb.WriteString(strconv.Itoa(id))
+	case datalog.Const:
+		sb.WriteByte('c')
+		sb.Write(tt.Val.AppendKey(nil))
+	case datalog.Wildcard:
+		sb.WriteByte('_')
+	case datalog.BinExpr:
+		sb.WriteByte('(')
+		if !termSig(tt.L, canon, sb) {
+			return false
+		}
+		sb.WriteString(tt.Op)
+		if !termSig(tt.R, canon, sb) {
+			return false
+		}
+		sb.WriteByte(')')
+	default:
+		return false
+	}
+	return true
+}
+
+// prefixSignature canonically encodes steps[0:l]. It returns "" when the
+// prefix is not worth sharing: no match step, no bound variable, or a term
+// shape the signature cannot encode.
+func prefixSignature(steps []step, l int) string {
+	var sb strings.Builder
+	canon := map[string]int{}
+	matches := 0
+	for i := 0; i < l; i++ {
+		s := &steps[i]
+		switch s.kind {
+		case stepMatch:
+			matches++
+			sb.WriteString("m|")
+			sb.WriteString(s.pred)
+			sb.WriteByte('|')
+			sb.WriteString(strconv.Itoa(s.atom.KeyArity))
+			sb.WriteByte('|')
+			for _, a := range s.atom.Args {
+				if !termSig(a, canon, &sb) {
+					return ""
+				}
+				sb.WriteByte(',')
+			}
+		case stepCmp:
+			sb.WriteString("x|")
+			sb.WriteString(s.op)
+			sb.WriteByte('|')
+			if !termSig(s.l, canon, &sb) {
+				return ""
+			}
+			sb.WriteByte(',')
+			if !termSig(s.r, canon, &sb) {
+				return ""
+			}
+		}
+		sb.WriteByte(';')
+	}
+	if matches == 0 || len(canon) == 0 {
+		return ""
+	}
+	return sb.String()
+}
+
+// stepLiteral reconstructs the source literal of a planned match/cmp step,
+// for the synthetic rule's diagnostic form.
+func stepLiteral(s *step) datalog.Literal {
+	if s.kind == stepMatch {
+		return datalog.Literal{Kind: datalog.LitAtom, Atom: s.atom}
+	}
+	return datalog.Literal{Kind: datalog.LitCmp, Op: s.op, L: s.l, R: s.r}
+}
+
+// eliminateCommonPrefixes rewrites the planned-but-unfinalized rules of one
+// Install batch, returning the batch with synthetic subplan rules prepended.
+// Longest prefixes win; each rule is rewritten at most once. Grouping and
+// rewrite order follow rule order in the batch, so compiled output — rule
+// ids, intermediate names, and therefore skolem entity identities — is
+// deterministic across processes.
+func (w *Workspace) eliminateCommonPrefixes(rules []*CompiledRule) []*CompiledRule {
+	maxL := 0
+	eligible := make(map[*CompiledRule]int)
+	for _, r := range rules {
+		if r.agg != nil {
+			continue
+		}
+		e := prefixEligible(r.steps)
+		// A shared prefix shorter than 2 steps is just a relation read;
+		// sharing it buys nothing and costs a materialization.
+		if e < 2 {
+			continue
+		}
+		eligible[r] = e
+		if e > maxL {
+			maxL = e
+		}
+	}
+	rewritten := make(map[*CompiledRule]bool)
+	var synthetic []*CompiledRule
+	for l := maxL; l >= 2; l-- {
+		groups := make(map[string][]*CompiledRule)
+		var order []string
+		for _, r := range rules {
+			if rewritten[r] || eligible[r] < l {
+				continue
+			}
+			sig := prefixSignature(r.steps, l)
+			if sig == "" {
+				continue
+			}
+			if groups[sig] == nil {
+				order = append(order, sig)
+			}
+			groups[sig] = append(groups[sig], r)
+		}
+		for _, sig := range order {
+			members := groups[sig]
+			if len(members) < 2 {
+				continue
+			}
+			syn := w.buildCSERule(members, l)
+			if syn == nil {
+				continue
+			}
+			for _, m := range members {
+				rewritten[m] = true
+			}
+			synthetic = append(synthetic, syn)
+		}
+	}
+	if len(synthetic) == 0 {
+		return rules
+	}
+	// Synthetic rules precede their members so Install's initial evaluation
+	// populates each memoized relation before any member first reads it.
+	return append(synthetic, rules...)
+}
+
+// buildCSERule creates the synthetic rule deriving the members' shared
+// prefix into a fresh intermediate relation and rewrites each member's
+// prefix into a single match against it. Returns nil (no rewrite) if the
+// group is unusable.
+func (w *Workspace) buildCSERule(members []*CompiledRule, l int) *CompiledRule {
+	varsPer := make([][]string, len(members))
+	for i, m := range members {
+		varsPer[i] = prefixVars(m.steps, l)
+		// Identical signatures imply identical binding patterns; anything
+		// else means the signature missed a distinction — refuse to rewrite.
+		if i > 0 && len(varsPer[i]) != len(varsPer[0]) {
+			return nil
+		}
+	}
+	first := members[0]
+	vars := varsPer[0]
+	if len(vars) == 0 {
+		return nil
+	}
+	name := fmt.Sprintf("$cse%d", w.cseN)
+	if _, err := w.cat.DeclareIntermediate(name, len(vars)); err != nil {
+		return nil
+	}
+	w.cseN++
+	w.ensureRelation(name)
+
+	headArgs := make([]datalog.Term, len(vars))
+	for i, v := range vars {
+		headArgs[i] = datalog.Var{Name: v}
+	}
+	head := &datalog.Atom{Pred: name, Args: headArgs, KeyArity: -1}
+	prefix := make([]step, l)
+	copy(prefix, first.steps[:l])
+	src := &datalog.Rule{Heads: []*datalog.Atom{head}}
+	for i := range prefix {
+		src.Body = append(src.Body, stepLiteral(&prefix[i]))
+	}
+	bound := make(map[string]bool, len(vars))
+	for _, v := range vars {
+		bound[v] = true
+	}
+	syn := &CompiledRule{src: src, heads: []*datalog.Atom{head}, steps: prefix, aggOverSlot: -1, bound: bound}
+
+	for i, m := range members {
+		args := make([]datalog.Term, len(varsPer[i]))
+		for j, v := range varsPer[i] {
+			args[j] = datalog.Var{Name: v}
+		}
+		matchAtom := &datalog.Atom{Pred: name, Args: args, KeyArity: -1}
+		ns := step{kind: stepMatch, pred: name, atom: matchAtom, cse: true}
+		// The memoized match binds every variable the old prefix bound, so
+		// the remaining steps' bound-column signatures stay valid. The
+		// member keeps its original source form for diagnostics.
+		m.steps = append([]step{ns}, m.steps[l:]...)
+	}
+	return syn
+}

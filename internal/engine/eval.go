@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"secureblox/internal/datalog"
+	"secureblox/internal/metrics"
 )
 
 // compare applies a comparison operator to two values.
@@ -39,10 +40,28 @@ type evalEnv struct {
 	deltaStep int // index of the step to restrict to delta (-1: none)
 	delta     map[string][]datalog.Tuple
 
+	// stats receives this evaluation's counter increments. Sequential
+	// evaluations point it at the workspace's counters; parallel workers point
+	// it at a per-worker struct merged under the single-writer commit, so the
+	// hot path stays free of atomics and data races alike.
+	stats *metrics.EngineStats
+
 	// deltaIdx is a projection index over the delta step's tuples on its
 	// bound-column signature, built lazily on the first probe of this
 	// evaluation so inner delta joins are O(1) probes instead of scans.
 	deltaIdx map[uint64][]datalog.Tuple
+	// scratch, when non-nil, is a reusable backing map for deltaIdx owned by
+	// the caller (workspace or worker). It is cleared and repopulated instead
+	// of reallocated, so fixpoint rounds stop rebuilding the index from nil.
+	scratch map[uint64][]datalog.Tuple
+}
+
+// reset reconfigures the env for another (rule, delta-step) evaluation while
+// keeping the reusable scratch map.
+func (e *evalEnv) reset(deltaStep int, delta map[string][]datalog.Tuple) {
+	e.deltaStep = deltaStep
+	e.delta = delta
+	e.deltaIdx = nil
 }
 
 // deltaCandidates iterates the delta tuples that may match the step under
@@ -54,7 +73,7 @@ func (e *evalEnv) deltaCandidates(s *step, f *frame, fn func(datalog.Tuple) bool
 		return
 	}
 	if len(s.boundCols) == 0 || e.w.DisableIndexes {
-		e.w.stats.LeadingScans++
+		e.stats.LeadingScans++
 		for _, t := range tuples {
 			if !fn(t) {
 				return
@@ -65,7 +84,7 @@ func (e *evalEnv) deltaCandidates(s *step, f *frame, fn func(datalog.Tuple) bool
 	var buf [8]datalog.Value
 	vals, ok := gatherCols(s.args, s.boundCols, f, buf[:0])
 	if !ok {
-		e.w.stats.FullScanFallbacks++
+		e.stats.FullScanFallbacks++
 		for _, t := range tuples {
 			if !fn(t) {
 				return
@@ -74,13 +93,20 @@ func (e *evalEnv) deltaCandidates(s *step, f *frame, fn func(datalog.Tuple) bool
 		return
 	}
 	if e.deltaIdx == nil {
-		e.deltaIdx = make(map[uint64][]datalog.Tuple, len(tuples))
+		idx := e.scratch
+		if idx == nil {
+			// No reusable backing: presize from the delta population.
+			idx = make(map[uint64][]datalog.Tuple, len(tuples))
+		} else {
+			clear(idx) // keep the bucket array, drop last evaluation's entries
+		}
 		for _, t := range tuples {
 			h := t.HashCols(s.boundCols)
-			e.deltaIdx[h] = append(e.deltaIdx[h], t)
+			idx[h] = append(idx[h], t)
 		}
+		e.deltaIdx = idx
 	}
-	e.w.stats.IndexProbes++
+	e.stats.IndexProbes++
 	for _, t := range e.deltaIdx[datalog.HashValues(vals)] {
 		if matchesCols(t, s.boundCols, vals) && !fn(t) {
 			return
@@ -93,13 +119,16 @@ func (e *evalEnv) deltaCandidates(s *step, f *frame, fn func(datalog.Tuple) bool
 // path: functional lookup, full-tuple membership, secondary index probe, or
 // — only when no column is bound — a leading relation scan.
 func (e *evalEnv) candidates(si int, s *step, f *frame, fn func(datalog.Tuple) bool) {
+	if s.cse {
+		e.stats.CSEHits++
+	}
 	if si == e.deltaStep {
 		e.deltaCandidates(s, f, fn)
 		return
 	}
 	rel := s.rel
 	if e.w.DisableIndexes {
-		e.w.stats.LeadingScans++
+		e.stats.LeadingScans++
 		rel.Each(fn)
 		return
 	}
@@ -107,46 +136,46 @@ func (e *evalEnv) candidates(si int, s *step, f *frame, fn func(datalog.Tuple) b
 		var buf [8]datalog.Value
 		keys, ok := gatherCols(s.args, s.keyCols, f, buf[:0])
 		if ok {
-			e.w.stats.IndexProbes++
+			e.stats.IndexProbes++
 			if t, found := rel.LookupFn(keys); found {
 				fn(t)
 			}
 			return
 		}
-		e.w.stats.FullScanFallbacks++
+		e.stats.FullScanFallbacks++
 		rel.Each(fn)
 		return
 	}
 	switch {
 	case len(s.boundCols) == 0:
-		e.w.stats.LeadingScans++
+		e.stats.LeadingScans++
 		rel.Each(fn)
 	case len(s.boundCols) == len(s.args):
 		var buf [8]datalog.Value
 		vals, ok := gatherCols(s.args, s.boundCols, f, buf[:0])
 		if !ok {
-			e.w.stats.FullScanFallbacks++
+			e.stats.FullScanFallbacks++
 			rel.Each(fn)
 			return
 		}
-		e.w.stats.IndexProbes++
+		e.stats.IndexProbes++
 		if rel.ContainsVals(vals) {
 			fn(datalog.Tuple(vals))
 		}
 	default:
 		if s.probeIdx == nil {
-			e.w.stats.FullScanFallbacks++
+			e.stats.FullScanFallbacks++
 			rel.Each(fn)
 			return
 		}
 		var buf [8]datalog.Value
 		vals, ok := gatherCols(s.args, s.boundCols, f, buf[:0])
 		if !ok {
-			e.w.stats.FullScanFallbacks++
+			e.stats.FullScanFallbacks++
 			rel.Each(fn)
 			return
 		}
-		e.w.stats.IndexProbes++
+		e.stats.IndexProbes++
 		rel.Probe(s.probeIdx, vals, fn)
 	}
 }
@@ -161,7 +190,7 @@ func (e *evalEnv) negHolds(s *step, f *frame) bool {
 		if len(s.boundCols) == len(s.args) {
 			var buf [8]datalog.Value
 			if vals, ok := gatherCols(s.args, s.boundCols, f, buf[:0]); ok {
-				e.w.stats.IndexProbes++
+				e.stats.IndexProbes++
 				return rel.ContainsVals(vals)
 			}
 		} else if len(s.boundCols) == 0 {
@@ -170,7 +199,7 @@ func (e *evalEnv) negHolds(s *step, f *frame) bool {
 		} else if s.probeIdx != nil {
 			var buf [8]datalog.Value
 			if vals, ok := gatherCols(s.args, s.boundCols, f, buf[:0]); ok {
-				e.w.stats.IndexProbes++
+				e.stats.IndexProbes++
 				return rel.ProbeExists(s.probeIdx, vals)
 			}
 		}
@@ -179,9 +208,9 @@ func (e *evalEnv) negHolds(s *step, f *frame) bool {
 	// the oracle mode is legitimate — an unplanned scan of a negation with
 	// bound columns must register as a fallback so the ==0 guards see it.
 	if e.w.DisableIndexes {
-		e.w.stats.LeadingScans++
+		e.stats.LeadingScans++
 	} else {
-		e.w.stats.FullScanFallbacks++
+		e.stats.FullScanFallbacks++
 	}
 	found := false
 	m := f.mark()

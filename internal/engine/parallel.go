@@ -1,0 +1,273 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"secureblox/internal/datalog"
+	"secureblox/internal/metrics"
+)
+
+// Parallel fixpoint evaluation. Each semi-naïve round walks the rule strata
+// level by level (see strata.go); within a level the strata are mutually
+// independent, so every applicable (rule, delta step, delta partition)
+// becomes a task on a worker pool. Workers only read relation storage —
+// Go map reads are safe under any number of concurrent readers as long as
+// nobody writes — and buffer the tuples they derive. After the wave the
+// calling goroutine alone merges the buffers through insertTxn, so the undo
+// log, functional-dependency checks, and secondary index maintenance all
+// stay single-writer and race-free.
+
+// minPartTuples is the smallest delta slice worth splitting: below twice
+// this, partitioning overhead beats the parallelism it buys.
+const minPartTuples = 16
+
+// derived is one head tuple produced by a worker, waiting for the
+// single-writer commit phase.
+type derived struct {
+	rule  *CompiledRule
+	hi    int
+	tuple datalog.Tuple
+}
+
+// workerCtx is one worker's private evaluation state: an eval env with its
+// own reusable delta-index scratch, a per-rule frame pool, the output
+// buffer, and local counters merged into the workspace when the pool stops.
+// No field is ever touched by two goroutines at the same time.
+type workerCtx struct {
+	env    evalEnv
+	stats  metrics.EngineStats
+	frames map[int]*frame
+	out    []derived
+	err    error
+}
+
+// evalTask evaluates one rule with one delta step restricted to one
+// partition of the delta tuples.
+type evalTask struct {
+	r         *CompiledRule
+	deltaStep int
+	delta     map[string][]datalog.Tuple
+}
+
+// parallelRun is the worker pool serving one fixpoint call.
+type parallelRun struct {
+	w     *Workspace
+	ctxs  []*workerCtx
+	tasks chan evalTask
+	wg    sync.WaitGroup
+}
+
+func newParallelRun(w *Workspace) *parallelRun {
+	n := w.Parallelism
+	if n < 1 {
+		n = 1
+	}
+	p := &parallelRun{w: w, tasks: make(chan evalTask, 4*n)}
+	for i := 0; i < n; i++ {
+		ctx := &workerCtx{frames: make(map[int]*frame)}
+		ctx.env = evalEnv{w: w, stats: &ctx.stats, scratch: make(map[uint64][]datalog.Tuple)}
+		p.ctxs = append(p.ctxs, ctx)
+		go p.worker(ctx)
+	}
+	return p
+}
+
+// stop shuts the pool down and folds the workers' counters into the
+// workspace. Safe to call only after the last wave's wg.Wait returned (the
+// wait synchronizes the workers' final counter writes with this read).
+func (p *parallelRun) stop() {
+	close(p.tasks)
+	for _, ctx := range p.ctxs {
+		p.w.stats = p.w.stats.Add(ctx.stats)
+	}
+}
+
+func (p *parallelRun) worker(ctx *workerCtx) {
+	for task := range p.tasks {
+		p.exec(ctx, task)
+		p.wg.Done()
+	}
+}
+
+func (p *parallelRun) exec(ctx *workerCtx, task evalTask) {
+	if ctx.err != nil {
+		return // wave already failed; drain remaining tasks cheaply
+	}
+	metrics.EngineWorkersAdd(1)
+	defer metrics.EngineWorkersAdd(-1)
+	r := task.r
+	f := ctx.frames[r.id]
+	if f == nil {
+		f = newFrame(r.nSlots, r.slotNames)
+		ctx.frames[r.id] = f
+	}
+	e := &ctx.env
+	e.reset(task.deltaStep, task.delta)
+	if err := e.runSteps(r.steps, 0, f, func(f *frame) error { return ctx.emit(r, f) }); err != nil {
+		ctx.err = err
+	}
+}
+
+// emit buffers the head tuples of one complete body binding. Probing
+// headRels here is a read of pre-wave state — it filters the bulk of
+// rederivations early; the commit phase deduplicates the rest.
+func (ctx *workerCtx) emit(r *CompiledRule, f *frame) error {
+	for hi := range r.heads {
+		var buf [8]datalog.Value
+		vals := buf[:0]
+		cargs := r.cheads[hi]
+		for i := range cargs {
+			v, err := evalCterm(&cargs[i], f)
+			if err != nil {
+				return fmt.Errorf("rule %s: head %s: %w", r.src, r.heads[hi], err)
+			}
+			vals = append(vals, v)
+		}
+		if r.headRels[hi].ContainsVals(vals) {
+			continue
+		}
+		ctx.out = append(ctx.out, derived{rule: r, hi: hi, tuple: append(datalog.Tuple(nil), vals...)})
+	}
+	return nil
+}
+
+// runWave evaluates a batch of independent tasks to completion, then merges
+// every worker's derivations into relation storage on the calling goroutine.
+func (p *parallelRun) runWave(t *txn, tasks []evalTask, next map[string][]datalog.Tuple) error {
+	p.wg.Add(len(tasks))
+	for _, task := range tasks {
+		p.tasks <- task
+	}
+	p.wg.Wait()
+	for _, ctx := range p.ctxs {
+		if ctx.err != nil {
+			return ctx.err
+		}
+	}
+	for _, ctx := range p.ctxs {
+		for _, d := range ctx.out {
+			pred := d.rule.heads[d.hi].ConcreteName()
+			isNew, err := p.w.insertTxn(t, pred, d.tuple, false)
+			if err != nil {
+				return err
+			}
+			if isNew {
+				next[pred] = append(next[pred], d.tuple)
+			}
+		}
+		ctx.out = ctx.out[:0]
+	}
+	return nil
+}
+
+// partitionByHash splits delta tuples into disjoint hash-range buckets, one
+// task per bucket, so workers never derive from overlapping inputs. Small
+// deltas stay whole.
+func partitionByHash(tuples []datalog.Tuple, parts int) [][]datalog.Tuple {
+	if parts <= 1 || len(tuples) < 2*minPartTuples {
+		return [][]datalog.Tuple{tuples}
+	}
+	out := make([][]datalog.Tuple, parts)
+	for _, t := range tuples {
+		b := int(t.Hash() % uint64(parts))
+		out[b] = append(out[b], t)
+	}
+	res := out[:0]
+	for _, b := range out {
+		if len(b) > 0 {
+			res = append(res, b)
+		}
+	}
+	return res
+}
+
+// fixpointParallel is the stratified multi-worker fixpoint. Rules that mint
+// entities, call UDFs, or aggregate are not parSafe; they run on the classic
+// single-threaded path after their level's parallel wave commits, preserving
+// their sequential semantics.
+func (w *Workspace) fixpointParallel(t *txn, delta map[string][]datalog.Tuple) error {
+	run := newParallelRun(w)
+	defer run.stop()
+	nParts := w.Parallelism
+	if nParts < 1 {
+		nParts = 1
+	}
+	var tasks []evalTask
+	for len(delta) > 0 {
+		w.stats.FixpointRounds++
+		next := make(map[string][]datalog.Tuple)
+		applicable := make(map[int]bool)
+		var aggList []*CompiledRule
+		seenAgg := make(map[int]bool)
+		for pred := range delta {
+			for _, r := range w.rulesByBody[pred] {
+				applicable[r.id] = true
+			}
+			for _, r := range w.aggByBody[pred] {
+				if !seenAgg[r.id] {
+					seenAgg[r.id] = true
+					aggList = append(aggList, r)
+				}
+			}
+		}
+		for _, wave := range w.waves {
+			tasks = tasks[:0]
+			var seqRules []*CompiledRule
+			for _, si := range wave {
+				st := &w.strata[si]
+				hasWork := false
+				for _, r := range st.rules {
+					if !applicable[r.id] {
+						continue
+					}
+					hasWork = true
+					if !r.parSafe {
+						seqRules = append(seqRules, r)
+						continue
+					}
+					for _, j := range r.deltaIdx {
+						tuples := delta[r.steps[j].pred]
+						if tuples == nil {
+							continue
+						}
+						for _, part := range partitionByHash(tuples, nParts) {
+							tasks = append(tasks, evalTask{
+								r:         r,
+								deltaStep: j,
+								delta:     map[string][]datalog.Tuple{r.steps[j].pred: part},
+							})
+						}
+					}
+				}
+				if hasWork {
+					w.stats.StrataEvaluated++
+				}
+			}
+			if len(tasks) > 0 {
+				if err := run.runWave(t, tasks, next); err != nil {
+					return err
+				}
+			}
+			for _, r := range seqRules {
+				for _, j := range r.deltaIdx {
+					if delta[r.steps[j].pred] == nil {
+						continue
+					}
+					if err := w.evalRuleInto(t, r, j, delta, next); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		sort.Slice(aggList, func(i, j int) bool { return aggList[i].id < aggList[j].id })
+		for _, r := range aggList {
+			if err := w.recomputeAgg(t, r, next); err != nil {
+				return err
+			}
+		}
+		delta = next
+	}
+	return nil
+}

@@ -42,6 +42,13 @@ func colKey(cols []int) string {
 // hash (collision buckets verified by equality), a functional-dependency
 // index for p[k]=v predicates, and any number of secondary hash indexes over
 // column sets requested by compiled join plans.
+//
+// Concurrency contract: the read paths (Contains, ContainsVals, LookupFn,
+// Probe, ProbeExists, Each, Len, Tuples) are safe for any number of
+// concurrent readers provided no goroutine writes. The parallel fixpoint
+// relies on this — workers only read during a wave, and all writes (Insert,
+// Delete, EnsureIndex) happen on the single committing goroutine between
+// waves. EnsureIndex is additionally restricted to compile time.
 type Relation struct {
 	schema  *Schema
 	tuples  map[uint64][]tupleEntry

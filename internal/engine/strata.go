@@ -1,0 +1,173 @@
+package engine
+
+import "sort"
+
+// stratum is one strongly connected component of the rule dependency graph.
+// Rules inside a stratum are mutually recursive; strata are ordered by
+// condensation level so a rule's dependencies always evaluate in an earlier
+// (or the same) wave. Strata sharing a level cannot depend on each other —
+// the parallel fixpoint evaluates a whole level as one concurrent wave.
+type stratum struct {
+	rules []*CompiledRule // ascending rule id
+	level int             // longest dependency chain below this stratum
+}
+
+// computeStrata rebuilds the rule-level SCC stratification from the current
+// rule set. Rule A depends on rule B when A's body reads — positively or
+// under negation — a predicate B derives (head predicates and the entity
+// types B mints for head-existential variables). Aggregation rules stay
+// outside the strata: the fixpoint recomputes them after every round, as the
+// sequential path does.
+func (w *Workspace) computeStrata() {
+	rules := w.rules
+	w.strata = nil
+	w.waves = nil
+	n := len(rules)
+	if n == 0 {
+		return
+	}
+	byHead := make(map[string][]int)
+	for i, r := range rules {
+		for _, h := range r.heads {
+			p := h.ConcreteName()
+			byHead[p] = append(byHead[p], i)
+		}
+		for _, ex := range r.exVars {
+			byHead[ex.entType] = append(byHead[ex.entType], i)
+		}
+	}
+	adj := make([][]int, n)
+	for i, r := range rules {
+		seen := map[int]bool{}
+		for si := range r.steps {
+			s := &r.steps[si]
+			if s.kind != stepMatch && s.kind != stepNeg {
+				continue
+			}
+			for _, j := range byHead[s.pred] {
+				if !seen[j] {
+					seen[j] = true
+					adj[i] = append(adj[i], j)
+				}
+			}
+		}
+	}
+
+	// Iterative Tarjan SCC. Components come out in reverse topological order
+	// of the condensation: every dependency of a component has a smaller
+	// component id.
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	comp := make([]int, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var stack []int
+	idx, nComp := 0, 0
+	type sccFrame struct{ v, ei int }
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		index[root], low[root] = idx, idx
+		idx++
+		stack = append(stack, root)
+		onStack[root] = true
+		call := []sccFrame{{root, 0}}
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			if f.ei < len(adj[f.v]) {
+				u := adj[f.v][f.ei]
+				f.ei++
+				if index[u] == unvisited {
+					index[u], low[u] = idx, idx
+					idx++
+					stack = append(stack, u)
+					onStack[u] = true
+					call = append(call, sccFrame{u, 0})
+				} else if onStack[u] && index[u] < low[f.v] {
+					low[f.v] = index[u]
+				}
+				continue
+			}
+			v := f.v
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				p := call[len(call)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					u := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[u] = false
+					comp[u] = nComp
+					if u == v {
+						break
+					}
+				}
+				nComp++
+			}
+		}
+	}
+
+	// Condensation levels: dependencies have smaller component ids, so one
+	// ascending pass fixes level(C) = 1 + max level over C's dependencies.
+	compRules := make([][]int, nComp)
+	for i, c := range comp {
+		compRules[c] = append(compRules[c], i)
+	}
+	level := make([]int, nComp)
+	for c := 0; c < nComp; c++ {
+		for _, i := range compRules[c] {
+			for _, j := range adj[i] {
+				if comp[j] != c && level[comp[j]]+1 > level[c] {
+					level[c] = level[comp[j]] + 1
+				}
+			}
+		}
+	}
+
+	maxLevel := 0
+	for c := 0; c < nComp; c++ {
+		st := stratum{level: level[c]}
+		for _, i := range compRules[c] {
+			st.rules = append(st.rules, rules[i])
+		}
+		sort.Slice(st.rules, func(a, b int) bool { return st.rules[a].id < st.rules[b].id })
+		w.strata = append(w.strata, st)
+		if level[c] > maxLevel {
+			maxLevel = level[c]
+		}
+	}
+	sort.Slice(w.strata, func(a, b int) bool {
+		if w.strata[a].level != w.strata[b].level {
+			return w.strata[a].level < w.strata[b].level
+		}
+		return w.strata[a].rules[0].id < w.strata[b].rules[0].id
+	})
+	w.waves = make([][]int, maxLevel+1)
+	for si := range w.strata {
+		l := w.strata[si].level
+		w.waves[l] = append(w.waves[l], si)
+	}
+}
+
+// StrataInfo returns the computed stratification as rule source strings per
+// stratum, in evaluation order — for tests and diagnostics.
+func (w *Workspace) StrataInfo() [][]string {
+	out := make([][]string, 0, len(w.strata))
+	for _, st := range w.strata {
+		var srcs []string
+		for _, r := range st.rules {
+			srcs = append(srcs, r.src.String())
+		}
+		out = append(out, srcs)
+	}
+	return out
+}

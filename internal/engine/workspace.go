@@ -78,6 +78,17 @@ type Workspace struct {
 	aggByBody   map[string][]*CompiledRule
 	rulesByHead map[string][]*CompiledRule
 
+	// strata is the rule-level SCC stratification (see strata.go); waves
+	// groups strata by condensation level for the parallel fixpoint.
+	strata []stratum
+	waves  [][]int
+	// cseN numbers the "$cse<N>" intermediate predicates minted by
+	// common-subexpression elimination.
+	cseN int
+	// seqEnv is the evaluation env reused by every single-threaded
+	// evaluation path, so fixpoint rounds stop reallocating delta indexes.
+	seqEnv evalEnv
+
 	// Unstratified holds diagnostics for rules whose negation or
 	// aggregation is cyclic through their own head (evaluated against
 	// current state, as in pipelined declarative networking engines).
@@ -93,6 +104,12 @@ type Workspace struct {
 	// bypassing functional, secondary and delta indexes. Differential tests
 	// use it as the oracle evaluation mode; it must never change results.
 	DisableIndexes bool
+	// Parallelism selects the fixpoint evaluator: 0 (the default) is the
+	// classic sequential path; >= 1 enables the stratified parallel fixpoint
+	// with that many workers (1 exercises the parallel machinery without
+	// concurrency — useful as a differential oracle). Results are identical
+	// either way; only evaluation order inside a round changes.
+	Parallelism int
 
 	stats     metrics.EngineStats // cumulative evaluator counters
 	published metrics.EngineStats // portion already pushed to metrics globals
@@ -127,10 +144,27 @@ func NewWorkspace(udfs *UDFRegistry) *Workspace {
 		aggByBody:   make(map[string][]*CompiledRule),
 		rulesByHead: make(map[string][]*CompiledRule),
 	}
+	w.seqEnv = evalEnv{w: w, stats: &w.stats, scratch: make(map[uint64][]datalog.Tuple)}
 	for name := range w.cat.schemas {
 		w.ensureRelation(name)
 	}
 	return w
+}
+
+// seqEnvFor reconfigures the workspace's pooled sequential env. Callers must
+// not nest two seqEnvFor evaluations (constraint checking, which nests LHS
+// and RHS evaluation, builds its own envs).
+func (w *Workspace) seqEnvFor(deltaStep int, delta map[string][]datalog.Tuple) *evalEnv {
+	w.seqEnv.reset(deltaStep, delta)
+	return &w.seqEnv
+}
+
+// seqFrame returns the rule's cached frame for single-threaded evaluation.
+func (r *CompiledRule) seqFrame() *frame {
+	if r.fcache == nil {
+		r.fcache = newFrame(r.nSlots, r.slotNames)
+	}
+	return r.fcache
 }
 
 // Catalog exposes the workspace's predicate catalog.
@@ -179,9 +213,13 @@ func (w *Workspace) Install(prog *datalog.Program) error {
 			w.ensureRelation(con.Lhs[0].Atom.ConcreteName())
 		}
 	}
+	// Plan and type-check every rule first, then run common-subexpression
+	// elimination over the planned batch (it may prepend synthetic subplan
+	// rules), and only then fix execution forms and assign ids — so compiled
+	// output is identical no matter how the program text interleaves rules.
 	var newRules []*CompiledRule
 	for _, r := range prog.Rules {
-		cr, err := w.compileRule(r)
+		cr, err := w.planRule(r)
 		if err != nil {
 			restore()
 			return err
@@ -190,9 +228,16 @@ func (w *Workspace) Install(prog *datalog.Program) error {
 			restore()
 			return err
 		}
+		newRules = append(newRules, cr)
+	}
+	newRules = w.eliminateCommonPrefixes(newRules)
+	for _, cr := range newRules {
+		if err := w.finalizeRule(cr); err != nil {
+			restore()
+			return err
+		}
 		cr.id = w.ruleN
 		w.ruleN++
-		newRules = append(newRules, cr)
 		if cr.agg != nil {
 			w.aggRules = append(w.aggRules, cr)
 		} else {
@@ -299,6 +344,7 @@ func (w *Workspace) rebuildIndexes() {
 			}
 		}
 	}
+	w.computeStrata()
 }
 
 // checkStratification detects negation or aggregation through a recursive
@@ -438,8 +484,8 @@ func (w *Workspace) rollback(t *txn) {
 // evalRuleInto evaluates one non-aggregate rule (deltaStep -1 = full
 // evaluation) and inserts derivations, extending next with new tuples.
 func (w *Workspace) evalRuleInto(t *txn, r *CompiledRule, deltaStep int, delta, next map[string][]datalog.Tuple) error {
-	env := &evalEnv{w: w, deltaStep: deltaStep, delta: delta}
-	f := newFrame(r.nSlots, r.slotNames)
+	env := w.seqEnvFor(deltaStep, delta)
+	f := r.seqFrame()
 	return env.runSteps(r.steps, 0, f, func(f *frame) error {
 		return w.derive(t, r, f, next)
 	})
@@ -536,8 +582,8 @@ func (w *Workspace) recomputeAgg(t *txn, r *CompiledRule, next map[string][]data
 	}
 	groups := make(map[string]*group)
 
-	env := &evalEnv{w: w, deltaStep: -1}
-	f := newFrame(r.nSlots, r.slotNames)
+	env := w.seqEnvFor(-1, nil)
+	f := r.seqFrame()
 	err := env.runSteps(r.steps, 0, f, func(f *frame) error {
 		keys := make(datalog.Tuple, keyN)
 		for i := 0; i < keyN; i++ {
@@ -617,7 +663,12 @@ func (w *Workspace) recomputeAgg(t *txn, r *CompiledRule, next map[string][]data
 }
 
 // fixpoint runs semi-naïve evaluation to quiescence starting from delta.
+// With Parallelism enabled it dispatches to the stratified multi-worker
+// evaluator (parallel.go); both produce the same fixpoint.
 func (w *Workspace) fixpoint(t *txn, delta map[string][]datalog.Tuple) error {
+	if w.Parallelism >= 1 {
+		return w.fixpointParallel(t, delta)
+	}
 	for len(delta) > 0 {
 		w.stats.FixpointRounds++
 		next := make(map[string][]datalog.Tuple)
@@ -679,7 +730,9 @@ func (w *Workspace) checkTxnConstraints(t *txn) error {
 var errSatisfied = fmt.Errorf("satisfied")
 
 func (w *Workspace) checkConstraintDelta(c *CompiledConstraint, deltaStep int, delta map[string][]datalog.Tuple) error {
-	env := &evalEnv{w: w, deltaStep: deltaStep, delta: delta}
+	// Constraint checking nests LHS and RHS evaluation, so it cannot share
+	// the pooled sequential env.
+	env := &evalEnv{w: w, deltaStep: deltaStep, delta: delta, stats: &w.stats}
 	f := newFrame(c.nSlots, c.slotNames)
 	return env.runSteps(c.lhsSteps, 0, f, func(f *frame) error {
 		ok, err := w.rhsSatisfiable(c, f)
@@ -697,7 +750,7 @@ func (w *Workspace) rhsSatisfiable(c *CompiledConstraint, f *frame) (bool, error
 	if len(c.rhsSteps) == 0 {
 		return true, nil
 	}
-	env := &evalEnv{w: w, deltaStep: -1}
+	env := &evalEnv{w: w, deltaStep: -1, stats: &w.stats}
 	err := env.runSteps(c.rhsSteps, 0, f, func(*frame) error { return errSatisfied })
 	if err == errSatisfied {
 		return true, nil
@@ -730,7 +783,7 @@ func bindingDetail(f *frame) string {
 // checkAllConstraints verifies every constraint over the full database.
 func (w *Workspace) checkAllConstraints() error {
 	for _, c := range w.constraints {
-		env := &evalEnv{w: w, deltaStep: -1}
+		env := &evalEnv{w: w, deltaStep: -1, stats: &w.stats}
 		f := newFrame(c.nSlots, c.slotNames)
 		err := env.runSteps(c.lhsSteps, 0, f, func(f *frame) error {
 			ok, err := w.rhsSatisfiable(c, f)
@@ -844,8 +897,8 @@ func (w *Workspace) Retract(facts []Fact) error {
 					if r.steps[j].pred != pred {
 						continue
 					}
-					env := &evalEnv{w: w, deltaStep: j, delta: frontier}
-					f := newFrame(r.nSlots, r.slotNames)
+					env := w.seqEnvFor(j, frontier)
+					f := r.seqFrame()
 					err := env.runSteps(r.steps, 0, f, func(f *frame) error {
 						return w.collectHeadDeletions(r, f, addDel, next)
 					})
@@ -975,8 +1028,8 @@ func (w *Workspace) retractAggGroups(t *txn, r *CompiledRule) error {
 	// Groups without any remaining contribution: recomputeAgg never touches
 	// them, so compare against a fresh body evaluation.
 	alive := make(map[string]bool)
-	env := &evalEnv{w: w, deltaStep: -1}
-	f := newFrame(r.nSlots, r.slotNames)
+	env := w.seqEnvFor(-1, nil)
+	f := r.seqFrame()
 	err := env.runSteps(r.steps, 0, f, func(f *frame) error {
 		keys := make(datalog.Tuple, head.KeyArity)
 		for i := 0; i < head.KeyArity; i++ {

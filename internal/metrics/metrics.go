@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"secureblox/internal/obs"
@@ -194,6 +195,8 @@ type EngineStats struct {
 	LeadingScans      int64 // full scans with no bound column (legitimate outer loops)
 	FullScanFallbacks int64 // scans despite bound columns — should stay 0
 	FixpointRounds    int64 // semi-naïve rounds across all fixpoints
+	StrataEvaluated   int64 // rule strata evaluated by the parallel fixpoint
+	CSEHits           int64 // join steps answered from a memoized shared-subplan relation
 }
 
 // Sub returns s - o, component-wise (for before/after deltas).
@@ -203,6 +206,8 @@ func (s EngineStats) Sub(o EngineStats) EngineStats {
 		LeadingScans:      s.LeadingScans - o.LeadingScans,
 		FullScanFallbacks: s.FullScanFallbacks - o.FullScanFallbacks,
 		FixpointRounds:    s.FixpointRounds - o.FixpointRounds,
+		StrataEvaluated:   s.StrataEvaluated - o.StrataEvaluated,
+		CSEHits:           s.CSEHits - o.CSEHits,
 	}
 }
 
@@ -213,13 +218,15 @@ func (s EngineStats) Add(o EngineStats) EngineStats {
 		LeadingScans:      s.LeadingScans + o.LeadingScans,
 		FullScanFallbacks: s.FullScanFallbacks + o.FullScanFallbacks,
 		FixpointRounds:    s.FixpointRounds + o.FixpointRounds,
+		StrataEvaluated:   s.StrataEvaluated + o.StrataEvaluated,
+		CSEHits:           s.CSEHits + o.CSEHits,
 	}
 }
 
 // String renders the counters compactly for benchmark logs.
 func (s EngineStats) String() string {
-	return fmt.Sprintf("probes=%d leading-scans=%d fallback-scans=%d rounds=%d",
-		s.IndexProbes, s.LeadingScans, s.FullScanFallbacks, s.FixpointRounds)
+	return fmt.Sprintf("probes=%d leading-scans=%d fallback-scans=%d rounds=%d strata=%d cse-hits=%d",
+		s.IndexProbes, s.LeadingScans, s.FullScanFallbacks, s.FixpointRounds, s.StrataEvaluated, s.CSEHits)
 }
 
 var (
@@ -248,7 +255,23 @@ func EngineAccumulate(d EngineStats) {
 	if d.FixpointRounds != 0 {
 		r.Counter("sbx_engine_fixpoint_rounds_total", nil).Add(d.FixpointRounds)
 	}
+	if d.StrataEvaluated != 0 {
+		r.Counter("sbx_engine_strata_total", nil).Add(d.StrataEvaluated)
+	}
+	if d.CSEHits != 0 {
+		r.Counter("sbx_engine_cse_hits_total", nil).Add(d.CSEHits)
+	}
 }
+
+// engineWorkersBusy tracks how many fixpoint worker goroutines are currently
+// executing an evaluation task, across every workspace in the process. The
+// engine updates it directly (not through EngineStats) because it is a level,
+// not a monotone count.
+var engineWorkersBusy atomic.Int64
+
+// EngineWorkersAdd moves the busy-worker gauge by delta (+1 on task start,
+// -1 on task end).
+func EngineWorkersAdd(delta int64) { engineWorkersBusy.Add(delta) }
 
 func init() {
 	r := obs.Default()
@@ -256,12 +279,20 @@ func init() {
 	r.Help("sbx_engine_leading_scans_total", "Full scans with no bound column (legitimate outer loops).")
 	r.Help("sbx_engine_fullscan_fallbacks_total", "Scans forced despite bound columns — should stay 0.")
 	r.Help("sbx_engine_fixpoint_rounds_total", "Semi-naïve rounds across all fixpoints.")
+	r.Help("sbx_engine_strata_total", "Rule strata evaluated by the parallel fixpoint.")
+	r.Help("sbx_engine_cse_hits_total", "Join steps answered from a memoized shared-subplan relation.")
+	r.Help("sbx_engine_workers_busy", "Fixpoint worker goroutines currently executing a task.")
 	// Register at zero so /metrics shows the engine family even before the
 	// first transaction.
 	r.Counter("sbx_engine_index_probes_total", nil)
 	r.Counter("sbx_engine_leading_scans_total", nil)
 	r.Counter("sbx_engine_fullscan_fallbacks_total", nil)
 	r.Counter("sbx_engine_fixpoint_rounds_total", nil)
+	r.Counter("sbx_engine_strata_total", nil)
+	r.Counter("sbx_engine_cse_hits_total", nil)
+	r.GaugeFunc("sbx_engine_workers_busy", nil, func() float64 {
+		return float64(engineWorkersBusy.Load())
+	})
 }
 
 // EngineTotals returns the process-wide evaluator counters.

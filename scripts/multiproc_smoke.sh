@@ -18,6 +18,7 @@ cat > "$work/cluster.json" <<EOF
 {
   "cluster": "ci-pv3",
   "policy": "RSA",
+  "parallelism": 2,
   "workload": {"name": "pathvector", "seed": 42, "degree": 3},
   "bootstrap_timeout": "60s",
   "nodes": [
@@ -60,10 +61,16 @@ wait "$scraper" 2>/dev/null || true
 
 [ -s "$work/metrics.out" ] || { echo "FAIL: never scraped /metrics from the live p0 process"; exit 1; }
 # An RSA pathvector run must show transactions, engine work, RSA
-# signatures and shipped bytes on the scraped node.
-for series in sbx_txns_total sbx_engine_index_probes_total sbx_rsa_sign_ops_total sbx_bytes_sent_total; do
+# signatures and shipped bytes on the scraped node; with "parallelism": 2
+# in the config the stratified parallel evaluator must also report strata.
+for series in sbx_txns_total sbx_engine_index_probes_total sbx_rsa_sign_ops_total sbx_bytes_sent_total sbx_engine_strata_total; do
     val=$(awk -v s="$series" '$1 ~ "^"s && $1 !~ /^#/ { sum += $NF } END { print sum+0 }' "$work/metrics.out")
     [ "$val" -gt 0 ] || { echo "FAIL: /metrics series $series is $val, want > 0"; cat "$work/metrics.out"; exit 1; }
+done
+# The parallel-evaluator series must at least be present (workers are idle
+# between fixpoints, and CSE only fires on shared body prefixes).
+for series in sbx_engine_workers_busy sbx_engine_cse_hits_total; do
+    grep -q "^$series" "$work/metrics.out" || { echo "FAIL: /metrics lacks $series"; exit 1; }
 done
 # The UDP reliability counters must at least be present (zero is fine on
 # a healthy loopback).
