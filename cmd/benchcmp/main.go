@@ -1,0 +1,49 @@
+// Command benchcmp compares two BENCH_*.json reports (see cmd/benchjson)
+// cell by cell and exits nonzero when any metric of a shared (scheme, n)
+// cell regressed by more than the threshold. Counter metrics (sign ops,
+// bytes, transactions, fixpoint rounds) always participate; wall-clock
+// metrics only with -timing, since they are not comparable across machines.
+//
+// Usage:
+//
+//	benchcmp [-threshold 0.15] [-timing] baseline.json current.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"secureblox/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	threshold := flag.Float64("threshold", 0.15, "relative regression budget (0.15 = 15%)")
+	timing := flag.Bool("timing", false, "also gate wall-clock metrics (same-machine comparisons only)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-threshold 0.15] [-timing] baseline.json current.json")
+		os.Exit(2)
+	}
+	base, err := obs.ReadBenchJSON(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cur, err := obs.ReadBenchJSON(flag.Arg(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	deltas := obs.CompareBench(base, cur, *threshold, *timing)
+	for _, d := range deltas {
+		fmt.Printf("REGRESSION %s\n", d)
+	}
+	if len(deltas) > 0 {
+		fmt.Printf("benchcmp: %d regressed cell metric(s) beyond %.0f%% (%s vs %s)\n",
+			len(deltas), *threshold*100, flag.Arg(0), flag.Arg(1))
+		os.Exit(1)
+	}
+	fmt.Printf("benchcmp: ok, no cell regressed beyond %.0f%% (%s vs %s)\n",
+		*threshold*100, flag.Arg(0), flag.Arg(1))
+}

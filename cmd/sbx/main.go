@@ -3,9 +3,16 @@
 // result into a local workspace, and dumps the derived database. With
 // -emit it prints the generated concrete program instead of running it.
 //
+// The vet subcommand runs the static analyzer (internal/analysis) instead
+// of the engine: it prints safety, stratification, dead-rule, and
+// co-partitioning findings with source positions and exits nonzero when any
+// error-class finding is reported.
+//
 // Usage:
 //
 //	sbx [-p policy.blox]... [-emit] [-dump pred1,pred2] query.dlb
+//	sbx vet [-p policy.blox]... query.dlb...
+//	sbx vet -builtin
 package main
 
 import (
@@ -16,6 +23,10 @@ import (
 	"sort"
 	"strings"
 
+	"secureblox/internal/analysis"
+	"secureblox/internal/apps"
+	"secureblox/internal/core"
+	"secureblox/internal/datalog"
 	"secureblox/internal/engine"
 	"secureblox/internal/generics"
 	"secureblox/internal/seccrypto"
@@ -29,33 +40,46 @@ func (p *policyList) Set(v string) error { *p = append(*p, v); return nil }
 
 func main() {
 	log.SetFlags(0)
-	var policies policyList
-	flag.Var(&policies, "p", "BloxGenerics policy file (repeatable)")
-	emit := flag.Bool("emit", false, "print the compiled concrete program and exit")
-	dump := flag.String("dump", "", "comma-separated predicates to print (default: all non-empty)")
-	self := flag.String("self", "local", "local principal name")
-	flag.Parse()
-
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: sbx [-p policy.blox]... [-emit] [-dump preds] query.dlb")
-		os.Exit(2)
+	if len(os.Args) > 1 && os.Args[1] == "vet" {
+		os.Exit(runVet(os.Args[2:]))
 	}
-	querySrc, err := os.ReadFile(flag.Arg(0))
+	runQuery(os.Args[1:])
+}
+
+// compileFile compiles one query file together with the given policy files.
+func compileFile(policies []string, queryFile string) (*generics.Result, error) {
+	querySrc, err := os.ReadFile(queryFile)
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
-
 	gc := generics.NewCompiler()
 	for _, pf := range policies {
 		src, err := os.ReadFile(pf)
 		if err != nil {
-			log.Fatal(err)
+			return nil, err
 		}
 		if err := gc.AddPolicy(string(src)); err != nil {
-			log.Fatalf("%s: %v", pf, err)
+			return nil, fmt.Errorf("%s: %w", pf, err)
 		}
 	}
-	res, err := gc.Compile(string(querySrc))
+	return gc.Compile(string(querySrc))
+}
+
+// runQuery is the classic compile-install-dump mode.
+func runQuery(args []string) {
+	fs := flag.NewFlagSet("sbx", flag.ExitOnError)
+	var policies policyList
+	fs.Var(&policies, "p", "BloxGenerics policy file (repeatable)")
+	emit := fs.Bool("emit", false, "print the compiled concrete program and exit")
+	dump := fs.String("dump", "", "comma-separated predicates to print (default: all non-empty)")
+	self := fs.String("self", "local", "local principal name")
+	fs.Parse(args)
+
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sbx [-p policy.blox]... [-emit] [-dump preds] query.dlb")
+		os.Exit(2)
+	}
+	res, err := compileFile(policies, fs.Arg(0))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -101,4 +125,103 @@ func main() {
 			fmt.Printf("%s%s.\n", p, t)
 		}
 	}
+}
+
+// vetTarget is one program to analyze: a query file compiled with the -p
+// policies, or a shipped rule set compiled the way its deployment compiles
+// it.
+type vetTarget struct {
+	name string
+	prog *datalog.Program
+}
+
+// builtinTargets compiles every shipped rule set under its deployment's
+// policy pipeline — the programs CI vets on every change.
+func builtinTargets() ([]vetTarget, error) {
+	pol := core.PolicyConfig{Delegation: core.DelegateNone}
+	var out []vetTarget
+	for _, b := range []struct {
+		name  string
+		query string
+		extra []string
+	}{
+		{"pathvector", apps.PathVectorQuery, nil},
+		{"hashjoin", apps.HashJoinQuery, nil},
+		{"anonjoin", apps.AnonJoinQuery, []string{apps.AnonPolicy}},
+	} {
+		res, err := core.CompileProgram(pol, b.query, b.extra)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", b.name, err)
+		}
+		out = append(out, vetTarget{b.name, res.Program})
+	}
+	return out, nil
+}
+
+// runVet implements `sbx vet`: run the static analyzer over each target,
+// print findings with source positions, and exit nonzero when any target
+// has error-class findings.
+func runVet(args []string) int {
+	fs := flag.NewFlagSet("sbx vet", flag.ExitOnError)
+	var policies policyList
+	fs.Var(&policies, "p", "BloxGenerics policy file (repeatable)")
+	builtin := fs.Bool("builtin", false, "vet the shipped rule sets (pathvector, hashjoin, anonjoin) instead of files")
+	quiet := fs.Bool("q", false, "suppress info-level findings")
+	fs.Parse(args)
+
+	var targets []vetTarget
+	if *builtin {
+		var err error
+		targets, err = builtinTargets()
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+	} else {
+		if fs.NArg() == 0 {
+			fmt.Fprintln(os.Stderr, "usage: sbx vet [-p policy.blox]... query.dlb... | sbx vet -builtin")
+			return 2
+		}
+		for _, qf := range fs.Args() {
+			res, err := compileFile(policies, qf)
+			if err != nil {
+				log.Print(err)
+				return 1
+			}
+			targets = append(targets, vetTarget{qf, res.Program})
+		}
+	}
+
+	// Planning never evaluates a UDF, so an empty keystore provides the full
+	// library's names and binding shapes without any key material.
+	reg, err := udf.NewRegistry(seccrypto.NewKeyStore("vet"), nil)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	a := &analysis.Analyzer{UDFs: reg}
+
+	exit := 0
+	for _, t := range targets {
+		rep, err := a.Analyze(t.prog)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", t.name, err)
+			exit = 1
+			continue
+		}
+		findings := rep.Findings
+		if *quiet {
+			kept := findings[:0:0]
+			for _, f := range findings {
+				if f.Severity != analysis.Info {
+					kept = append(kept, f)
+				}
+			}
+			findings = kept
+		}
+		if analysis.WriteFindings(os.Stdout, t.name, findings) > 0 {
+			exit = 1
+		}
+	}
+	return exit
 }

@@ -12,6 +12,7 @@
 // Usage:
 //
 //	sbxnode -genkeys -config cluster.json          # write the key files
+//	sbxnode -vet -config cluster.json              # static pre-flight, no run
 //	sbxnode -config cluster.json -node p0          # one process per node
 //	sbxnode -config cluster.json -allinone         # in-process reference run
 //
@@ -55,6 +56,7 @@ type options struct {
 	node         string
 	allInOne     bool
 	genKeys      bool
+	vet          bool
 	debugAddr    string
 	timeout      time.Duration
 	unresponsive time.Duration
@@ -70,6 +72,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.StringVar(&o.node, "node", "", "principal this process runs as")
 	fs.BoolVar(&o.allInOne, "allinone", false, "run every node of the config in this process over the simulated network (reference mode)")
 	fs.BoolVar(&o.genKeys, "genkeys", false, "generate the RSA key files the config's key_file entries name, then exit")
+	fs.BoolVar(&o.vet, "vet", false, "statically analyze the config's workload program and exit (nonzero on error findings)")
 	fs.StringVar(&o.debugAddr, "debugaddr", "", "serve expvar debug counters over HTTP on this address (e.g. 127.0.0.1:8300)")
 	fs.DurationVar(&o.timeout, "timeout", 0, "abort the run after this long (0: no limit)")
 	fs.DurationVar(&o.unresponsive, "unresponsive", 15*time.Second, "declare a peer dead after it answers no probe for this long (0: wait forever)")
@@ -87,6 +90,8 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 1
 	}
 	switch {
+	case o.vet:
+		err = vetWorkload(cfg, stdout)
 	case o.genKeys:
 		err = generateKeys(cfg, stdout)
 	case o.allInOne:
@@ -94,7 +99,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	case o.node != "":
 		err = runNode(cfg, o, stdout)
 	default:
-		err = fmt.Errorf("one of -node, -allinone or -genkeys is required")
+		err = fmt.Errorf("one of -node, -allinone, -genkeys or -vet is required")
 	}
 	if err != nil {
 		fmt.Fprintf(stderr, "sbxnode: %v\n", err)

@@ -199,7 +199,7 @@ func TestCLIErrors(t *testing.T) {
 	}{
 		{"no config", []string{"-node", "p0"}, "-config is required"},
 		{"absent config", []string{"-config", filepath.Join(dir, "nope.json"), "-node", "p0"}, "no such file"},
-		{"no mode", []string{"-config", cfgPath}, "one of -node, -allinone or -genkeys"},
+		{"no mode", []string{"-config", cfgPath}, "one of -node, -allinone, -genkeys or -vet"},
 		{"unknown principal", []string{"-config", cfgPath, "-node", "px"}, `no node named "px"`},
 		{"genkeys without rsa", []string{"-config", cfgPath, "-genkeys"}, "uses no RSA keys"},
 	}
@@ -210,6 +210,22 @@ func TestCLIErrors(t *testing.T) {
 				t.Fatalf("exit %d, stderr %q; want exit 1 containing %q", code, errOut, tc.want)
 			}
 		})
+	}
+}
+
+// TestVetPreflight: -vet analyzes both shipped workloads under their
+// configured policy without touching key files, and reports success.
+func TestVetPreflight(t *testing.T) {
+	dir := t.TempDir()
+	for _, workload := range []string{"pathvector", "hashjoin"} {
+		cfgPath := writeTestConfig(t, dir, "RSA", workload, 7451)
+		code, out, errOut := capture(t, []string{"-config", cfgPath, "-vet"})
+		if code != 0 {
+			t.Fatalf("%s: vet exit %d: %s", workload, code, errOut)
+		}
+		if !strings.Contains(out, "vet: workload "+workload+" (RSA): ok") {
+			t.Fatalf("%s: vet output missing verdict:\n%s", workload, out)
+		}
 	}
 }
 

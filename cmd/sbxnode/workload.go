@@ -2,12 +2,17 @@ package main
 
 import (
 	"fmt"
+	"os"
 
+	"secureblox/internal/analysis"
 	"secureblox/internal/apps"
 	"secureblox/internal/cluster"
+	"secureblox/internal/core"
 	"secureblox/internal/datalog"
 	"secureblox/internal/engine"
 	"secureblox/internal/graph"
+	"secureblox/internal/seccrypto"
+	"secureblox/internal/udf"
 )
 
 // workloadQuery returns the rule set named by the config.
@@ -20,6 +25,41 @@ func workloadQuery(cfg *cluster.Config) (string, error) {
 	default:
 		return "", fmt.Errorf("unknown workload %q", cfg.Workload.Name)
 	}
+}
+
+// vetWorkload is the -vet pre-flight: compile the config's workload under
+// its policy exactly as the run modes would, run the static analyzer, print
+// every finding, and fail when any error-class finding is reported — so a
+// bad program is caught before N processes are launched against it.
+func vetWorkload(cfg *cluster.Config, stdout *os.File) error {
+	pol, err := core.PolicyFromSpec(cfg.Spec())
+	if err != nil {
+		return err
+	}
+	pol.Delegation = core.DelegateNone // both workloads import themselves
+	query, err := workloadQuery(cfg)
+	if err != nil {
+		return err
+	}
+	res, err := core.CompileProgram(pol, query, nil)
+	if err != nil {
+		return err
+	}
+	// Planning never evaluates a UDF, so an empty keystore provides the
+	// library's names and binding shapes without the configured key files.
+	reg, err := udf.NewRegistry(seccrypto.NewKeyStore("vet"), nil)
+	if err != nil {
+		return err
+	}
+	rep, err := (&analysis.Analyzer{UDFs: reg}).Analyze(res.Program)
+	if err != nil {
+		return err
+	}
+	if n := analysis.WriteFindings(stdout, cfg.Workload.Name, rep.Findings); n > 0 {
+		return fmt.Errorf("vet: workload %s (%s): %d error finding(s)", cfg.Workload.Name, pol.Name(), n)
+	}
+	fmt.Fprintf(stdout, "vet: workload %s (%s): ok\n", cfg.Workload.Name, pol.Name())
+	return nil
 }
 
 // hashJoinConfig maps the deployment config onto the experiment's

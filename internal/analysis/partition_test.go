@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"testing"
+
+	"secureblox/internal/datalog"
+)
+
+const routingSrc = `
+	a(E1, E2) -> int(E1), int(E2).
+	b(E3, E2) -> int(E3), int(E2).
+	prin_minhash[U]=Lo -> principal(U), int(Lo).
+	prin_maxhash[U]=Hi -> principal(U), int(Hi).
+
+	route_a(U, E1, E2) <-
+		a(E1, E2), sha1(E2, H),
+		prin_minhash[U]=Lo, prin_maxhash[U]=Hi, H >= Lo, H < Hi.
+	route_b(U, E3, E2) <-
+		b(E3, E2), sha1(E2, H),
+		prin_minhash[U]=Lo, prin_maxhash[U]=Hi, H >= Lo, H < Hi.
+`
+
+func TestInferPartitioning(t *testing.T) {
+	prog, err := datalog.Parse(routingSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := InferPartitioning(prog, StubUDFs("sha1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.LoPred != "prin_minhash" || p.HiPred != "prin_maxhash" || p.HashUDF != "sha1" {
+		t.Errorf("inferred %q/%q via %q", p.LoPred, p.HiPred, p.HashUDF)
+	}
+	want := []RelColumn{{Pred: "a", Col: 1}, {Pred: "b", Col: 1}}
+	if len(p.Relations) != len(want) {
+		t.Fatalf("relations = %v, want %v", p.Relations, want)
+	}
+	for i, rc := range want {
+		if p.Relations[i] != rc {
+			t.Errorf("relations[%d] = %v, want %v", i, p.Relations[i], rc)
+		}
+	}
+}
+
+func TestInferPartitioningAbsent(t *testing.T) {
+	prog, err := datalog.Parse(`reach(A, B) <- link(A, B).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := InferPartitioning(prog, nil); err == nil {
+		t.Error("expected no-pattern error")
+	}
+}
+
+// SetupFacts must split [0, 2^63) into contiguous per-principal ranges with
+// the last range closed at 2^63-1, in the exact emission order the
+// deployment contract fixes (per principal: lo then hi).
+func TestSetupFactsRanges(t *testing.T) {
+	p := &Partitioning{LoPred: "prin_minhash", HiPred: "prin_maxhash"}
+	prins := []string{"n0", "n1", "n2"}
+	facts := p.SetupFacts(prins)
+	if len(facts) != 6 {
+		t.Fatalf("got %d facts, want 6", len(facts))
+	}
+	step := int64((uint64(1) << 63) / 3)
+	wantLo := []int64{0, step, 2 * step}
+	wantHi := []int64{step, 2 * step, int64(^uint64(0) >> 1)}
+	for j := 0; j < 3; j++ {
+		lo, hi := facts[2*j], facts[2*j+1]
+		if lo.Pred != "prin_minhash" || hi.Pred != "prin_maxhash" {
+			t.Fatalf("principal %d: preds %s/%s", j, lo.Pred, hi.Pred)
+		}
+		if got := lo.Tuple[0]; got.String() != datalog.Prin(prins[j]).String() {
+			t.Errorf("principal %d: lo principal %s", j, got)
+		}
+		if lo.Tuple[1].Int != wantLo[j] || hi.Tuple[1].Int != wantHi[j] {
+			t.Errorf("principal %d: range [%d, %d), want [%d, %d)",
+				j, lo.Tuple[1].Int, hi.Tuple[1].Int, wantLo[j], wantHi[j])
+		}
+	}
+}
+
+func TestSetupFactsEmpty(t *testing.T) {
+	p := &Partitioning{LoPred: "lo", HiPred: "hi"}
+	if got := p.SetupFacts(nil); got != nil {
+		t.Errorf("SetupFacts(nil) = %v, want nil", got)
+	}
+}

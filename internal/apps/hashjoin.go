@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"secureblox/internal/analysis"
 	"secureblox/internal/core"
 	"secureblox/internal/datalog"
 	"secureblox/internal/engine"
@@ -45,6 +46,24 @@ const HashJoinQuery = `
 		a2(E1, E2), b2(E3, E2), initiator[]=U.
 	joinresult(E1, E2, E3) <- says['joinresult](U, self[], E1, E2, E3).
 `
+
+// HashJoinPartitioning is the co-partitioning scheme inferred statically
+// from HashJoinQuery's routing rules: the analyzer recognizes the
+// sha1/min-max range pattern and derives which relations share the hash
+// function and which functional predicates carry the per-principal ranges.
+// The partition facts are no longer hand-written — they fall out of the
+// rules, so editing the query's routing automatically reshapes the setup.
+func HashJoinPartitioning() *analysis.Partitioning {
+	prog, err := datalog.Parse(HashJoinQuery)
+	if err != nil {
+		panic(fmt.Sprintf("apps: HashJoinQuery does not parse: %v", err))
+	}
+	p, err := analysis.InferPartitioning(prog, analysis.StubUDFs("sha1"))
+	if err != nil {
+		panic(fmt.Sprintf("apps: HashJoinQuery lost its routing pattern: %v", err))
+	}
+	return p
+}
 
 // HashJoinConfig parameterizes one experiment: paper §8.2 uses |A|=900,
 // |B|=800, 72 distinct join values, initiator at node 0.
@@ -115,21 +134,9 @@ func HashJoinInput(cfg HashJoinConfig, principals []string) (common []engine.Fac
 		expected += countA[r.v]
 	}
 
-	// Hash-range metadata plus the initiator singleton (node 0).
-	lo := int64(0)
-	step := int64((uint64(1) << 63) / uint64(cfg.N))
-	for j := 0; j < cfg.N; j++ {
-		hi := lo + step
-		if j == cfg.N-1 {
-			hi = int64(^uint64(0) >> 1) // 2^63-1; sha1 UDF yields < 2^63
-		}
-		pv := datalog.Prin(principals[j])
-		common = append(common,
-			engine.Fact{Pred: "prin_minhash", Tuple: datalog.Tuple{pv, datalog.Int64(lo)}},
-			engine.Fact{Pred: "prin_maxhash", Tuple: datalog.Tuple{pv, datalog.Int64(hi)}},
-		)
-		lo = hi
-	}
+	// Hash-range metadata — inferred from the query's routing rules rather
+	// than hand-written — plus the initiator singleton (node 0).
+	common = append(common, HashJoinPartitioning().SetupFacts(principals[:cfg.N])...)
 	common = append(common, engine.Fact{
 		Pred: "initiator", Tuple: datalog.Tuple{datalog.Prin(principals[0])},
 	})

@@ -1,9 +1,13 @@
 package apps
 
 import (
+	"fmt"
 	"testing"
 
+	"secureblox/internal/analysis"
 	"secureblox/internal/core"
+	"secureblox/internal/datalog"
+	"secureblox/internal/engine"
 )
 
 func smallJoin(n int, policy core.PolicyConfig, seed int64) HashJoinConfig {
@@ -85,5 +89,68 @@ func TestHashJoinRSACostsMoreBandwidthThanNoAuth(t *testing.T) {
 	secure.Cluster.Stop()
 	if secure.PerNodeKB <= plain.PerNodeKB {
 		t.Errorf("RSA-AES should cost more bandwidth: %.1fKB vs %.1fKB", secure.PerNodeKB, plain.PerNodeKB)
+	}
+}
+
+// The inferred partition facts must be byte-identical to the previously
+// hand-written ones: lo = 0, step = floor(2^63 / N), last range closed at
+// 2^63-1, emitted per principal as prin_minhash then prin_maxhash.
+func TestInferredPartitionFactsMatchHandWritten(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 7, 18} {
+		principals := make([]string, n)
+		for i := range principals {
+			principals[i] = fmt.Sprintf("prin%d", i)
+		}
+		cfg := smallJoin(n, core.PolicyConfig{}, 42)
+		common, _, _ := HashJoinInput(cfg, principals)
+
+		// The hand-written generator this inference replaced.
+		var want []engine.Fact
+		lo := int64(0)
+		step := int64((uint64(1) << 63) / uint64(n))
+		for j := 0; j < n; j++ {
+			hi := lo + step
+			if j == n-1 {
+				hi = int64(^uint64(0) >> 1)
+			}
+			pv := datalog.Prin(principals[j])
+			want = append(want,
+				engine.Fact{Pred: "prin_minhash", Tuple: datalog.Tuple{pv, datalog.Int64(lo)}},
+				engine.Fact{Pred: "prin_maxhash", Tuple: datalog.Tuple{pv, datalog.Int64(hi)}},
+			)
+			lo = hi
+		}
+
+		var got []engine.Fact
+		for _, f := range common {
+			if f.Pred == "prin_minhash" || f.Pred == "prin_maxhash" {
+				got = append(got, f)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: %d partition facts, want %d", n, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].String() != want[i].String() {
+				t.Fatalf("n=%d fact %d: inferred %s, hand-written %s", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// The inference must read the scheme out of the query text itself.
+func TestHashJoinPartitioningInference(t *testing.T) {
+	p := HashJoinPartitioning()
+	if p.LoPred != "prin_minhash" || p.HiPred != "prin_maxhash" || p.HashUDF != "sha1" {
+		t.Fatalf("inferred %q/%q via %q", p.LoPred, p.HiPred, p.HashUDF)
+	}
+	want := []analysis.RelColumn{{Pred: "a", Col: 1}, {Pred: "b", Col: 1}}
+	if len(p.Relations) != len(want) {
+		t.Fatalf("relations = %v, want %v", p.Relations, want)
+	}
+	for i := range want {
+		if p.Relations[i] != want[i] {
+			t.Errorf("relations[%d] = %v, want %v", i, p.Relations[i], want[i])
+		}
 	}
 }

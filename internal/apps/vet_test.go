@@ -1,0 +1,109 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+
+	"secureblox/internal/analysis"
+	"secureblox/internal/core"
+	"secureblox/internal/seccrypto"
+	"secureblox/internal/udf"
+)
+
+// vetAnalyzer builds the analyzer `sbx vet` uses: the full UDF library over
+// an empty keystore (planning never evaluates a UDF).
+func vetAnalyzer(t *testing.T) *analysis.Analyzer {
+	t.Helper()
+	reg, err := udf.NewRegistry(seccrypto.NewKeyStore("vet"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &analysis.Analyzer{UDFs: reg}
+}
+
+func assertNoErrors(t *testing.T, a *analysis.Analyzer, name string, rep *analysis.Report) {
+	t.Helper()
+	if rep.HasErrors() {
+		for _, f := range rep.Errors() {
+			t.Errorf("%s: %s", name, f)
+		}
+	}
+}
+
+// Every shipped rule set must pass the analyzer as raw source: the lints
+// may warn (network-stratified cycles, first-writer-wins guards) but must
+// report no error-class finding.
+func TestShippedQueriesPassVet(t *testing.T) {
+	a := vetAnalyzer(t)
+	for name, src := range map[string]string{
+		"pathvector": PathVectorQuery,
+		"hashjoin":   HashJoinQuery,
+		"anonjoin":   AnonJoinQuery,
+	} {
+		rep, err := a.AnalyzeSource(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		assertNoErrors(t, a, name, rep)
+	}
+}
+
+// The compiled programs — query plus generated policy rules — must pass
+// too, under every policy family a deployment can select.
+func TestCompiledProgramsPassVet(t *testing.T) {
+	a := vetAnalyzer(t)
+	cases := []struct {
+		name  string
+		query string
+		pol   core.PolicyConfig
+		extra []string
+	}{
+		{"pathvector-noauth", PathVectorQuery, core.PolicyConfig{Delegation: core.DelegateNone}, nil},
+		{"pathvector-rsa-aes", PathVectorQuery, core.PolicyConfig{Auth: core.AuthRSA, Encrypt: true, Delegation: core.DelegateNone}, nil},
+		{"pathvector-hmac", PathVectorQuery, core.PolicyConfig{Auth: core.AuthHMAC, Delegation: core.DelegateNone}, nil},
+		{"hashjoin-noauth", HashJoinQuery, core.PolicyConfig{Delegation: core.DelegateNone}, nil},
+		{"hashjoin-rsa-batch", HashJoinQuery, core.PolicyConfig{Auth: core.AuthRSA, BatchSign: true, Delegation: core.DelegateNone}, nil},
+		{"anonjoin", AnonJoinQuery, core.PolicyConfig{Delegation: core.DelegateNone}, []string{AnonPolicy}},
+	}
+	for _, tc := range cases {
+		res, err := core.CompileProgram(tc.pol, tc.query, tc.extra)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", tc.name, err)
+		}
+		rep, err := a.Analyze(res.Program)
+		if err != nil {
+			t.Fatalf("%s: analyze: %v", tc.name, err)
+		}
+		assertNoErrors(t, a, tc.name, rep)
+	}
+}
+
+// ClusterConfig.Vet wires the analyzer into install: shipped programs still
+// build, while an unsafe program is rejected before any node runs it.
+func TestClusterVetGate(t *testing.T) {
+	c, err := core.NewCluster(core.ClusterConfig{
+		N:      1,
+		Policy: core.PolicyConfig{Delegation: core.DelegateNone},
+		Query:  HashJoinQuery,
+		Seed:   1,
+		Vet:    true,
+	})
+	if err != nil {
+		t.Fatalf("vetted hashjoin cluster failed to build: %v", err)
+	}
+	c.Stop()
+
+	_, err = core.NewCluster(core.ClusterConfig{
+		N:      1,
+		Policy: core.PolicyConfig{Delegation: core.DelegateNone},
+		Query:  `p(X, Y) <- q(X).`,
+		Seed:   1,
+		Vet:    true,
+	})
+	if err == nil {
+		t.Fatal("unsafe program installed despite Vet")
+	}
+	if !strings.Contains(err.Error(), analysis.CodeUnsafeHeadVar) {
+		t.Fatalf("rejection does not name the finding: %v", err)
+	}
+}

@@ -71,6 +71,11 @@ func TestConfigValidationErrors(t *testing.T) {
 		{"hostless address", func(c *Config) { c.Nodes[1].Addr = ":7102" }, "no host"},
 		{"seed with port 0", func(c *Config) { c.Nodes[0].Addr = "127.0.0.1:0" }, "seed node needs a concrete port"},
 		{"shared address", func(c *Config) { c.Nodes[1].Addr = c.Nodes[0].Addr }, `share address`},
+		{"negative parallelism", func(c *Config) { c.Parallelism = -2 }, "negative parallelism -2"},
+		{"negative degree", func(c *Config) { c.Workload.Degree = -1 }, "negative workload degree"},
+		{"negative size_a", func(c *Config) { c.Workload.SizeA = -900 }, "negative workload size_a -900"},
+		{"negative size_b", func(c *Config) { c.Workload.SizeB = -1 }, "negative workload size_b -1"},
+		{"negative join_values", func(c *Config) { c.Workload.JoinValues = -72 }, "negative workload join_values -72"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"crypto/rsa"
 	"fmt"
 
+	"secureblox/internal/analysis"
 	"secureblox/internal/cluster"
 	"secureblox/internal/dist"
 	"secureblox/internal/engine"
@@ -107,6 +108,10 @@ type NodeAssembly struct {
 	// pre-population switches.
 	TrustAll         bool
 	GrantWriteAccess bool
+	// Vet runs the static analyzer over the compiled program at install
+	// time and rejects it when any error-class finding is reported — the
+	// same pre-flight `sbx vet` and `sbxnode -vet` run explicitly.
+	Vet bool
 }
 
 // Build constructs the node: a workspace with per-node keystore-bound
@@ -122,6 +127,9 @@ func (a NodeAssembly) Build() (*dist.Node, error) {
 	ws := engine.NewWorkspace(reg)
 	ws.EntityBase = int64(a.Index+1) << 40 // node-disjoint entity ids
 	ws.Parallelism = a.Parallelism
+	if a.Vet {
+		ws.InstallCheck = (&analysis.Analyzer{UDFs: reg}).InstallCheck()
+	}
 	if err := ws.Install(a.Compiled.Program); err != nil {
 		return nil, fmt.Errorf("core: install on %s: %w", me.Principal, err)
 	}

@@ -45,6 +45,9 @@ type ClusterConfig struct {
 	// Parallelism configures each node's engine fixpoint: 0 sequential,
 	// >= 1 stratified parallel evaluation with that many workers.
 	Parallelism int
+	// Vet makes every node reject the compiled program at install time when
+	// the static analyzer reports error-class findings (NodeAssembly.Vet).
+	Vet bool
 }
 
 // Cluster is a set of SecureBlox nodes over one network, plus the compiled
@@ -206,6 +209,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			Parallelism:      cfg.Parallelism,
 			TrustAll:         cfg.TrustAllPrincipals,
 			GrantWriteAccess: cfg.GrantWriteAccess,
+			Vet:              cfg.Vet,
 		}.Build()
 		if err != nil {
 			return nil, fmt.Errorf("cluster: node %d: %w", i, err)

@@ -5,6 +5,24 @@ import (
 	"strings"
 )
 
+// Pos is a source position (1-based line and column). The zero Pos means
+// "unknown" — e.g. programmatically built or generics-generated atoms.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// Known reports whether the position carries real source coordinates.
+func (p Pos) Known() bool { return p.Line > 0 }
+
+// String renders "line:col", or "" for an unknown position.
+func (p Pos) String() string {
+	if !p.Known() {
+		return ""
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
 // Term is an argument position in an atom: a variable, a constant, a
 // wildcard, an arithmetic expression, or a functional application such as
 // self[] or principal_node[U] used in term position.
@@ -74,6 +92,9 @@ type Atom struct {
 	Param    string
 	Args     []Term
 	KeyArity int
+	// Pos is the source position of the predicate name token (zero when
+	// the atom was built programmatically).
+	Pos Pos
 }
 
 // Functional reports whether the atom uses the p[keys]=v form.
@@ -122,7 +143,7 @@ func (a *Atom) String() string {
 func (a *Atom) Clone() *Atom {
 	args := make([]Term, len(a.Args))
 	copy(args, a.Args)
-	return &Atom{Pred: a.Pred, Param: a.Param, Args: args, KeyArity: a.KeyArity}
+	return &Atom{Pred: a.Pred, Param: a.Param, Args: args, KeyArity: a.KeyArity, Pos: a.Pos}
 }
 
 // LitKind distinguishes the three body literal forms.
@@ -175,6 +196,8 @@ type Rule struct {
 	Heads []*Atom
 	Body  []Literal
 	Agg   *AggSpec
+	// Pos is the source position of the rule's first head atom.
+	Pos Pos
 }
 
 // String reifies the rule.
@@ -207,6 +230,8 @@ func (r *Rule) String() string {
 type Constraint struct {
 	Lhs []Literal
 	Rhs []Literal
+	// Pos is the source position of the constraint's first LHS literal.
+	Pos Pos
 }
 
 // String reifies the constraint.

@@ -75,6 +75,7 @@ func (p *Parser) parseProgram() (*Program, error) {
 
 // parseStatement parses one fact list, rule, or constraint.
 func (p *Parser) parseStatement(prog *Program) error {
+	start := p.cur()
 	lhs, err := p.parseLiteralList(true)
 	if err != nil {
 		return err
@@ -101,7 +102,7 @@ func (p *Parser) parseStatement(prog *Program) error {
 			}
 			heads = append(heads, l.Atom)
 		}
-		rule := &Rule{Heads: heads}
+		rule := &Rule{Heads: heads, Pos: heads[0].Pos}
 		if p.at(TokAgg) {
 			spec, err := p.parseAggSpec()
 			if err != nil {
@@ -121,7 +122,7 @@ func (p *Parser) parseStatement(prog *Program) error {
 		return nil
 	case TokArrowR:
 		p.next()
-		c := &Constraint{Lhs: lhs}
+		c := &Constraint{Lhs: lhs, Pos: Pos{Line: start.Line, Col: start.Col}}
 		if !p.at(TokDot) {
 			rhs, err := p.parseLiteralList(false)
 			if err != nil {
@@ -303,7 +304,7 @@ func (p *Parser) parseAtom() (*Atom, error) {
 	if err != nil {
 		return nil, err
 	}
-	a := &Atom{Pred: name.Text, KeyArity: -1}
+	a := &Atom{Pred: name.Text, KeyArity: -1, Pos: Pos{Line: name.Line, Col: name.Col}}
 
 	// Parameterization or width annotation: p['q]... or int[32](...)
 	if p.at(TokLBrack) {

@@ -165,7 +165,7 @@ func (c *compiler) normalizeTerm(t datalog.Term, inHead bool) (datalog.Term, err
 }
 
 func (c *compiler) normalizeAtom(a *datalog.Atom, inHead bool) (*datalog.Atom, error) {
-	na := &datalog.Atom{Pred: a.Pred, Param: a.Param, KeyArity: a.KeyArity}
+	na := &datalog.Atom{Pred: a.Pred, Param: a.Param, KeyArity: a.KeyArity, Pos: a.Pos}
 	for _, t := range a.Args {
 		nt, err := c.normalizeTerm(t, inHead)
 		if err != nil {

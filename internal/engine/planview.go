@@ -1,0 +1,144 @@
+package engine
+
+import (
+	"secureblox/internal/datalog"
+)
+
+// StepKind names a planned body operation for external consumers (the
+// static analyzer) without exposing the execution form.
+type StepKind string
+
+// Plan step kinds.
+const (
+	StepMatch     StepKind = "match"
+	StepNeg       StepKind = "neg"
+	StepCmp       StepKind = "cmp"
+	StepUDF       StepKind = "udf"
+	StepKindCheck StepKind = "kindcheck"
+)
+
+// PlanStep is the analyzer-facing view of one planned body step, in the
+// order the planner chose to evaluate them.
+type PlanStep struct {
+	Kind StepKind
+	// Pred is the concrete predicate name for match/neg steps, the UDF name
+	// for udf steps, and "" for comparisons.
+	Pred string
+	// Atom is the normalized source atom (match/neg/udf), nil for cmp.
+	Atom *datalog.Atom
+	// Op/L/R describe a comparison step.
+	Op   string
+	L, R datalog.Term
+	// BoundCols are the argument positions (ascending) that hold a constant
+	// or an already-bound variable when the step runs — the join/probe
+	// signature the co-partitioning analysis works from.
+	BoundCols []int
+}
+
+// RulePlan is the analyzer-facing view of one planned rule. When planning
+// itself failed (e.g. the body cannot be ordered), Err is set and the other
+// fields besides Src are empty.
+type RulePlan struct {
+	Src   *datalog.Rule
+	Heads []*datalog.Atom
+	Steps []PlanStep
+	// Bound is the set of variables the body binds.
+	Bound map[string]bool
+	Agg   *datalog.AggSpec
+	// HeadEx lists head-existential variables (unbound head variables with
+	// an entity type) — entity-minting rules.
+	HeadEx []string
+	// ParSafe mirrors the evaluator's parallel-safety classification: rules
+	// with aggregation, entity creation, or UDF calls fall back to the
+	// single-threaded path under Workspace.Parallelism.
+	ParSafe bool
+	Err     error
+}
+
+// PlanProgram plans every rule of a program against this workspace without
+// installing anything permanent: declarations are registered in the catalog
+// and relations are created, but no rule is finalized, no fact asserted, and
+// no evaluation run. Use a scratch workspace — the catalog mutations are not
+// rolled back. Per-rule planning failures are reported in RulePlan.Err
+// rather than aborting, so the analyzer sees every rule.
+func (w *Workspace) PlanProgram(prog *datalog.Program) ([]RulePlan, error) {
+	for _, con := range prog.Constraints {
+		if IsDeclaration(con) {
+			if _, err := w.cat.DeclareFromConstraint(con); err != nil {
+				return nil, err
+			}
+			w.ensureRelation(con.Lhs[0].Atom.ConcreteName())
+		}
+	}
+	plans := make([]RulePlan, 0, len(prog.Rules))
+	for _, r := range prog.Rules {
+		cr, err := w.planRule(r)
+		if err != nil {
+			plans = append(plans, RulePlan{Src: r, Err: err})
+			continue
+		}
+		plans = append(plans, w.planView(cr))
+	}
+	return plans, nil
+}
+
+// planView converts an internal planned rule to its exported view.
+func (w *Workspace) planView(cr *CompiledRule) RulePlan {
+	p := RulePlan{
+		Src:   cr.src,
+		Heads: cr.heads,
+		Bound: cr.bound,
+		Agg:   cr.agg,
+	}
+	for _, s := range cr.steps {
+		ps := PlanStep{Pred: s.pred, Atom: s.atom, Op: s.op, L: s.l, R: s.r, BoundCols: s.boundCols}
+		switch s.kind {
+		case stepMatch:
+			ps.Kind = StepMatch
+		case stepNeg:
+			ps.Kind = StepNeg
+		case stepCmp:
+			ps.Kind = StepCmp
+		case stepUDF:
+			ps.Kind = StepUDF
+			ps.Pred = s.pred
+		case stepKindCheck:
+			ps.Kind = StepKindCheck
+			ps.Pred = s.typeName
+		}
+		p.Steps = append(p.Steps, ps)
+	}
+	// Head-existential analysis, mirroring finalizeRule: unbound head
+	// variables with a single-arg entity-typed head are minted entities.
+	headVars := map[string]bool{}
+	for _, h := range cr.heads {
+		datalog.AtomVars(h, headVars)
+	}
+	hasUDF := false
+	for _, s := range cr.steps {
+		if s.kind == stepUDF {
+			hasUDF = true
+		}
+	}
+	for v := range headVars {
+		if cr.bound[v] {
+			continue
+		}
+		if cr.agg != nil && v == cr.agg.Result {
+			continue
+		}
+		for _, h := range cr.heads {
+			if h.Functional() || len(h.Args) != 1 {
+				continue
+			}
+			if hv, ok := h.Args[0].(datalog.Var); ok && hv.Name == v {
+				if s := w.cat.Schema(h.ConcreteName()); s != nil && s.IsEntity {
+					p.HeadEx = append(p.HeadEx, v)
+					break
+				}
+			}
+		}
+	}
+	p.ParSafe = cr.agg == nil && len(p.HeadEx) == 0 && !hasUDF
+	return p
+}

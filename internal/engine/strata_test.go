@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"secureblox/internal/datalog"
+)
+
+func installSrc(t *testing.T, src string) *Workspace {
+	t.Helper()
+	prog, err := datalog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorkspace(nil)
+	if err := w.Install(prog); err != nil {
+		t.Fatalf("install: %v", err)
+	}
+	return w
+}
+
+// A rule reading its own head is a single-rule SCC; it must land in its own
+// stratum, above the base rule that feeds it.
+func TestStrataSelfLoopRule(t *testing.T) {
+	w := installSrc(t, `
+		p(X, Y) <- base(X, Y).
+		p(X, Y) <- p(Y, X).
+	`)
+	info := w.StrataInfo()
+	if len(info) != 2 {
+		t.Fatalf("expected 2 strata, got %d: %v", len(info), info)
+	}
+	if len(info[0]) != 1 || !strings.Contains(info[0][0], "base") {
+		t.Errorf("first stratum should be the base rule: %v", info[0])
+	}
+	if len(info[1]) != 1 || !strings.Contains(info[1][0], "p(Y, X)") {
+		t.Errorf("second stratum should be the self-loop: %v", info[1])
+	}
+
+	if _, err := w.Assert([]Fact{{Pred: "base", Tuple: datalog.Tuple{datalog.Int64(1), datalog.Int64(2)}}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(w.Tuples("p")); got != 2 {
+		t.Errorf("self-loop fixpoint: %d tuples of p, want 2 (both orientations)", got)
+	}
+}
+
+// A rule negating its own head still depends on itself: it must form its
+// own single-rule SCC rather than be treated as stratified below itself.
+func TestStrataSingleRuleSCCWithNegation(t *testing.T) {
+	w := installSrc(t, `
+		q(X) <- src(X).
+		p(X) <- q(X), !p(X).
+	`)
+	info := w.StrataInfo()
+	if len(info) != 2 {
+		t.Fatalf("expected 2 strata, got %d: %v", len(info), info)
+	}
+	if len(info[1]) != 1 || !strings.Contains(info[1][0], "!p(X)") {
+		t.Errorf("negation rule should be alone in the top stratum: %v", info[1])
+	}
+}
+
+// An Install with no rules must leave a consistent (empty) stratification
+// and a workspace that still evaluates follow-up installs.
+func TestStrataEmptyInstall(t *testing.T) {
+	w := NewWorkspace(nil)
+	if err := w.Install(&datalog.Program{}); err != nil {
+		t.Fatalf("empty install: %v", err)
+	}
+	if info := w.StrataInfo(); len(info) != 0 {
+		t.Fatalf("empty program produced strata: %v", info)
+	}
+	prog, err := datalog.Parse(`p(X) <- q(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Install(prog); err != nil {
+		t.Fatalf("install after empty: %v", err)
+	}
+	if info := w.StrataInfo(); len(info) != 1 {
+		t.Fatalf("expected 1 stratum after second install, got %v", info)
+	}
+}
+
+// Stratum order must be a pure function of the program: fresh workspaces
+// over the same source always report the identical stratification.
+func TestStrataDeterministic(t *testing.T) {
+	src := `
+		a(X) <- e(X).
+		b(X) <- a(X), !c(X).
+		c(X) <- e(X), stopped(X).
+		d(X) <- b(X).
+		d(X) <- c(X), d(X).
+		top(X) <- d(X), b(X).
+	`
+	render := func() string {
+		var sb strings.Builder
+		for _, st := range installSrc(t, src).StrataInfo() {
+			sb.WriteString(strings.Join(st, " | "))
+			sb.WriteString("\n")
+		}
+		return sb.String()
+	}
+	first := render()
+	for i := 0; i < 10; i++ {
+		if got := render(); got != first {
+			t.Fatalf("run %d stratification differs:\n%s\nvs\n%s", i, got, first)
+		}
+	}
+}

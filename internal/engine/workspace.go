@@ -104,6 +104,11 @@ type Workspace struct {
 	// bypassing functional, secondary and delta indexes. Differential tests
 	// use it as the oracle evaluation mode; it must never change results.
 	DisableIndexes bool
+	// InstallCheck, when non-nil, runs over each program before Install
+	// mutates anything; a returned error rejects the batch. The static
+	// analyzer (internal/analysis) hooks in here so error-class findings
+	// block installation without the engine importing the analyzer.
+	InstallCheck func(*datalog.Program) error
 	// Parallelism selects the fixpoint evaluator: 0 (the default) is the
 	// classic sequential path; >= 1 enables the stratified parallel fixpoint
 	// with that many workers (1 exercises the parallel machinery without
@@ -191,6 +196,11 @@ func (w *Workspace) ensureRelation(name string) *Relation {
 // the workspace, runs initial evaluation, and checks all constraints. On any
 // error the workspace is restored to its prior state.
 func (w *Workspace) Install(prog *datalog.Program) error {
+	if w.InstallCheck != nil {
+		if err := w.InstallCheck(prog); err != nil {
+			return err
+		}
+	}
 	defer w.publishStats()
 	t := newTxn()
 	nRules, nAgg, nCons := len(w.rules), len(w.aggRules), len(w.constraints)

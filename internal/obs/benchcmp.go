@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// CellDelta is one regressed metric of one (scheme, n) cell shared by two
+// bench reports.
+type CellDelta struct {
+	Scheme string
+	N      int
+	Metric string
+	Old    float64
+	New    float64
+}
+
+// String renders the regression in the shape bench_compare.sh prints.
+func (d CellDelta) String() string {
+	pct := math.Inf(1)
+	if d.Old > 0 {
+		pct = (d.New/d.Old - 1) * 100
+	}
+	return fmt.Sprintf("%s n=%d %s: %g -> %g (%+.1f%%)", d.Scheme, d.N, d.Metric, d.Old, d.New, pct)
+}
+
+// benchMetrics lists the per-cell quantities where larger is worse, split
+// into counters (stable across machines) and timing (only comparable
+// between runs on the same hardware).
+var (
+	benchCounterMetrics = []string{"rsa_sign_ops", "bytes_shipped", "txns", "fixpoint_rounds"}
+	benchTimingMetrics  = []string{"fixpoint_s", "txn_p50_ms", "txn_p90_ms", "txn_p99_ms"}
+)
+
+func benchCells(r BenchReport) map[string]map[string]float64 {
+	out := make(map[string]map[string]float64, len(r.Results))
+	for _, c := range r.Results {
+		out[fmt.Sprintf("%s/%d", c.Scheme, c.N)] = map[string]float64{
+			"fixpoint_s":      c.FixpointSeconds,
+			"rsa_sign_ops":    float64(c.RSASignOps),
+			"bytes_shipped":   float64(c.BytesShipped),
+			"txns":            float64(c.Txns),
+			"txn_p50_ms":      c.TxnP50Ms,
+			"txn_p90_ms":      c.TxnP90Ms,
+			"txn_p99_ms":      c.TxnP99Ms,
+			"fixpoint_rounds": float64(c.FixpointRounds),
+		}
+	}
+	return out
+}
+
+// CompareBench returns every metric of cur that regressed by more than
+// threshold (0.15 = 15%) relative to base, over the (scheme, n) cells both
+// reports contain. Cells only one report has are ignored — a sweep may grow
+// or shrink. Timing metrics participate only when timing is true: wall-clock
+// numbers are not comparable across machines, while counter metrics are.
+// A counter appearing from zero is always a regression.
+func CompareBench(base, cur BenchReport, threshold float64, timing bool) []CellDelta {
+	metrics := benchCounterMetrics
+	if timing {
+		metrics = append(append([]string{}, benchCounterMetrics...), benchTimingMetrics...)
+	}
+	baseCells := benchCells(base)
+	var deltas []CellDelta
+	for _, c := range cur.Results {
+		old, ok := baseCells[fmt.Sprintf("%s/%d", c.Scheme, c.N)]
+		if !ok {
+			continue
+		}
+		now := benchCells(BenchReport{Results: []BenchSchemeResult{c}})[fmt.Sprintf("%s/%d", c.Scheme, c.N)]
+		for _, m := range metrics {
+			o, n := old[m], now[m]
+			switch {
+			case o == 0 && n == 0:
+			case o == 0:
+				deltas = append(deltas, CellDelta{c.Scheme, c.N, m, o, n})
+			case n > o*(1+threshold):
+				deltas = append(deltas, CellDelta{c.Scheme, c.N, m, o, n})
+			}
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool {
+		a, b := deltas[i], deltas[j]
+		if a.Scheme != b.Scheme {
+			return a.Scheme < b.Scheme
+		}
+		if a.N != b.N {
+			return a.N < b.N
+		}
+		return a.Metric < b.Metric
+	})
+	return deltas
+}
+
+// ReadBenchJSON loads a BENCH_*.json report.
+func ReadBenchJSON(path string) (BenchReport, error) {
+	var r BenchReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, fmt.Errorf("obs: read bench report: %w", err)
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("obs: parse %s: %w", path, err)
+	}
+	return r, nil
+}

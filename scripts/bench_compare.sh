@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Compare benchmark reports against a baseline: exits nonzero when any
+# shared (scheme, n) cell regresses by more than the threshold (default
+# 15%). Arguments are either two BENCH_*.json files, or two directories —
+# then every BENCH_*.json present in both is compared.
+#
+#   scripts/bench_compare.sh BENCH_fig7_hashjoin.json bench-out/BENCH_fig7_hashjoin.json
+#   scripts/bench_compare.sh . bench-out            # all matching reports
+#
+# Environment:
+#   THRESHOLD  relative budget, default 0.15
+#   TIMING     1 to also gate wall-clock metrics (same machine only), default 0
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if [ $# -ne 2 ]; then
+  echo "usage: $0 <baseline.json|baseline-dir> <current.json|current-dir>" >&2
+  exit 2
+fi
+base=$1
+cur=$2
+threshold=${THRESHOLD:-0.15}
+timing_flag=""
+if [ "${TIMING:-0}" = "1" ]; then
+  timing_flag="-timing"
+fi
+
+compare() {
+  go run ./cmd/benchcmp -threshold "$threshold" $timing_flag "$1" "$2"
+}
+
+if [ -d "$base" ] && [ -d "$cur" ]; then
+  compared=0
+  failed=0
+  for b in "$base"/BENCH_*.json; do
+    c="$cur/$(basename "$b")"
+    [ -f "$c" ] || continue
+    compared=$((compared + 1))
+    compare "$b" "$c" || failed=1
+  done
+  if [ "$compared" -eq 0 ]; then
+    echo "bench_compare: no BENCH_*.json present in both $base and $cur" >&2
+    exit 2
+  fi
+  exit "$failed"
+fi
+
+compare "$base" "$cur"

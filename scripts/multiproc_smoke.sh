@@ -32,6 +32,9 @@ EOF
 echo "== provisioning RSA keys"
 "$work/sbxnode" -genkeys -config "$work/cluster.json"
 
+echo "== static pre-flight (-vet)"
+"$work/sbxnode" -vet -config "$work/cluster.json" | tail -1
+
 echo "== in-process memnet reference (-allinone)"
 "$work/sbxnode" -config "$work/cluster.json" -allinone -timeout 120s > "$work/allinone.out"
 [ -s "$work/allinone.out" ] || { echo "FAIL: empty reference result set"; exit 1; }
