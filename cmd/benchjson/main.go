@@ -32,21 +32,29 @@ import (
 // registrySnap is the registry state a run is measured against: quantities
 // accumulate process-wide, so each run reports the delta from its start.
 type registrySnap struct {
-	txnHist obs.HistSnapshot
-	signOps int64
-	bytes   int64
-	txns    int64
-	rounds  int64
+	txnHist     obs.HistSnapshot
+	signOps     int64
+	bytes       int64
+	txns        int64
+	rounds      int64
+	retransmits int64
+	backoffs    int64
+	evictions   int64
+	chaosFaults int64
 }
 
 func snapshot() registrySnap {
 	r := obs.Default()
 	return registrySnap{
-		txnHist: r.HistogramSnapshot("sbx_txn_duration_seconds"),
-		signOps: r.CounterValue("sbx_rsa_sign_ops_total"),
-		bytes:   r.CounterValue("sbx_bytes_sent_total"),
-		txns:    r.CounterValue("sbx_txns_total"),
-		rounds:  r.CounterValue("sbx_engine_fixpoint_rounds_total"),
+		txnHist:     r.HistogramSnapshot("sbx_txn_duration_seconds"),
+		signOps:     r.CounterValue("sbx_rsa_sign_ops_total"),
+		bytes:       r.CounterValue("sbx_bytes_sent_total"),
+		txns:        r.CounterValue("sbx_txns_total"),
+		rounds:      r.CounterValue("sbx_engine_fixpoint_rounds_total"),
+		retransmits: r.CounterValue("sbx_transport_retransmits_total"),
+		backoffs:    r.CounterValue("sbx_transport_backoffs_total"),
+		evictions:   r.CounterValue("sbx_cluster_evictions_total"),
+		chaosFaults: r.CounterValue("sbx_chaos_faults_total"),
 	}
 }
 
@@ -62,6 +70,10 @@ func (before registrySnap) delta(res *obs.BenchSchemeResult) {
 	res.TxnP90Ms = hist.Quantile(0.9) * 1000
 	res.TxnP99Ms = hist.Quantile(0.99) * 1000
 	res.FixpointRounds = after.rounds - before.rounds
+	res.Retransmits = after.retransmits - before.retransmits
+	res.Backoffs = after.backoffs - before.backoffs
+	res.Evictions = after.evictions - before.evictions
+	res.ChaosFaults = after.chaosFaults - before.chaosFaults
 }
 
 func main() {

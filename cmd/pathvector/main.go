@@ -56,6 +56,7 @@ func main() {
 	batchSign := flag.Bool("batchsign", false, "add footnote 2's batch-signed RSA scheme (one signature per export batch) to the sweep")
 	debugAddr := flag.String("debugaddr", "", "serve /metrics and /debug/spans on this address while the sweep runs (e.g. 127.0.0.1:0)")
 	parallel := flag.Int("parallel", 0, "engine fixpoint workers per node (0 = sequential evaluation)")
+	chaosPlan := flag.String("chaos", "", "chaos fault-plan file (JSON) injected below the reliable layer; requires -transport udp")
 	flag.Parse()
 
 	sizes, err := parseSizes(*sizesFlag)
@@ -93,6 +94,7 @@ func main() {
 			N: n, AvgDegree: *degree, Policy: p,
 			Seed:        *seed + int64(trial)*1000 + int64(n),
 			Transport:   *transportFlag,
+			ChaosPlan:   *chaosPlan,
 			Parallelism: *parallel,
 		})
 		if err != nil {

@@ -23,7 +23,10 @@
 //
 // Exit codes: 0 quiescence reached, 1 configuration or runtime error,
 // 3 a peer stopped answering termination probes (typed detector failure —
-// e.g. a process was killed mid-run).
+// e.g. a process was killed mid-run; under on_failure "evict" the
+// survivors instead drop the dead member and converge on the subset),
+// 7 this process executed a chaos-plan crash scheduled for its own
+// principal (-chaos).
 package main
 
 import (
@@ -36,12 +39,14 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"syscall"
 	"time"
 
 	"secureblox/internal/cluster"
 	"secureblox/internal/core"
 	"secureblox/internal/dist"
+	"secureblox/internal/obs"
 	"secureblox/internal/seccrypto"
 	"secureblox/internal/transport"
 )
@@ -58,9 +63,12 @@ type options struct {
 	genKeys      bool
 	vet          bool
 	debugAddr    string
+	metricsDump  string
 	timeout      time.Duration
 	unresponsive time.Duration
 	dieAfterJoin bool
+	chaosPath    string
+	mute         string
 }
 
 // run is main minus the process-global bits, so tests can drive it.
@@ -74,9 +82,12 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.BoolVar(&o.genKeys, "genkeys", false, "generate the RSA key files the config's key_file entries name, then exit")
 	fs.BoolVar(&o.vet, "vet", false, "statically analyze the config's workload program and exit (nonzero on error findings)")
 	fs.StringVar(&o.debugAddr, "debugaddr", "", "serve expvar debug counters over HTTP on this address (e.g. 127.0.0.1:8300)")
+	fs.StringVar(&o.metricsDump, "metricsdump", "", "write the final metrics registry (Prometheus text format) to this file on exit — end-of-run counters a live /metrics scrape can race past")
 	fs.DurationVar(&o.timeout, "timeout", 0, "abort the run after this long (0: no limit)")
 	fs.DurationVar(&o.unresponsive, "unresponsive", 15*time.Second, "declare a peer dead after it answers no probe for this long (0: wait forever)")
 	fs.BoolVar(&o.dieAfterJoin, "dieafterjoin", false, "fault injection: exit silently right after the ready barrier (tests a peer dying mid-run)")
+	fs.StringVar(&o.chaosPath, "chaos", "", "chaos fault-plan file (JSON): scripted drop/dup/garble/delay/reorder, partitions and crash windows injected below the reliable transport (-node mode only)")
+	fs.StringVar(&o.mute, "mute", "", "comma-separated principals whose workload input facts are skipped and result lines suppressed (-allinone reference for evicted runs)")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
@@ -100,6 +111,11 @@ func run(args []string, stdout, stderr *os.File) int {
 		err = runNode(cfg, o, stdout)
 	default:
 		err = fmt.Errorf("one of -node, -allinone, -genkeys or -vet is required")
+	}
+	if o.metricsDump != "" {
+		if werr := os.WriteFile(o.metricsDump, []byte(obs.Default().Render()), 0o644); werr != nil {
+			fmt.Fprintf(stderr, "sbxnode: metrics dump: %v\n", werr)
+		}
 	}
 	if err != nil {
 		fmt.Fprintf(stderr, "sbxnode: %v\n", err)
@@ -161,6 +177,19 @@ func runNode(cfg *cluster.Config, o options, stdout *os.File) error {
 
 	udp := &transport.UDPNetwork{Strict: true}
 	defer udp.Close()
+	var chaos *transport.ChaosEngine
+	if o.chaosPath != "" {
+		data, err := os.ReadFile(o.chaosPath)
+		if err != nil {
+			return fmt.Errorf("chaos plan: %w", err)
+		}
+		plan, err := transport.ParseChaosPlan(data)
+		if err != nil {
+			return fmt.Errorf("chaos plan %s: %w", o.chaosPath, err)
+		}
+		chaos = transport.NewChaosEngine(plan)
+		udp.Chaos = chaos
+	}
 	rt, err := cluster.NewRuntime(cfg, o.node, udp)
 	if err != nil {
 		return err
@@ -170,6 +199,11 @@ func runNode(cfg *cluster.Config, o options, stdout *os.File) error {
 	mem, err := rt.Join(bctx)
 	if err != nil {
 		return err
+	}
+	if chaos != nil {
+		// The directory maps bound addresses to principals — the names the
+		// plan's rules match against. Faults stay inert until Start below.
+		chaos.Resolve(mem.Names())
 	}
 
 	node, pools, err := assembleNode(cfg, mem, rt.Index(), rt.KeyStore(), rt.Endpoint())
@@ -202,6 +236,20 @@ func runNode(cfg *cluster.Config, o options, stdout *os.File) error {
 	det.Names = mem.Names()
 	det.UnresponsiveAfter = o.unresponsive
 	defer det.Close()
+	rt.BindDetector(det)
+
+	if chaos != nil {
+		// Everyone passed Ready, so every process starts its plan clock at
+		// (practically) the same instant — what makes timed partitions and
+		// crash windows line up across the cluster.
+		chaos.Start()
+		if at, hang, ok := chaos.CrashAt(rt.Principal()); ok && hang == 0 {
+			// A permanent crash scheduled for this principal really exits
+			// the process: survivors see a genuinely dead peer, not just a
+			// black-holed one.
+			time.AfterFunc(at, func() { os.Exit(7) })
+		}
+	}
 
 	node.Start()
 	facts, err := workloadFacts(cfg, mem, rt.Index())
@@ -211,8 +259,24 @@ func runNode(cfg *cluster.Config, o options, stdout *os.File) error {
 	if len(facts) > 0 {
 		node.Assert(facts)
 	}
-	if err := det.WaitQuiescent(ctx); err != nil {
-		return err
+	// Under on_failure "abort" a dead peer surfaces as the typed error and
+	// ends the run (exit 3). Under "evict" the survivors prune the dead
+	// member everywhere (node, detector, endpoint, barrier), gossip the
+	// delta, and re-wait: the detector's per-peer report breakdowns let the
+	// waves converge on the surviving subset.
+	for {
+		err := det.WaitQuiescent(ctx)
+		if err == nil {
+			break
+		}
+		var ue *dist.UnresponsiveError
+		if !cfg.EvictOnFailure() || !errors.As(err, &ue) {
+			return err
+		}
+		if evicted := rt.EvictDead(ue); len(evicted) > 0 {
+			fmt.Fprintf(os.Stderr, "sbxnode: %s: evicting unresponsive %v, converging on survivors\n",
+				rt.Principal(), evicted)
+		}
 	}
 
 	// Departure barrier: keep answering peers' termination probes until
@@ -328,7 +392,23 @@ func runAllInOne(cfg *cluster.Config, o options, stdout *os.File) error {
 			nd.Stop()
 		}
 	}()
+	// Muted principals assert no workload facts and report no result lines:
+	// the in-process reference for a run whose evicted member died after the
+	// ready barrier but before contributing any input.
+	muted := make(map[string]bool)
+	if o.mute != "" {
+		for _, p := range strings.Split(o.mute, ",") {
+			p = strings.TrimSpace(p)
+			if mem.Index(p) < 0 {
+				return fmt.Errorf("-mute: no principal %q in config", p)
+			}
+			muted[p] = true
+		}
+	}
 	for i, nd := range nodes {
+		if muted[cfg.Nodes[i].Principal] {
+			continue
+		}
 		facts, err := workloadFacts(cfg, mem, i)
 		if err != nil {
 			return err
@@ -347,6 +427,9 @@ func runAllInOne(cfg *cluster.Config, o options, stdout *os.File) error {
 	}
 	var all []string
 	for i, nd := range nodes {
+		if muted[cfg.Nodes[i].Principal] {
+			continue
+		}
 		lines, err := workloadResults(cfg, mem, i, nd.WS)
 		if err != nil {
 			return err

@@ -77,6 +77,10 @@ type HashJoinConfig struct {
 	// Transport selects the cluster substrate ("", "mem" or "udp"); see
 	// core.NewNetwork.
 	Transport string
+	// ChaosPlan optionally names a scripted fault-plan file (JSON) injected
+	// below the reliable layer; requires the udp transport (see
+	// core.NewChaosNetwork).
+	ChaosPlan string
 	// Parallelism configures each node's engine fixpoint (0 sequential,
 	// >= 1 stratified parallel workers); results are identical.
 	Parallelism int
@@ -160,7 +164,7 @@ func RunHashJoin(cfg HashJoinConfig) (*HashJoinResult, error) {
 		return nil, fmt.Errorf("hashjoin: need at least one node")
 	}
 	cfg.Policy.Delegation = core.DelegateNone
-	net, err := core.NewNetwork(cfg.Transport)
+	net, err := core.NewChaosNetwork(cfg.Transport, cfg.ChaosPlan)
 	if err != nil {
 		return nil, err
 	}

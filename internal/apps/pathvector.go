@@ -70,6 +70,10 @@ type PathVectorConfig struct {
 	// in-process network, "udp" for real loopback sockets (see
 	// core.NewNetwork). The scenario and its results are identical.
 	Transport string
+	// ChaosPlan optionally names a scripted fault-plan file (JSON) injected
+	// below the reliable layer; requires the udp transport (see
+	// core.NewChaosNetwork).
+	ChaosPlan string
 	// Parallelism configures each node's engine fixpoint (0 sequential,
 	// >= 1 stratified parallel workers); results are identical.
 	Parallelism int
@@ -109,7 +113,7 @@ func PathVectorLinkFacts(g *graph.Graph, addrs []string, i int) []engine.Fact {
 func RunPathVector(cfg PathVectorConfig) (*PathVectorResult, error) {
 	g := graph.RandomConnected(cfg.N, cfg.AvgDegree, cfg.Seed)
 	cfg.Policy.Delegation = core.DelegateNone // the query imports itself
-	net, err := core.NewNetwork(cfg.Transport)
+	net, err := core.NewChaosNetwork(cfg.Transport, cfg.ChaosPlan)
 	if err != nil {
 		return nil, err
 	}

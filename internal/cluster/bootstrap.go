@@ -347,16 +347,40 @@ func (rt *Runtime) DepartureBarrier(ctx context.Context) error {
 	if rt.IsSeed() {
 		return rt.seedDeparture(ctx)
 	}
+	if rt.Evicted(rt.mem.Members[0].Principal) {
+		// The barrier's coordinator was evicted: there is nobody to collect
+		// leaves or release anyone. Survivors have all proven the fixpoint
+		// against the same surviving subset, so skipping the barrier cannot
+		// strand a probe.
+		return nil
+	}
 	return rt.awaitBye(ctx)
 }
 
 // seedDeparture collects leave announcements, then releases everyone.
+// Evicted members count as already departed — a dead node announces
+// nothing, and waiting for it would turn every evict-policy run into a
+// barrier timeout.
 func (rt *Runtime) seedDeparture(ctx context.Context) error {
 	left := map[string]bool{rt.principal: true}
-	for len(left) < len(rt.mem.Members) {
+	tick := time.NewTicker(resendInterval)
+	defer tick.Stop()
+	for {
+		// Re-merge evictions each round: a member can be evicted while the
+		// barrier is already waiting on its leave announcement.
+		for _, m := range rt.mem.Members {
+			if rt.Evicted(m.Principal) {
+				left[m.Principal] = true
+			}
+		}
+		if len(left) >= len(rt.mem.Members) {
+			break
+		}
 		select {
 		case <-ctx.Done():
 			return rt.bootstrapErr("leave", ctx.Err(), missingOfBool(rt.mem, left))
+		case <-tick.C:
+			// Just re-merge evictions above.
 		case rec := <-rt.ctrlCh:
 			if rec.Type != wire.CtrlLeave || len(rec.Members) != 1 {
 				continue
@@ -368,7 +392,7 @@ func (rt *Runtime) seedDeparture(ctx context.Context) error {
 	}
 	bye := rt.controlMsg(wire.Join{Type: wire.CtrlBye, Cluster: rt.cfg.Cluster})
 	for _, m := range rt.mem.Members {
-		if m.Principal != rt.principal {
+		if m.Principal != rt.principal && !rt.Evicted(m.Principal) {
 			_ = rt.ep.Send(m.Addr, bye)
 		}
 	}

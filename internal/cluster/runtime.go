@@ -4,13 +4,26 @@ import (
 	"context"
 	"crypto/rsa"
 	"fmt"
+	"sync"
 	"time"
 
 	"secureblox/internal/dist"
+	"secureblox/internal/obs"
 	"secureblox/internal/seccrypto"
 	"secureblox/internal/transport"
 	"secureblox/internal/wire"
 )
+
+// cEvictions counts members removed from this process's membership under
+// the evict failure policy, whether by local detection or by gossip.
+// Registered at init so it renders (at zero) on /metrics for healthy runs.
+var cEvictions *obs.Counter
+
+func init() {
+	r := obs.Default()
+	r.Help("sbx_cluster_evictions_total", "Cluster members evicted after exhausting the unresponsiveness budget.")
+	cEvictions = r.Counter("sbx_cluster_evictions_total", nil)
+}
 
 // Runtime is one process's attachment to a cluster deployment: the config
 // entry it runs as, its bound node endpoint, its keystore, and the
@@ -33,6 +46,16 @@ type Runtime struct {
 	directory []byte            // encoded CtrlDirectory message (seed only)
 	gossiped  map[string]string // principal → addr heard via CtrlMember
 	ctrlCh    chan wire.Join    // post-Start control records (departure barrier)
+
+	// Evict failure-policy state. node and det are the peers BindNode and
+	// BindDetector registered; evictMu guards evicted, which records the
+	// principals removed from this process's view of the membership —
+	// CtrlEvict gossip arrives on the node's transaction loop while local
+	// detection runs on the main goroutine.
+	node    *dist.Node
+	det     *dist.Detector
+	evictMu sync.Mutex
+	evicted map[string]bool
 }
 
 // NewRuntime binds the node's endpoint on net at its configured listen
@@ -95,13 +118,24 @@ func (rt *Runtime) Membership() *Membership { return rt.mem }
 
 // BindNode routes the bootstrap-record control traffic that arrives after
 // the node's transaction loop takes over the endpoint (the departure
-// barrier's CtrlLeave/CtrlBye) back into the runtime. It must be called
-// before n.Start, on the node built over rt.Endpoint().
+// barrier's CtrlLeave/CtrlBye) back into the runtime, and applies eviction
+// gossip (CtrlEvict) the moment it arrives. It must be called before
+// n.Start, on the node built over rt.Endpoint().
 func (rt *Runtime) BindNode(n *dist.Node) {
+	rt.node = n
 	rt.ctrlCh = make(chan wire.Join, 8*len(rt.cfg.Nodes)+8)
 	n.OnControl = func(from string, payload []byte) {
 		rec, err := wire.DecodeJoin(payload)
 		if err != nil || rec.Cluster != rt.cfg.Cluster {
+			return
+		}
+		if rec.Type == wire.CtrlEvict {
+			// A survivor whose detector gave up first is telling us: apply
+			// the delta now (Evict is safe from the transaction loop) rather
+			// than waiting out our own unresponsiveness budget. Never
+			// re-gossiped — every survivor that detects locally gossips once,
+			// so deltas cannot storm.
+			rt.applyEviction(rec.Members, false)
 			return
 		}
 		select {
@@ -109,6 +143,96 @@ func (rt *Runtime) BindNode(n *dist.Node) {
 		default: // overflow: drop, the sender's resend tick covers it
 		}
 	}
+}
+
+// BindDetector registers the process's termination detector so evictions —
+// local or gossiped — also prune its probe membership. Call it alongside
+// BindNode when the evict failure policy is enabled.
+func (rt *Runtime) BindDetector(det *dist.Detector) {
+	rt.det = det
+}
+
+// EvictDead applies the evict failure policy to the principals a
+// WaitQuiescent failure names: they are removed from this process's node
+// and detector membership (their pending frames forgotten, their counter
+// pairs excluded from future waves), counted on
+// sbx_cluster_evictions_total, and gossiped as a CtrlEvict directory delta
+// to the surviving members so their runtimes do the same without waiting
+// out their own detector budgets. Returns the principals newly evicted —
+// empty when gossip already delivered the delta, which still leaves the
+// caller free to retry WaitQuiescent.
+func (rt *Runtime) EvictDead(ue *dist.UnresponsiveError) []string {
+	members := make([]wire.MemberInfo, 0, len(ue.Principals))
+	for i, p := range ue.Principals {
+		addr := p // detector without a name directory: principal is the addr
+		if i < len(ue.Addrs) {
+			addr = ue.Addrs[i]
+		}
+		members = append(members, wire.MemberInfo{Principal: p, Addr: addr})
+	}
+	return rt.applyEviction(members, true)
+}
+
+// Evicted reports whether a principal has been evicted from this process's
+// view of the membership.
+func (rt *Runtime) Evicted(principal string) bool {
+	rt.evictMu.Lock()
+	defer rt.evictMu.Unlock()
+	return rt.evicted[principal]
+}
+
+// applyEviction is the single eviction path, shared by local detection
+// (gossip=true) and received gossip (gossip=false). Deduplicates against
+// already-applied evictions, prunes node and detector membership, and
+// returns the principals newly evicted.
+func (rt *Runtime) applyEviction(members []wire.MemberInfo, gossip bool) []string {
+	rt.evictMu.Lock()
+	if rt.evicted == nil {
+		rt.evicted = make(map[string]bool)
+	}
+	var fresh []wire.MemberInfo
+	for _, m := range members {
+		// A delta naming this node is ignored: an asymmetrically partitioned
+		// peer may believe we are dead, but acting on that belief here would
+		// turn a live process into a zombie. Survivors that evicted us simply
+		// stop counting our traffic.
+		if m.Principal == rt.principal || rt.evicted[m.Principal] {
+			continue
+		}
+		rt.evicted[m.Principal] = true
+		fresh = append(fresh, m)
+	}
+	rt.evictMu.Unlock()
+	if len(fresh) == 0 {
+		return nil
+	}
+	addrs := make([]string, len(fresh))
+	principals := make([]string, len(fresh))
+	for i, m := range fresh {
+		addrs[i] = m.Addr
+		principals[i] = m.Principal
+	}
+	if rt.node != nil {
+		rt.node.Evict(addrs...)
+	}
+	if rt.det != nil {
+		rt.det.Evict(addrs...)
+	}
+	if f, ok := rt.ep.(interface{ Forget(string) int }); ok {
+		for _, a := range addrs {
+			f.Forget(a)
+		}
+	}
+	cEvictions.Add(int64(len(fresh)))
+	if gossip && rt.mem != nil {
+		delta := rt.controlMsg(wire.Join{Type: wire.CtrlEvict, Cluster: rt.cfg.Cluster, Members: fresh})
+		for _, m := range rt.mem.Members {
+			if m.Principal != rt.principal && !rt.Evicted(m.Principal) {
+				_ = rt.ep.Send(m.Addr, delta)
+			}
+		}
+	}
+	return principals
 }
 
 // Leave departs gracefully: the node's queued work is drained — including
@@ -137,14 +261,17 @@ func (rt *Runtime) flushEndpoint(ctx context.Context) {
 	if !ok {
 		return
 	}
-	deadline := time.After(2 * time.Second)
+	grace := time.NewTimer(2 * time.Second)
+	defer grace.Stop()
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
 	for pending.PendingFrames() > 0 {
 		select {
 		case <-ctx.Done():
 			return
-		case <-deadline:
+		case <-grace.C:
 			return
-		case <-time.After(5 * time.Millisecond):
+		case <-tick.C:
 		}
 	}
 }

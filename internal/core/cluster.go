@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"os"
 	"time"
 
 	"secureblox/internal/cluster"
@@ -113,6 +114,41 @@ func NewNetwork(name string) (transport.Network, error) {
 	}
 }
 
+// NewChaosNetwork builds a transport.Network like NewNetwork and, when
+// planPath names a chaos fault plan, arms the substrate with its scripted
+// faults (drop/dup/garble/delay/reorder links, timed partitions, crash
+// windows). Chaos requires the udp transport: the faults exercise the
+// reliable ack/retransmit layer, which memnet bypasses entirely. The plan
+// clock is started by Cluster.Start.
+func NewChaosNetwork(name, planPath string) (transport.Network, error) {
+	if planPath == "" {
+		return NewNetwork(name)
+	}
+	if name != "udp" {
+		return nil, fmt.Errorf("core: chaos injection requires the udp transport, got %q", name)
+	}
+	data, err := os.ReadFile(planPath)
+	if err != nil {
+		return nil, fmt.Errorf("core: chaos plan: %w", err)
+	}
+	plan, err := transport.ParseChaosPlan(data)
+	if err != nil {
+		return nil, fmt.Errorf("core: chaos plan %s: %w", planPath, err)
+	}
+	n := transport.NewUDPNetwork()
+	n.Chaos = transport.NewChaosEngine(plan)
+	return n, nil
+}
+
+// chaosEngine returns the scripted fault engine armed on the cluster's
+// network, or nil.
+func (c *Cluster) chaosEngine() *transport.ChaosEngine {
+	if u, ok := c.Net.(*transport.UDPNetwork); ok {
+		return u.Chaos
+	}
+	return nil
+}
+
 // NewCluster compiles the query with the policy via BloxGenerics, opens one
 // endpoint per node on the configured network (plus one for the
 // termination detector), builds N workspaces with per-node keystore-bound
@@ -186,6 +222,11 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	c.det = dist.NewDetector(detEp, c.Addrs)
 	c.det.Names = c.Directory.Names()
+	if ce := c.chaosEngine(); ce != nil {
+		// Bind the plan's principal names to the endpoints' real bound
+		// addresses; faults stay inert until Start.
+		ce.Resolve(c.Directory.Names())
+	}
 
 	if cfg.Policy.Auth == AuthRSA {
 		c.pool = seccrypto.NewVerifyPool(0)
@@ -246,6 +287,9 @@ func (c *Cluster) Start() {
 	}
 	c.started = true
 	c.startAt = time.Now()
+	if ce := c.chaosEngine(); ce != nil {
+		ce.Start() // the plan clock runs from experiment start
+	}
 	for _, n := range c.Nodes {
 		n.Start()
 	}

@@ -1,0 +1,196 @@
+package dist_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"secureblox/internal/datalog"
+	"secureblox/internal/dist"
+	"secureblox/internal/engine"
+	"secureblox/internal/transport"
+)
+
+// TestUnresponsiveErrorMultipleDead: several principals dying at once must
+// all surface in one typed error, sorted deterministically by principal
+// name with the address list kept aligned, falling back to the raw
+// transport address whenever the directory has no name for a node.
+func TestUnresponsiveErrorMultipleDead(t *testing.T) {
+	const (
+		deadX = "10.0.0.3:7000"
+		deadY = "10.0.0.4:7000"
+		deadZ = "10.0.0.5:7000"
+	)
+	cases := []struct {
+		name           string
+		dead           []string // endpoints created and immediately closed
+		names          map[string]string
+		wantPrincipals []string
+		wantAddrs      []string
+		wantInMsg      string
+	}{
+		{
+			name:           "all named, sorted by principal not address",
+			dead:           []string{deadY, deadX},
+			names:          map[string]string{deadX: "zoe", deadY: "abe"},
+			wantPrincipals: []string{"abe", "zoe"},
+			wantAddrs:      []string{deadY, deadX},
+			wantInMsg:      "abe, zoe",
+		},
+		{
+			name:           "no directory falls back to raw addresses",
+			dead:           []string{deadZ, deadX, deadY},
+			names:          nil,
+			wantPrincipals: []string{deadX, deadY, deadZ},
+			wantAddrs:      []string{deadX, deadY, deadZ},
+			wantInMsg:      deadX + ", " + deadY + ", " + deadZ,
+		},
+		{
+			name:           "partial directory mixes names and addresses",
+			dead:           []string{deadX, deadY},
+			names:          map[string]string{deadY: "bob"},
+			wantPrincipals: []string{deadX, "bob"},
+			wantAddrs:      []string{deadX, deadY},
+			wantInMsg:      deadX + ", bob",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			net := transport.NewMemNetwork()
+			defer net.Close()
+			// One live node keeps answering probes, proving the error names
+			// exactly the dead subset rather than everyone.
+			a := newTestNode(t, net, "a", addrA, map[string]string{"a": addrA}, "")
+			a.Start()
+			defer a.Stop()
+			for _, addr := range tc.dead {
+				net.Endpoint(addr).Close()
+			}
+
+			det := newDetector(t, net, append([]string{addrA}, tc.dead...)...)
+			det.UnresponsiveAfter = 300 * time.Millisecond
+			det.Names = tc.names
+			if det.Names == nil {
+				det.Names = map[string]string{}
+			}
+			det.Names[addrA] = "alice"
+
+			errCh := make(chan error, 1)
+			go func() { errCh <- det.WaitQuiescent(context.Background()) }()
+			select {
+			case err := <-errCh:
+				var ue *dist.UnresponsiveError
+				if !errors.As(err, &ue) {
+					t.Fatalf("got %v, want *UnresponsiveError", err)
+				}
+				if !reflect.DeepEqual(ue.Principals, tc.wantPrincipals) {
+					t.Errorf("principals = %v, want %v", ue.Principals, tc.wantPrincipals)
+				}
+				if !reflect.DeepEqual(ue.Addrs, tc.wantAddrs) {
+					t.Errorf("addrs = %v, want %v", ue.Addrs, tc.wantAddrs)
+				}
+				if !strings.Contains(ue.Error(), tc.wantInMsg) {
+					t.Errorf("error %q does not name %q", ue.Error(), tc.wantInMsg)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("WaitQuiescent hung on dead nodes")
+			}
+		})
+	}
+}
+
+// TestEvictionConvergesOnSurvivors is the dist-layer half of the evict
+// failure policy: after a peer dies mid-run, evicting it from both the
+// surviving node and the detector lets WaitQuiescent converge on the
+// surviving subset — even though the survivor had already exchanged
+// traffic with the dead peer, whose counters can never balance again.
+func TestEvictionConvergesOnSurvivors(t *testing.T) {
+	net := transport.NewMemNetwork()
+	defer net.Close()
+	peers := map[string]string{"a": addrA, "b": addrB}
+	a := newTestNode(t, net, "a", addrA, peers, deriveRule)
+	b := newTestNode(t, net, "b", addrB, peers, echoRule)
+	det := newDetector(t, net, addrA, addrB)
+	det.Names = map[string]string{addrA: "a", addrB: "b"}
+	a.Start()
+	b.Start()
+	defer a.Stop()
+
+	// Healthy run first: a ships to b, b echoes back, fixpoint proven over
+	// both nodes. This leaves real nonzero a<->b counter history behind.
+	a.Assert([]engine.Fact{
+		{Pred: "pay", Tuple: datalog.Tuple{datalog.BytesV([]byte("before the crash"))}},
+		{Pred: "dest", Tuple: datalog.Tuple{datalog.NodeV(addrB)}},
+		{Pred: "trigger", Tuple: datalog.Tuple{datalog.Int64(1)}},
+	})
+	waitFixpoint(t, det)
+
+	// b dies. New work on a addressed to b goes nowhere, and the next wave
+	// must surface b as unresponsive rather than hang.
+	b.Stop()
+	net.Endpoint(addrB).Close()
+	a.Assert([]engine.Fact{
+		{Pred: "pay", Tuple: datalog.Tuple{datalog.BytesV([]byte("after the crash"))}},
+		{Pred: "trigger", Tuple: datalog.Tuple{datalog.Int64(2)}},
+	})
+	det.UnresponsiveAfter = 300 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var ue *dist.UnresponsiveError
+	if err := det.WaitQuiescent(ctx); !errors.As(err, &ue) {
+		t.Fatalf("got %v, want *UnresponsiveError", err)
+	}
+	if !reflect.DeepEqual(ue.Principals, []string{"b"}) {
+		t.Fatalf("unresponsive principals = %v, want [b]", ue.Principals)
+	}
+
+	// Evict b everywhere a survivor keeps state about it. The next wait
+	// must converge on {a} alone: a's report breakdown lets the detector
+	// exclude the a<->b pairs that would otherwise never balance.
+	a.Evict(addrB)
+	det.Evict(addrB)
+	if err := det.WaitQuiescent(ctx); err != nil {
+		t.Fatalf("post-eviction WaitQuiescent: %v", err)
+	}
+
+	// The survivor still derived its local facts, and new work after the
+	// eviction still reaches a fixpoint.
+	a.Assert([]engine.Fact{
+		{Pred: "dest", Tuple: datalog.Tuple{datalog.NodeV(addrA)}},
+		{Pred: "trigger", Tuple: datalog.Tuple{datalog.Int64(3)}},
+	})
+	if err := det.WaitQuiescent(ctx); err != nil {
+		t.Fatalf("post-eviction fixpoint: %v", err)
+	}
+}
+
+// TestEvictMidWaveUnblocksWaiter: an eviction applied while WaitQuiescent
+// is already blocked mid-wave (the situation eviction gossip creates) must
+// be noticed by the in-flight wave, not only by the next call.
+func TestEvictMidWaveUnblocksWaiter(t *testing.T) {
+	net := transport.NewMemNetwork()
+	defer net.Close()
+	a := newTestNode(t, net, "a", addrA, map[string]string{"a": addrA, "b": addrB}, "")
+	a.Start()
+	defer a.Stop()
+	net.Endpoint(addrB).Close() // b is dead from the start
+
+	det := newDetector(t, net, addrA, addrB)
+	errCh := make(chan error, 1)
+	go func() { errCh <- det.WaitQuiescent(context.Background()) }()
+
+	// Give the wave time to block on b, then evict b under it.
+	time.Sleep(150 * time.Millisecond)
+	det.Evict(addrB)
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("WaitQuiescent after mid-wave eviction: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("mid-wave eviction did not unblock the waiter")
+	}
+}

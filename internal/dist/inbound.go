@@ -41,8 +41,13 @@ func (n *Node) handleMessage(e envelope) {
 		n.handleProbe(in.From, msg)
 		return
 	}
+	n.applyEvictions()
+	if n.evicted[in.From] {
+		return // an evicted peer's straggler traffic is dropped uncounted
+	}
 	if n.countsPeer(in.From) {
 		n.ctrRecv.Add(1)
+		n.peerCtrFor(in.From).recv.Add(1)
 	}
 	n.Metrics.RecordMsgProcessed()
 	n.Metrics.RecordRecv(len(in.Data))
@@ -120,6 +125,9 @@ func (n *Node) handleProbe(replyTo string, msg wire.Message) {
 		Sent:   n.ctrSent.Load(),
 		Recv:   n.ctrRecv.Load(),
 		Active: active,
+		// The per-peer breakdown lets the detector exclude message pairs
+		// involving evicted principals from its wave sums.
+		Peers: n.peerCounts(),
 	}
 	data := wire.EncodeMessage(wire.Message{
 		Kind:     wire.MsgControl,

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"context"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -80,6 +81,19 @@ type Node struct {
 	ctrSent atomic.Uint64
 	ctrRecv atomic.Uint64
 
+	// Per-peer breakdown of the same counters, reported in probe answers
+	// so a detector can restrict its wave sums to the surviving membership
+	// after an eviction. Entries are created lazily under ctrMu (both the
+	// loop and the sender stage write) and their counters are atomics.
+	ctrMu   sync.Mutex
+	perPeer map[string]*peerCtr
+
+	// evictQ holds eviction requests (peer transport addresses) queued by
+	// Evict for the loop goroutine, under mu; evicted is the loop-owned
+	// set of peers already cut off.
+	evictQ  []string
+	evicted map[string]bool
+
 	// Loop-goroutine-only state (no locking needed).
 	sent     map[string]bool // export tuple keys already shipped
 	selfAddr string          // cached principal_node[self] address
@@ -133,6 +147,8 @@ func NewNode(principal string, ws *engine.Workspace, ep transport.Transport) *No
 		wake:      make(chan struct{}, 1),
 		stopCh:    make(chan struct{}),
 		sent:      make(map[string]bool),
+		perPeer:   make(map[string]*peerCtr),
+		evicted:   make(map[string]bool),
 	}
 	// Internal pipeline state, scraped as gauges. Re-registering the same
 	// principal replaces the function, so rebuilding clusters in one
@@ -164,6 +180,96 @@ func (n *Node) SetPeers(addrs []string) {
 // termination counters.
 func (n *Node) countsPeer(addr string) bool {
 	return n.peers == nil || n.peers[addr]
+}
+
+// peerCtr is one peer's slice of the termination counters.
+type peerCtr struct {
+	sent, recv atomic.Uint64
+}
+
+// peerCtrFor returns the per-peer counter cell for addr, creating it on
+// first contact. Safe from any goroutine.
+func (n *Node) peerCtrFor(addr string) *peerCtr {
+	n.ctrMu.Lock()
+	c := n.perPeer[addr]
+	if c == nil {
+		c = &peerCtr{}
+		n.perPeer[addr] = c
+	}
+	n.ctrMu.Unlock()
+	return c
+}
+
+// peerCounts snapshots the per-peer counter breakdown, sorted by address
+// for deterministic reports.
+func (n *Node) peerCounts() []wire.PeerCount {
+	n.ctrMu.Lock()
+	out := make([]wire.PeerCount, 0, len(n.perPeer))
+	for addr, c := range n.perPeer {
+		out = append(out, wire.PeerCount{Addr: addr, Sent: c.sent.Load(), Recv: c.recv.Load()})
+	}
+	n.ctrMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// Evict cuts one or more cluster peers off: no further messages are
+// shipped to or accepted from their addresses, the export dedup set is
+// pruned of tuples addressed to them, and the endpoint's reliable layer
+// forgets their pending frames and dedup state. Callable from any
+// goroutine; the loop goroutine applies the eviction between units of
+// work. The per-peer counters are retained — the detector needs them to
+// subtract the dead pairs from its wave sums.
+func (n *Node) Evict(addrs ...string) {
+	if len(addrs) == 0 {
+		return
+	}
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.evictQ = append(n.evictQ, addrs...)
+	n.mu.Unlock()
+	select {
+	case n.wake <- struct{}{}:
+	default:
+	}
+}
+
+// applyEvictions applies queued evictions on the loop goroutine, which
+// owns the evicted set and the sent-set it prunes.
+func (n *Node) applyEvictions() {
+	n.mu.Lock()
+	q := n.evictQ
+	n.evictQ = nil
+	n.mu.Unlock()
+	if len(q) == 0 {
+		return
+	}
+	fresh := false
+	for _, addr := range q {
+		if n.evicted[addr] {
+			continue
+		}
+		n.evicted[addr] = true
+		fresh = true
+		if f, ok := n.ep.(interface{ Forget(string) int }); ok {
+			f.Forget(addr)
+		}
+	}
+	if !fresh {
+		return
+	}
+	// Prune dedup entries for tuples addressed to the dead peers: ship
+	// skips evicted destinations, so keeping their keys would only hold
+	// memory for sends that can never happen.
+	for _, t := range n.WS.Tuples("export") {
+		if len(t) == 3 && t[0].Kind == datalog.KindNode && n.evicted[t[0].Str] {
+			delete(n.sent, t.Key())
+		}
+	}
+	n.sentSize.Store(int64(len(n.sent)))
 }
 
 // Counters returns the node's termination-detection counters: cumulative
@@ -398,6 +504,7 @@ func (n *Node) pump(in <-chan transport.InMsg) <-chan envelope {
 // transaction is rejected, each batch is retried in isolation so one bad
 // batch cannot roll back unrelated valid ones.
 func (n *Node) drainLocal() {
+	n.applyEvictions()
 	n.mu.Lock()
 	batches := n.pending
 	n.pending = nil

@@ -63,6 +63,9 @@ func (n *Node) ship(exports []datalog.Tuple) {
 		if to == self || to == n.ep.Addr() {
 			continue // inbound assertions and loopbacks never need dedup
 		}
+		if n.evicted[to] {
+			continue // no traffic to evicted peers, and no dedup mark either
+		}
 		n.sent[key] = true
 		r := route{to: to, from: t[1].Str}
 		if _, ok := payloads[r]; !ok {
@@ -199,6 +202,7 @@ func (n *Node) sendChunk(c outChunk) {
 	}
 	if n.countsPeer(c.to) {
 		n.ctrSent.Add(1)
+		n.peerCtrFor(c.to).sent.Add(1)
 	}
 	n.Metrics.RecordSent(len(data))
 	obs.RecordSpan(obs.Span{

@@ -76,7 +76,12 @@ type Detector struct {
 	// Optional; addresses are used verbatim when absent.
 	Names map[string]string
 
-	ep     transport.Transport
+	ep transport.Transport
+
+	// memMu guards the live membership: Evict may be applied (e.g. from
+	// eviction gossip) while a WaitQuiescent is mid-wave, and the wave must
+	// converge on the surviving subset.
+	memMu  sync.Mutex
 	nodes  []string
 	member map[string]bool
 
@@ -92,6 +97,48 @@ func NewDetector(ep transport.Transport, nodes []string) *Detector {
 		d.member[a] = true
 	}
 	return d
+}
+
+// Evict removes nodes from the detector's live membership: they are no
+// longer probed, their late reports are discarded, and — via the per-peer
+// report breakdowns — every message pair involving them is excluded from
+// the wave sums, so WaitQuiescent converges on the surviving subset (the
+// dead peer's counters could otherwise never balance again). The
+// detector's own endpoint also forgets their pending frames. Safe to call
+// while a WaitQuiescent is in flight; a wave in progress notices on its
+// next re-probe.
+func (d *Detector) Evict(addrs ...string) {
+	d.memMu.Lock()
+	for _, a := range addrs {
+		if d.member[a] {
+			delete(d.member, a)
+		}
+	}
+	live := d.nodes[:0]
+	for _, a := range d.nodes {
+		if d.member[a] {
+			live = append(live, a)
+		}
+	}
+	d.nodes = live
+	d.memMu.Unlock()
+	if f, ok := d.ep.(interface{ Forget(string) int }); ok {
+		for _, a := range addrs {
+			f.Forget(a)
+		}
+	}
+}
+
+// membership snapshots the live node list and membership set.
+func (d *Detector) membership() ([]string, map[string]bool) {
+	d.memMu.Lock()
+	defer d.memMu.Unlock()
+	nodes := append([]string(nil), d.nodes...)
+	member := make(map[string]bool, len(d.member))
+	for a := range d.member {
+		member[a] = true
+	}
+	return nodes, member
 }
 
 // Close shuts the detector's endpoint down; a concurrent or later Wait
@@ -185,16 +232,35 @@ func (d *Detector) collect(ctx context.Context) (sum waveSum, err error) {
 	}
 	start := time.Now()
 	budget := d.unresponsiveAfter()
-	reports := make(map[string]wire.Control, len(d.nodes))
-	for len(reports) < len(d.nodes) {
-		for _, addr := range d.nodes {
-			if _, done := reports[addr]; !done {
-				_ = d.ep.Send(addr, probe)
+	reports := make(map[string]wire.Control)
+	var member map[string]bool
+	for {
+		// Re-snapshot the membership each round: an eviction applied
+		// mid-wave (by the caller or by eviction gossip) shrinks what the
+		// wave must collect, and reports already gathered from a
+		// now-evicted node must not leak into the sums.
+		var nodes []string
+		nodes, member = d.membership()
+		for addr := range reports {
+			if !member[addr] {
+				delete(reports, addr)
 			}
+		}
+		missing := nodes[:0]
+		for _, addr := range nodes {
+			if _, done := reports[addr]; !done {
+				missing = append(missing, addr)
+			}
+		}
+		if len(missing) == 0 {
+			break
+		}
+		for _, addr := range missing {
+			_ = d.ep.Send(addr, probe)
 		}
 		deadline := time.NewTimer(timeout)
 	recv:
-		for len(reports) < len(d.nodes) {
+		for len(reports) < len(member) {
 			select {
 			case in, open := <-d.ep.Receive():
 				if !open {
@@ -209,8 +275,8 @@ func (d *Detector) collect(ctx context.Context) (sum waveSum, err error) {
 				if err != nil || c.Type != wire.CtrlReport || c.Wave != wave {
 					continue // stale wave or not a report
 				}
-				if !d.member[in.From] {
-					continue // a spoofed report must not complete a wave
+				if !member[in.From] {
+					continue // a spoofed or evicted report must not complete a wave
 				}
 				reports[in.From] = c
 			case <-ctx.Done():
@@ -221,34 +287,60 @@ func (d *Detector) collect(ctx context.Context) (sum waveSum, err error) {
 			}
 		}
 		deadline.Stop()
-		if elapsed := time.Since(start); len(reports) < len(d.nodes) && elapsed > budget {
-			return sum, d.unresponsive(reports, wave, elapsed)
+		if elapsed := time.Since(start); len(reports) < len(member) && elapsed > budget {
+			still := missing[:0]
+			for _, addr := range missing {
+				if _, done := reports[addr]; !done {
+					still = append(still, addr)
+				}
+			}
+			return sum, d.unresponsive(still, wave, elapsed)
 		}
 	}
 	for _, c := range reports {
-		sum.sent += c.Sent
-		sum.recv += c.Recv
+		if len(c.Peers) > 0 {
+			// Per-peer breakdown: count only message pairs within the live
+			// membership, so traffic with evicted principals — counted
+			// before they died and unanswerable forever after — cannot
+			// keep the sums unbalanced.
+			for _, p := range c.Peers {
+				if member[p.Addr] {
+					sum.sent += p.Sent
+					sum.recv += p.Recv
+				}
+			}
+		} else {
+			sum.sent += c.Sent
+			sum.recv += c.Recv
+		}
 		sum.active = sum.active || c.Active
 	}
 	return sum, nil
 }
 
 // unresponsive builds the typed error naming every node still missing from
-// a wave's report set.
-func (d *Detector) unresponsive(reports map[string]wire.Control, wave uint64, elapsed time.Duration) *UnresponsiveError {
+// a wave's report set, sorted by principal name with the address list kept
+// aligned.
+func (d *Detector) unresponsive(missing []string, wave uint64, elapsed time.Duration) *UnresponsiveError {
 	e := &UnresponsiveError{Wave: wave, After: elapsed}
-	for _, addr := range d.nodes {
-		if _, ok := reports[addr]; ok {
-			continue
-		}
+	type dead struct{ name, addr string }
+	deads := make([]dead, 0, len(missing))
+	for _, addr := range missing {
 		name := d.Names[addr]
 		if name == "" {
 			name = addr
 		}
-		e.Principals = append(e.Principals, name)
-		e.Addrs = append(e.Addrs, addr)
+		deads = append(deads, dead{name: name, addr: addr})
 	}
-	sort.Strings(e.Principals)
-	sort.Strings(e.Addrs)
+	sort.Slice(deads, func(i, j int) bool {
+		if deads[i].name != deads[j].name {
+			return deads[i].name < deads[j].name
+		}
+		return deads[i].addr < deads[j].addr
+	})
+	for _, x := range deads {
+		e.Principals = append(e.Principals, x.name)
+		e.Addrs = append(e.Addrs, x.addr)
+	}
 	return e
 }

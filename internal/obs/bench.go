@@ -29,6 +29,15 @@ type BenchSchemeResult struct {
 	TxnP99Ms float64 `json:"txn_p99_ms"`
 	// FixpointRounds is the engine's semi-naïve round total for the run.
 	FixpointRounds int64 `json:"fixpoint_rounds"`
+	// The fault counters gate reliability: a clean benchmark run retransmits
+	// nothing, evicts nobody, and injects no chaos, so any of these
+	// appearing from zero is a regression (the transport started dropping or
+	// the run was accidentally measured under fault injection). omitempty
+	// keeps healthy reports uncluttered — absent means zero.
+	Retransmits int64 `json:"retransmits,omitempty"`
+	Backoffs    int64 `json:"backoffs,omitempty"`
+	Evictions   int64 `json:"evictions,omitempty"`
+	ChaosFaults int64 `json:"chaos_faults,omitempty"`
 }
 
 // BenchReport is the schema of a BENCH_*.json file: one figure's workload

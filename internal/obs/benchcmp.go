@@ -31,8 +31,11 @@ func (d CellDelta) String() string {
 // into counters (stable across machines) and timing (only comparable
 // between runs on the same hardware).
 var (
-	benchCounterMetrics = []string{"rsa_sign_ops", "bytes_shipped", "txns", "fixpoint_rounds"}
-	benchTimingMetrics  = []string{"fixpoint_s", "txn_p50_ms", "txn_p90_ms", "txn_p99_ms"}
+	benchCounterMetrics = []string{
+		"rsa_sign_ops", "bytes_shipped", "txns", "fixpoint_rounds",
+		"retransmits", "backoffs", "evictions", "chaos_faults",
+	}
+	benchTimingMetrics = []string{"fixpoint_s", "txn_p50_ms", "txn_p90_ms", "txn_p99_ms"}
 )
 
 func benchCells(r BenchReport) map[string]map[string]float64 {
@@ -47,6 +50,10 @@ func benchCells(r BenchReport) map[string]map[string]float64 {
 			"txn_p90_ms":      c.TxnP90Ms,
 			"txn_p99_ms":      c.TxnP99Ms,
 			"fixpoint_rounds": float64(c.FixpointRounds),
+			"retransmits":     float64(c.Retransmits),
+			"backoffs":        float64(c.Backoffs),
+			"evictions":       float64(c.Evictions),
+			"chaos_faults":    float64(c.ChaosFaults),
 		}
 	}
 	return out

@@ -59,6 +59,26 @@ func TestCompareBenchCounterFromZero(t *testing.T) {
 	}
 }
 
+func TestCompareBenchFaultCountersFromZero(t *testing.T) {
+	// Fault counters are zero in every healthy baseline, so any of them
+	// appearing flags the run even at ratio +inf — the transport started
+	// dropping, or the measurement ran under fault injection.
+	got := cmpReports(t, func(r *BenchSchemeResult) {
+		r.Retransmits = 3
+		r.Evictions = 1
+		r.ChaosFaults = 12
+	}, false)
+	want := map[string]bool{"retransmits": true, "evictions": true, "chaos_faults": true}
+	if len(got) != len(want) {
+		t.Fatalf("expected %d fault-counter regressions, got %v", len(want), got)
+	}
+	for _, d := range got {
+		if !want[d.Metric] {
+			t.Errorf("unexpected regression metric %q", d.Metric)
+		}
+	}
+}
+
 func TestCompareBenchIgnoresUnsharedCells(t *testing.T) {
 	base := BenchReport{Results: []BenchSchemeResult{{Scheme: "NoAuth", N: 6, Txns: 10}}}
 	cur := BenchReport{Results: []BenchSchemeResult{{Scheme: "NoAuth", N: 12, Txns: 9999}}}

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"hash/fnv"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -18,6 +20,9 @@ var (
 	cDupDrops    *obs.Counter
 	cCRCRejects  *obs.Counter
 	cLosses      *obs.Counter
+	cBackoffs    *obs.Counter
+	cDeferrals   *obs.Counter
+	cForgotten   *obs.Counter
 )
 
 func init() {
@@ -26,10 +31,16 @@ func init() {
 	r.Help("sbx_transport_dup_drops_total", "Redelivered frames suppressed by the receive dedup window.")
 	r.Help("sbx_transport_crc_rejects_total", "Inbound datagrams dropped as garbage or CRC failures.")
 	r.Help("sbx_transport_frame_losses_total", "Frames abandoned after MaxAttempts retransmissions.")
+	r.Help("sbx_transport_backoffs_total", "Retransmissions fired at a backed-off (beyond base) interval.")
+	r.Help("sbx_transport_send_deferrals_total", "Sends queued unsent because the destination hit its in-flight cap.")
+	r.Help("sbx_transport_forgotten_frames_total", "Pending frames purged by Forget after a peer was evicted.")
 	cRetransmits = r.Counter("sbx_transport_retransmits_total", nil)
 	cDupDrops = r.Counter("sbx_transport_dup_drops_total", nil)
 	cCRCRejects = r.Counter("sbx_transport_crc_rejects_total", nil)
 	cLosses = r.Counter("sbx_transport_frame_losses_total", nil)
+	cBackoffs = r.Counter("sbx_transport_backoffs_total", nil)
+	cDeferrals = r.Counter("sbx_transport_send_deferrals_total", nil)
+	cForgotten = r.Counter("sbx_transport_forgotten_frames_total", nil)
 }
 
 // ReliabilityStats is one endpoint's view of the reliable layer's work:
@@ -75,14 +86,24 @@ const reliableOverhead = 1 + 4 + binary.MaxVarintLen64
 
 // ReliableConfig tunes the acknowledge/retransmit layer.
 type ReliableConfig struct {
-	// RetransmitInterval is how often unacknowledged frames are re-sent.
-	// Zero means the 50ms default.
+	// RetransmitInterval is the base delay before the first retransmission
+	// of an unacknowledged frame; later retransmissions back off
+	// exponentially from it. Zero means the 50ms default.
 	RetransmitInterval time.Duration
 	// MaxAttempts bounds retransmissions per frame; once exceeded the
 	// frame is dropped and counted as a loss. Zero means retry forever —
 	// the right default for termination detection, which relies on every
 	// counted message eventually arriving.
 	MaxAttempts int
+	// MaxBackoff caps the per-frame exponential backoff so an evicted-peer
+	// purge or a healed partition is noticed within a bounded delay. Zero
+	// means 16x the base interval.
+	MaxBackoff time.Duration
+	// MaxInflight caps how many unacknowledged frames may be on the wire
+	// per destination; further sends are queued unsent until slots free
+	// up, so a dead or partitioned peer stops consuming bandwidth
+	// proportional to the backlog. Zero means 512.
+	MaxInflight int
 }
 
 func (c ReliableConfig) interval() time.Duration {
@@ -90,6 +111,35 @@ func (c ReliableConfig) interval() time.Duration {
 		return 50 * time.Millisecond
 	}
 	return c.RetransmitInterval
+}
+
+func (c ReliableConfig) maxBackoff() time.Duration {
+	if c.MaxBackoff <= 0 {
+		return 16 * c.interval()
+	}
+	return c.MaxBackoff
+}
+
+func (c ReliableConfig) maxInflight() int {
+	if c.MaxInflight <= 0 {
+		return 512
+	}
+	return c.MaxInflight
+}
+
+// pollInterval is how often the retransmit loop wakes to scan for due
+// frames and free in-flight slots: a quarter of the base interval, clamped
+// so tests with millisecond intervals stay fast and production configs
+// don't spin.
+func (c ReliableConfig) pollInterval() time.Duration {
+	p := c.interval() / 4
+	if p < time.Millisecond {
+		p = time.Millisecond
+	}
+	if p > 25*time.Millisecond {
+		p = 25 * time.Millisecond
+	}
+	return p
 }
 
 // ReliableEndpoint layers message-level reliability over a lossy datagram
@@ -107,7 +157,9 @@ type ReliableEndpoint struct {
 	mu          sync.Mutex
 	nextSeq     map[string]uint64              // per-destination last used seq
 	pending     map[string]map[uint64]*unacked // per-destination unacked frames
+	inflight    map[string]int                 // per-destination frames on the wire
 	seen        map[string]*dedupState         // per-source delivery dedup
+	rng         *rand.Rand                     // retransmit jitter (mu-guarded)
 	losses      int64                          // frames dropped after MaxAttempts
 	retransmits int64                          // data frames re-sent
 	dupDrops    int64                          // redeliveries suppressed
@@ -121,6 +173,15 @@ type ReliableEndpoint struct {
 type unacked struct {
 	frame    []byte
 	attempts int
+	// sentOnce marks the frame as having reached the wire at least once
+	// (it holds an in-flight slot); frames deferred by the in-flight cap
+	// wait unsent for the retransmit loop to find a free slot.
+	sentOnce bool
+	// nextAt is when the frame is next due for (re)transmission.
+	nextAt time.Time
+	// backoff is the current retransmission delay, doubled on every
+	// re-send up to the config cap.
+	backoff time.Duration
 }
 
 // dedupWindow bounds the out-of-order set per source. A sender that gave
@@ -169,14 +230,18 @@ func (st *dedupState) advance() {
 // NewReliable wraps an open endpoint. The wrapper takes ownership: closing
 // it closes the inner endpoint.
 func NewReliable(inner Transport, cfg ReliableConfig) *ReliableEndpoint {
+	h := fnv.New64a()
+	h.Write([]byte(inner.Addr()))
 	r := &ReliableEndpoint{
-		inner:   inner,
-		cfg:     cfg,
-		q:       newQueue(),
-		nextSeq: make(map[string]uint64),
-		pending: make(map[string]map[uint64]*unacked),
-		seen:    make(map[string]*dedupState),
-		stop:    make(chan struct{}),
+		inner:    inner,
+		cfg:      cfg,
+		q:        newQueue(),
+		nextSeq:  make(map[string]uint64),
+		pending:  make(map[string]map[uint64]*unacked),
+		inflight: make(map[string]int),
+		seen:     make(map[string]*dedupState),
+		rng:      rand.New(rand.NewSource(int64(h.Sum64()))),
+		stop:     make(chan struct{}),
 	}
 	r.wg.Add(2)
 	go r.recvLoop()
@@ -220,13 +285,25 @@ func decodeFrame(data []byte) (typ byte, seq uint64, payload []byte, ok bool) {
 // Addr implements Transport.
 func (r *ReliableEndpoint) Addr() string { return r.inner.Addr() }
 
+// jitteredLocked spreads a delay ±20% so retransmissions to one
+// destination decorrelate instead of arriving as synchronized bursts.
+// Callers hold r.mu (the rng is not goroutine-safe).
+func (r *ReliableEndpoint) jitteredLocked(d time.Duration) time.Duration {
+	return d + time.Duration((r.rng.Float64()-0.5)*0.4*float64(d))
+}
+
 // Send implements Transport. The frame is tracked for retransmission until
 // the destination acknowledges it; an inner-send error is reported to the
-// caller with nothing tracked. Registration happens only after the first
-// transmit succeeds — registering first would let a concurrent retransmit
-// tick put a frame on the wire that Send then reports as failed, which
-// would permanently unbalance the termination counters above. The benign
-// converse race (the ack arriving before registration) only costs extra
+// caller with nothing tracked. When the destination already has MaxInflight
+// unacknowledged frames on the wire the frame is queued unsent instead (the
+// retransmit loop transmits it once a slot frees), so a dead peer cannot
+// make every later Send burn bandwidth on an unbounded backlog.
+//
+// On the fast path, registration happens only after the first transmit
+// succeeds — registering first would let a concurrent retransmit tick put a
+// frame on the wire that Send then reports as failed, which would
+// permanently unbalance the termination counters above. The benign converse
+// race (the ack arriving before registration) only costs extra
 // retransmissions: receivers re-ack every redelivery.
 func (r *ReliableEndpoint) Send(to string, data []byte) error {
 	if len(data) > MaxDatagram {
@@ -239,6 +316,15 @@ func (r *ReliableEndpoint) Send(to string, data []byte) error {
 	}
 	r.nextSeq[to]++
 	seq := r.nextSeq[to]
+	if r.inflight[to] >= r.cfg.maxInflight() {
+		if r.pending[to] == nil {
+			r.pending[to] = make(map[uint64]*unacked)
+		}
+		r.pending[to][seq] = &unacked{frame: encodeFrame(frameData, seq, data)}
+		r.mu.Unlock()
+		cDeferrals.Inc()
+		return nil
+	}
 	r.mu.Unlock()
 
 	frame := encodeFrame(frameData, seq, data)
@@ -249,9 +335,36 @@ func (r *ReliableEndpoint) Send(to string, data []byte) error {
 	if r.pending[to] == nil {
 		r.pending[to] = make(map[uint64]*unacked)
 	}
-	r.pending[to][seq] = &unacked{frame: frame}
+	base := r.cfg.interval()
+	r.pending[to][seq] = &unacked{
+		frame:    frame,
+		sentOnce: true,
+		backoff:  base,
+		nextAt:   time.Now().Add(r.jitteredLocked(base)),
+	}
+	r.inflight[to]++
 	r.mu.Unlock()
 	return nil
+}
+
+// Forget purges every trace of a destination: pending (sent and deferred)
+// frames, the in-flight slot count, the outbound sequence counter and the
+// inbound dedup window. Called when a peer is evicted so the endpoint stops
+// retransmitting to a corpse and stops holding state that can never be
+// reclaimed by acknowledgement. Returns how many pending frames were
+// dropped.
+func (r *ReliableEndpoint) Forget(addr string) int {
+	r.mu.Lock()
+	n := len(r.pending[addr])
+	delete(r.pending, addr)
+	delete(r.inflight, addr)
+	delete(r.nextSeq, addr)
+	delete(r.seen, addr)
+	r.mu.Unlock()
+	if n > 0 {
+		cForgotten.Add(int64(n))
+	}
+	return n
 }
 
 // Receive implements Transport.
@@ -318,7 +431,12 @@ func (r *ReliableEndpoint) recvLoop() {
 		case frameAck:
 			r.mu.Lock()
 			if m := r.pending[in.From]; m != nil {
-				delete(m, seq)
+				if u, ok := m[seq]; ok {
+					delete(m, seq)
+					if u.sentOnce {
+						r.inflight[in.From]--
+					}
+				}
 			}
 			r.mu.Unlock()
 		case frameData:
@@ -346,9 +464,16 @@ func (r *ReliableEndpoint) recvLoop() {
 	r.q.close()
 }
 
+// retransmitLoop wakes a few times per base interval and walks the pending
+// frames: deferred frames are transmitted when their destination has a free
+// in-flight slot, and sent frames past their deadline are re-sent with
+// their per-frame delay doubled (plus jitter) up to MaxBackoff — so a
+// responsive peer sees a prompt first retransmission while a dead one
+// converges to one frame per MaxBackoff instead of the whole backlog every
+// tick.
 func (r *ReliableEndpoint) retransmitLoop() {
 	defer r.wg.Done()
-	ticker := time.NewTicker(r.cfg.interval())
+	ticker := time.NewTicker(r.cfg.pollInterval())
 	defer ticker.Stop()
 	for {
 		select {
@@ -361,27 +486,59 @@ func (r *ReliableEndpoint) retransmitLoop() {
 			frame []byte
 		}
 		var due []resend
-		var lost int64
+		var lost, retrans, backed int64
+		base := r.cfg.interval()
+		maxBackoff := r.cfg.maxBackoff()
+		now := time.Now()
 		r.mu.Lock()
 		for to, m := range r.pending {
 			for seq, u := range m {
+				if !u.sentOnce {
+					// Deferred by the in-flight cap: transmit once a
+					// slot frees up.
+					if r.inflight[to] >= r.cfg.maxInflight() {
+						continue
+					}
+					u.sentOnce = true
+					u.backoff = base
+					u.nextAt = now.Add(r.jitteredLocked(base))
+					r.inflight[to]++
+					due = append(due, resend{to: to, frame: u.frame})
+					continue
+				}
+				if now.Before(u.nextAt) {
+					continue
+				}
 				u.attempts++
 				if r.cfg.MaxAttempts > 0 && u.attempts > r.cfg.MaxAttempts {
 					delete(m, seq)
+					r.inflight[to]--
 					r.losses++
 					lost++
 					continue
 				}
+				if u.backoff > base {
+					backed++
+				}
+				u.backoff *= 2
+				if u.backoff > maxBackoff {
+					u.backoff = maxBackoff
+				}
+				u.nextAt = now.Add(r.jitteredLocked(u.backoff))
 				due = append(due, resend{to: to, frame: u.frame})
+				retrans++
 			}
 		}
-		r.retransmits += int64(len(due))
+		r.retransmits += retrans
 		r.mu.Unlock()
 		if lost > 0 {
 			cLosses.Add(lost)
 		}
-		if len(due) > 0 {
-			cRetransmits.Add(int64(len(due)))
+		if retrans > 0 {
+			cRetransmits.Add(retrans)
+		}
+		if backed > 0 {
+			cBackoffs.Add(backed)
 		}
 		for _, d := range due {
 			_ = r.inner.Send(d.to, d.frame)

@@ -130,6 +130,11 @@ type UDPNetwork struct {
 	Strict bool
 	// Reliability tunes the ack/retransmit layer shared by all endpoints.
 	Reliability ReliableConfig
+	// Chaos, when set, interposes a scriptable fault engine between each
+	// raw socket and its reliable layer: injected drops/garbling become
+	// retransmission latency and injected partitions become silence,
+	// exactly as real packet faults would.
+	Chaos *ChaosEngine
 
 	mu  sync.Mutex
 	eps []*ReliableEndpoint
@@ -162,7 +167,11 @@ func (n *UDPNetwork) Listen(hint string) (Transport, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: bind %s: %w", bind, err)
 	}
-	ep := NewReliable(raw, n.Reliability)
+	var lower Transport = raw
+	if n.Chaos != nil {
+		lower = n.Chaos.Wrap(raw)
+	}
+	ep := NewReliable(lower, n.Reliability)
 	n.mu.Lock()
 	n.eps = append(n.eps, ep)
 	n.mu.Unlock()

@@ -31,7 +31,28 @@ type Control struct {
 	// Active reports whether the node held unprocessed local work at
 	// snapshot time.
 	Active bool
+	// Peers optionally breaks Sent/Recv down per remote address. After a
+	// peer is evicted mid-run, the wave sum must exclude message pairs
+	// involving it or the counters could never balance again (the dead
+	// peer's answers are gone forever); the breakdown lets the detector
+	// restrict each report to the surviving membership. Probes and
+	// pre-eviction reports omit it.
+	Peers []PeerCount
 }
+
+// PeerCount is one entry of a report's per-peer counter breakdown.
+type PeerCount struct {
+	// Addr is the remote transport address the counts are against.
+	Addr string
+	// Sent and Recv count application messages shipped to and fully
+	// processed from that address.
+	Sent uint64
+	Recv uint64
+}
+
+// maxCtrlPeerAddr bounds the address length a peer-count entry may carry
+// (real addresses are tens of bytes).
+const maxCtrlPeerAddr = 4096
 
 // EncodeControl serializes a control record.
 func EncodeControl(c Control) []byte {
@@ -43,6 +64,15 @@ func EncodeControl(c Control) []byte {
 		buf = append(buf, 1)
 	} else {
 		buf = append(buf, 0)
+	}
+	if len(c.Peers) > 0 {
+		buf = appendUvarint(buf, uint64(len(c.Peers)))
+		for _, p := range c.Peers {
+			buf = appendUvarint(buf, uint64(len(p.Addr)))
+			buf = append(buf, p.Addr...)
+			buf = appendUvarint(buf, p.Sent)
+			buf = appendUvarint(buf, p.Recv)
+		}
 	}
 	return buf
 }
@@ -68,9 +98,47 @@ func DecodeControl(buf []byte) (Control, error) {
 	if c.Recv, buf, err = readUvarint(buf); err != nil {
 		return c, err
 	}
-	if len(buf) != 1 || buf[0] > 1 {
+	if len(buf) == 0 || buf[0] > 1 {
 		return c, fmt.Errorf("wire: bad control trailer")
 	}
 	c.Active = buf[0] == 1
+	buf = buf[1:]
+	// Records from before the per-peer breakdown end here; newer reports
+	// append the breakdown after the active byte.
+	if len(buf) == 0 {
+		return c, nil
+	}
+	cnt, buf, err := readUvarint(buf)
+	if err != nil {
+		return c, err
+	}
+	// Every entry costs at least three bytes; a count beyond the remaining
+	// buffer is a lie.
+	if cnt > uint64(len(buf)) {
+		return c, ErrTruncated
+	}
+	c.Peers = make([]PeerCount, 0, cnt)
+	for i := uint64(0); i < cnt; i++ {
+		var p PeerCount
+		var n uint64
+		if n, buf, err = readUvarint(buf); err != nil {
+			return c, err
+		}
+		if n > maxCtrlPeerAddr || uint64(len(buf)) < n {
+			return c, ErrTruncated
+		}
+		p.Addr = string(buf[:n])
+		buf = buf[n:]
+		if p.Sent, buf, err = readUvarint(buf); err != nil {
+			return c, err
+		}
+		if p.Recv, buf, err = readUvarint(buf); err != nil {
+			return c, err
+		}
+		c.Peers = append(c.Peers, p)
+	}
+	if len(buf) != 0 {
+		return c, fmt.Errorf("wire: %d trailing bytes after control record", len(buf))
+	}
 	return c, nil
 }

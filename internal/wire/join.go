@@ -33,6 +33,11 @@ const (
 	// exit. Without the barrier, the first process to prove quiescence
 	// would vanish while slower peers' detectors still probe it.
 	CtrlBye CtrlType = 9
+	// CtrlEvict gossips a directory delta under the "evict" failure
+	// policy: the named members exhausted a survivor's unresponsiveness
+	// budget and are removed from the live membership. Members holds the
+	// evicted members.
+	CtrlEvict CtrlType = 10
 )
 
 // MemberInfo is one cluster member as carried by the join records: its
@@ -50,7 +55,8 @@ type MemberInfo struct {
 // unrelated cluster sharing the network are rejected instead of corrupting
 // membership. Members holds exactly one entry for CtrlJoin, CtrlMember,
 // CtrlReady and CtrlLeave (the announcing member), the full directory for
-// CtrlDirectory, and is empty for CtrlGo and CtrlBye.
+// CtrlDirectory, the evicted members for CtrlEvict, and is empty for
+// CtrlGo and CtrlBye.
 type Join struct {
 	Type    CtrlType
 	Cluster string
@@ -104,7 +110,7 @@ func DecodeJoin(buf []byte) (Join, error) {
 		return j, ErrTruncated
 	}
 	j.Type = CtrlType(buf[0])
-	if j.Type < CtrlJoin || j.Type > CtrlBye {
+	if j.Type < CtrlJoin || j.Type > CtrlEvict {
 		return j, fmt.Errorf("wire: bad join record type %d", buf[0])
 	}
 	buf = buf[1:]

@@ -21,6 +21,9 @@ func TestJoinRoundTrip(t *testing.T) {
 		}},
 		{Type: CtrlReady, Cluster: "pv3"},
 		{Type: CtrlGo, Cluster: "pv3"},
+		{Type: CtrlEvict, Cluster: "pv3", Members: []MemberInfo{
+			{Principal: "p4", Addr: "127.0.0.1:7104"},
+		}},
 	}
 	for _, want := range cases {
 		got, err := DecodeJoin(EncodeJoin(want))

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -174,13 +175,17 @@ func TestControlRoundTrip(t *testing.T) {
 		{Type: CtrlProbe, Wave: 7},
 		{Type: CtrlReport, Wave: 1 << 40, Sent: 12, Recv: 9, Active: true},
 		{Type: CtrlReport, Wave: 0, Sent: 0, Recv: 0, Active: false},
+		{Type: CtrlReport, Wave: 5, Sent: 10, Recv: 8, Peers: []PeerCount{
+			{Addr: "10.0.0.1:7000", Sent: 6, Recv: 5},
+			{Addr: "10.0.0.2:7000", Sent: 4, Recv: 3},
+		}},
 	}
 	for _, c := range cases {
 		got, err := DecodeControl(EncodeControl(c))
 		if err != nil {
 			t.Fatalf("%+v: %v", c, err)
 		}
-		if got != c {
+		if !reflect.DeepEqual(got, c) {
 			t.Errorf("control round trip: %+v -> %+v", c, got)
 		}
 	}
@@ -189,6 +194,19 @@ func TestControlRoundTrip(t *testing.T) {
 	}
 	if _, err := DecodeControl(EncodeControl(Control{Type: CtrlProbe})[:2]); err == nil {
 		t.Error("truncated control should be rejected")
+	}
+	// A legacy record without the breakdown decodes to nil Peers, and a
+	// breakdown with trailing garbage or a lying entry count is rejected.
+	legacy := EncodeControl(Control{Type: CtrlReport, Wave: 2, Sent: 1, Recv: 1})
+	if got, err := DecodeControl(legacy); err != nil || got.Peers != nil {
+		t.Errorf("legacy record: %+v, %v", got, err)
+	}
+	withPeers := EncodeControl(Control{Type: CtrlReport, Peers: []PeerCount{{Addr: "a:1", Sent: 1}}})
+	if _, err := DecodeControl(append(withPeers, 0xff)); err == nil {
+		t.Error("trailing bytes after peer breakdown should be rejected")
+	}
+	if _, err := DecodeControl(append(legacy, 0xff, 0xff, 0xff, 0xff, 0x0f)); err == nil {
+		t.Error("lying peer count should be rejected")
 	}
 	// A control record rides inside a MsgControl message.
 	m := Message{Kind: MsgControl, From: "a:1", Payloads: [][]byte{EncodeControl(Control{Type: CtrlProbe, Wave: 3})}}

@@ -1,0 +1,199 @@
+#!/usr/bin/env bash
+# Chaos smoke: real sbxnode OS processes over UDP loopback under injected
+# faults. Three scenarios, each with a deterministic pass criterion:
+#
+#  1. evict: a 5-node cluster with "on_failure": "evict" loses one member
+#     right after the ready barrier. The survivors must gossip the
+#     eviction, converge on the 4-node fixpoint, and produce a result set
+#     byte-identical to the in-process reference with the same principal
+#     muted (-allinone -mute p4: joined the directory, contributed no
+#     input facts). Eviction and retransmit-backoff counters must be
+#     visible on a live /metrics scrape.
+#
+#  2. abort: the same failure under the default "on_failure": "abort",
+#     scheduled through a chaos plan this time (crash at t=0). Survivors
+#     must fail with the typed unresponsive error (exit 3) naming the dead
+#     principal; the chaos-crashed node exits 7.
+#
+#  3. link faults: drop/dup/garble/reorder/delay on every directed link
+#     plus a timed partition. The reliable layer must grind through it to
+#     a result set byte-identical to the clean reference, with injected
+#     faults visible on /metrics.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+go build -o "$work/sbxnode" ./cmd/sbxnode
+
+# Scrape a /metrics endpoint continuously, keeping the last successful
+# scrape — the faulty run must be observable while it happens.
+scrape() { # addr outfile
+    while :; do
+        if curl -sf "http://$1/metrics" > "$2.tmp" 2>/dev/null; then
+            mv "$2.tmp" "$2"
+        fi
+        sleep 0.05
+    done
+}
+
+series_sum() { # file series
+    awk -v s="$2" '$1 ~ "^"s && $1 !~ /^#/ { sum += $NF } END { print sum+0 }' "$1"
+}
+
+echo "== scenario 1: peer eviction (5 nodes, on_failure=evict, p4 dies after join)"
+cat > "$work/evict.json" <<EOF
+{
+  "cluster": "ci-evict5",
+  "policy": "NoAuth",
+  "on_failure": "evict",
+  "workload": {"name": "pathvector", "seed": 42, "degree": 3},
+  "bootstrap_timeout": "60s",
+  "nodes": [
+    {"principal": "p0", "addr": "127.0.0.1:7601"},
+    {"principal": "p1", "addr": "127.0.0.1:0"},
+    {"principal": "p2", "addr": "127.0.0.1:0"},
+    {"principal": "p3", "addr": "127.0.0.1:0"},
+    {"principal": "p4", "addr": "127.0.0.1:0"}
+  ]
+}
+EOF
+
+# Reference: all five principals join the directory, but p4 contributes no
+# workload facts and its result lines are suppressed — exactly what the
+# survivors compute after evicting it.
+"$work/sbxnode" -config "$work/evict.json" -allinone -mute p4 -timeout 120s > "$work/evict.ref"
+[ -s "$work/evict.ref" ] || { echo "FAIL: empty muted reference result set"; exit 1; }
+
+debugaddr="127.0.0.1:7912"
+pids=()
+for p in p1 p2 p3; do
+    "$work/sbxnode" -config "$work/evict.json" -node "$p" -timeout 120s -unresponsive 3s > "$work/evict.$p.out" 2> "$work/evict.$p.err" &
+    pids+=($!)
+done
+"$work/sbxnode" -config "$work/evict.json" -node p4 -timeout 120s -dieafterjoin > /dev/null 2>&1 &
+pid4=$!
+scrape "$debugaddr" "$work/evict.metrics" &
+scraper=$!
+"$work/sbxnode" -config "$work/evict.json" -node p0 -timeout 120s -unresponsive 3s -debugaddr "$debugaddr" \
+    -metricsdump "$work/evict.p0.metrics" > "$work/evict.p0.out" 2> "$work/evict.p0.err"
+wait "${pids[@]}" "$pid4"
+kill "$scraper" 2>/dev/null || true
+wait "$scraper" 2>/dev/null || true
+
+# Whichever survivor's detector fires first evicts p4 and gossips the
+# delta; the rest converge silently. At least one must have reported it.
+grep -qh "evicting unresponsive \[p4\]" "$work"/evict.p[0-3].err \
+    || { echo "FAIL: no survivor reported evicting p4"; cat "$work"/evict.p[0-3].err; exit 1; }
+sort "$work"/evict.p[0-3].out > "$work/evict.got"
+if ! diff -u "$work/evict.ref" "$work/evict.got"; then
+    echo "FAIL: survivor result set differs from the muted reference"
+    exit 1
+fi
+[ -s "$work/evict.metrics" ] || { echo "FAIL: never scraped /metrics from the live p0 process"; exit 1; }
+# The eviction must be countable, and the retransmit path to the dead peer
+# must have backed off before the eviction purged it. Asserted on the
+# end-of-run dump: the eviction lands milliseconds before the process
+# exits, inside the live scraper's polling interval.
+for series in sbx_cluster_evictions_total sbx_transport_backoffs_total; do
+    val=$(series_sum "$work/evict.p0.metrics" "$series")
+    [ "$val" -gt 0 ] || { echo "FAIL: final-metrics series $series is $val, want > 0"; cat "$work/evict.p0.metrics"; exit 1; }
+done
+# Present even when zero: whether frames were still pending at eviction
+# time is a race, but the counter itself must exist.
+grep -q "^sbx_transport_forgotten_frames_total" "$work/evict.p0.metrics" \
+    || { echo "FAIL: final metrics lack sbx_transport_forgotten_frames_total"; exit 1; }
+echo "OK: survivors evicted p4 and matched the muted reference ($(wc -l < "$work/evict.got") rows)"
+
+echo "== scenario 2: abort policy, chaos-scheduled crash of p2 at t=0"
+cat > "$work/abort.json" <<EOF
+{
+  "cluster": "ci-abort3",
+  "policy": "NoAuth",
+  "workload": {"name": "pathvector", "seed": 42, "degree": 3},
+  "bootstrap_timeout": "60s",
+  "nodes": [
+    {"principal": "p0", "addr": "127.0.0.1:7611"},
+    {"principal": "p1", "addr": "127.0.0.1:0"},
+    {"principal": "p2", "addr": "127.0.0.1:0"}
+  ]
+}
+EOF
+cat > "$work/crash.json" <<EOF
+{"seed": 7, "crashes": [{"node": "p2", "at_ms": 0}]}
+EOF
+
+set +e
+"$work/sbxnode" -config "$work/abort.json" -node p1 -chaos "$work/crash.json" -timeout 60s -unresponsive 3s > /dev/null 2> "$work/abort.p1.err" &
+pid1=$!
+"$work/sbxnode" -config "$work/abort.json" -node p2 -chaos "$work/crash.json" -timeout 60s -unresponsive 3s > /dev/null 2>&1 &
+pid2=$!
+"$work/sbxnode" -config "$work/abort.json" -node p0 -chaos "$work/crash.json" -timeout 60s -unresponsive 3s > /dev/null 2> "$work/abort.p0.err"
+rc0=$?
+wait "$pid1"; rc1=$?
+wait "$pid2"; rc2=$?
+set -e
+
+[ "$rc2" -eq 7 ] || { echo "FAIL: chaos-crashed p2 exited $rc2, want 7"; exit 1; }
+for i in 0 1; do
+    rc_var="rc$i"
+    [ "${!rc_var}" -eq 3 ] || { echo "FAIL: survivor p$i exited ${!rc_var}, want 3 (typed detector error)"; cat "$work/abort.p$i.err"; exit 1; }
+    grep -q "no termination report from p2" "$work/abort.p$i.err" \
+        || { echo "FAIL: survivor p$i error does not name p2:"; cat "$work/abort.p$i.err"; exit 1; }
+done
+echo "OK: abort policy surfaced the typed unresponsive error naming p2; crashed node exited 7"
+
+echo "== scenario 3: lossy links and a timed partition, byte-identical anyway"
+cat > "$work/lossy.json" <<EOF
+{
+  "cluster": "ci-lossy3",
+  "policy": "NoAuth",
+  "workload": {"name": "pathvector", "seed": 42, "degree": 3},
+  "bootstrap_timeout": "60s",
+  "nodes": [
+    {"principal": "p0", "addr": "127.0.0.1:7621"},
+    {"principal": "p1", "addr": "127.0.0.1:0"},
+    {"principal": "p2", "addr": "127.0.0.1:0"}
+  ]
+}
+EOF
+cat > "$work/faults.json" <<EOF
+{
+  "seed": 11,
+  "links": [
+    {"from": "*", "to": "*", "drop": 0.15, "dup": 0.1, "garble": 0.05, "reorder": 0.1, "delay_ms": 1, "jitter_ms": 2}
+  ],
+  "partitions": [
+    {"a": ["p0"], "b": ["p1", "p2"], "at_ms": 500, "heal_ms": 2500}
+  ]
+}
+EOF
+
+"$work/sbxnode" -config "$work/lossy.json" -allinone -timeout 120s > "$work/lossy.ref"
+[ -s "$work/lossy.ref" ] || { echo "FAIL: empty clean reference result set"; exit 1; }
+
+debugaddr="127.0.0.1:7913"
+"$work/sbxnode" -config "$work/lossy.json" -node p1 -chaos "$work/faults.json" -timeout 120s > "$work/lossy.p1.out" 2>/dev/null &
+pid1=$!
+"$work/sbxnode" -config "$work/lossy.json" -node p2 -chaos "$work/faults.json" -timeout 120s > "$work/lossy.p2.out" 2>/dev/null &
+pid2=$!
+scrape "$debugaddr" "$work/lossy.metrics" &
+scraper=$!
+"$work/sbxnode" -config "$work/lossy.json" -node p0 -chaos "$work/faults.json" -timeout 120s -debugaddr "$debugaddr" \
+    -metricsdump "$work/lossy.p0.metrics" > "$work/lossy.p0.out"
+wait "$pid1" "$pid2"
+kill "$scraper" 2>/dev/null || true
+wait "$scraper" 2>/dev/null || true
+
+sort "$work"/lossy.p[0-2].out > "$work/lossy.got"
+if ! diff -u "$work/lossy.ref" "$work/lossy.got"; then
+    echo "FAIL: result set under chaos differs from the clean reference"
+    exit 1
+fi
+[ -s "$work/lossy.metrics" ] || { echo "FAIL: never scraped /metrics from the live p0 process"; exit 1; }
+faults=$(series_sum "$work/lossy.p0.metrics" "sbx_chaos_faults_total")
+[ "$faults" -gt 0 ] || { echo "FAIL: sbx_chaos_faults_total is $faults — the plan injected nothing"; cat "$work/lossy.p0.metrics"; exit 1; }
+retrans=$(series_sum "$work/lossy.p0.metrics" "sbx_transport_retransmits_total")
+[ "$retrans" -gt 0 ] || { echo "FAIL: sbx_transport_retransmits_total is $retrans under 15% loss"; exit 1; }
+echo "OK: byte-identical under chaos ($(wc -l < "$work/lossy.got") rows, $faults faults injected, $retrans retransmits)"

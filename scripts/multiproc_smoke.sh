@@ -57,7 +57,8 @@ pid2=$!
     done
 ) &
 scraper=$!
-"$work/sbxnode" -config "$work/cluster.json" -node p0 -timeout 120s -debugaddr "$debugaddr" > "$work/p0.out"
+"$work/sbxnode" -config "$work/cluster.json" -node p0 -timeout 120s -debugaddr "$debugaddr" \
+    -metricsdump "$work/final.metrics" > "$work/p0.out"
 wait "$pid1" "$pid2"
 kill "$scraper" 2>/dev/null || true
 wait "$scraper" 2>/dev/null || true
@@ -66,19 +67,21 @@ wait "$scraper" 2>/dev/null || true
 # An RSA pathvector run must show transactions, engine work, RSA
 # signatures and shipped bytes on the scraped node; with "parallelism": 2
 # in the config the stratified parallel evaluator must also report strata.
+# The sums come from the end-of-run dump (-metricsdump) rather than the
+# live scrape — the scraper's last read can race the process exit.
 for series in sbx_txns_total sbx_engine_index_probes_total sbx_rsa_sign_ops_total sbx_bytes_sent_total sbx_engine_strata_total; do
-    val=$(awk -v s="$series" '$1 ~ "^"s && $1 !~ /^#/ { sum += $NF } END { print sum+0 }' "$work/metrics.out")
-    [ "$val" -gt 0 ] || { echo "FAIL: /metrics series $series is $val, want > 0"; cat "$work/metrics.out"; exit 1; }
+    val=$(awk -v s="$series" '$1 ~ "^"s && $1 !~ /^#/ { sum += $NF } END { print sum+0 }' "$work/final.metrics")
+    [ "$val" -gt 0 ] || { echo "FAIL: metrics series $series is $val, want > 0"; cat "$work/final.metrics"; exit 1; }
 done
 # The parallel-evaluator series must at least be present (workers are idle
 # between fixpoints, and CSE only fires on shared body prefixes).
 for series in sbx_engine_workers_busy sbx_engine_cse_hits_total; do
-    grep -q "^$series" "$work/metrics.out" || { echo "FAIL: /metrics lacks $series"; exit 1; }
+    grep -q "^$series" "$work/final.metrics" || { echo "FAIL: metrics lack $series"; exit 1; }
 done
 # The UDP reliability counters must at least be present (zero is fine on
 # a healthy loopback).
 for series in sbx_transport_retransmits_total sbx_transport_dup_drops_total sbx_transport_crc_rejects_total; do
-    grep -q "^$series" "$work/metrics.out" || { echo "FAIL: /metrics lacks $series"; exit 1; }
+    grep -q "^$series" "$work/final.metrics" || { echo "FAIL: metrics lack $series"; exit 1; }
 done
 echo "OK: live /metrics scrape shows txns, engine probes, RSA signs, bytes shipped"
 
