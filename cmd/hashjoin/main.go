@@ -66,6 +66,11 @@ func main() {
 			log.Fatalf("debug server: %v", err)
 		}
 		defer stopDebug()
+		// The sweep has no cluster lifecycle: it is running the moment the
+		// server is up, so /readyz answers 200 for the whole run.
+		h := obs.DefaultHealth()
+		h.SetIdentity("hashjoin-sweep", "hashjoin")
+		_ = h.Advance(obs.StateRunning)
 		fmt.Printf("# observability endpoints on http://%s/metrics\n", addr)
 	}
 	cdfs, err := parseSizes(*cdfSizes)

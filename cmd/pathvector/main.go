@@ -69,6 +69,11 @@ func main() {
 			log.Fatalf("debug server: %v", err)
 		}
 		defer stopDebug()
+		// The sweep has no cluster lifecycle: it is running the moment the
+		// server is up, so /readyz answers 200 for the whole run.
+		h := obs.DefaultHealth()
+		h.SetIdentity("pathvector-sweep", "pathvector")
+		_ = h.Advance(obs.StateRunning)
 		fmt.Printf("# observability endpoints on http://%s/metrics\n", addr)
 	}
 

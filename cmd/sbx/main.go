@@ -8,11 +8,18 @@
 // co-partitioning findings with source positions and exits nonzero when any
 // error-class finding is reported.
 //
+// The top and trace subcommands are the cluster collector: top scrapes
+// /metrics and /healthz from every node of a running deployment and renders
+// a live per-node table; trace fetches /debug/spans from every node (or
+// reads -spandump files) and prints a derivation wave's causal tree.
+//
 // Usage:
 //
 //	sbx [-p policy.blox]... [-emit] [-dump pred1,pred2] query.dlb
 //	sbx vet [-p policy.blox]... query.dlb...
 //	sbx vet -builtin
+//	sbx top [-once] [-interval 2s] [-config cluster.json | addr...]
+//	sbx trace [-config cluster.json | -addrs a,b | -dump file...] [-list | <trace-id>]
 package main
 
 import (
@@ -40,8 +47,15 @@ func (p *policyList) Set(v string) error { *p = append(*p, v); return nil }
 
 func main() {
 	log.SetFlags(0)
-	if len(os.Args) > 1 && os.Args[1] == "vet" {
-		os.Exit(runVet(os.Args[2:]))
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "vet":
+			os.Exit(runVet(os.Args[2:]))
+		case "top":
+			os.Exit(runTop(os.Args[2:]))
+		case "trace":
+			os.Exit(runTrace(os.Args[2:]))
+		}
 	}
 	runQuery(os.Args[1:])
 }

@@ -1,11 +1,11 @@
 package main
 
 import (
+	"context"
 	"expvar"
-	"fmt"
-	"net"
 	"net/http"
 	"sync"
+	"time"
 
 	"secureblox/internal/dist"
 	"secureblox/internal/metrics"
@@ -103,11 +103,14 @@ func startDebugServer(addr string) (string, func(), error) {
 	// (tests, allinone) must not panic on duplicate patterns.
 	mux := http.NewServeMux()
 	obs.Mount(mux)
-	ln, err := net.Listen("tcp", addr)
+	ds, err := obs.StartDebugServer(addr, mux)
 	if err != nil {
-		return "", nil, fmt.Errorf("debug server: %w", err)
+		return "", nil, err
 	}
-	srv := &http.Server{Handler: mux}
-	go srv.Serve(ln)
-	return ln.Addr().String(), func() { srv.Close() }, nil
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = ds.Close(ctx)
+	}
+	return ds.Addr(), stop, nil
 }

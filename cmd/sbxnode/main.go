@@ -32,6 +32,7 @@ package main
 import (
 	"context"
 	"crypto/rand"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -64,6 +65,9 @@ type options struct {
 	vet          bool
 	debugAddr    string
 	metricsDump  string
+	spanDump     string
+	logDump      string
+	logLevel     string
 	timeout      time.Duration
 	unresponsive time.Duration
 	dieAfterJoin bool
@@ -83,6 +87,9 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.BoolVar(&o.vet, "vet", false, "statically analyze the config's workload program and exit (nonzero on error findings)")
 	fs.StringVar(&o.debugAddr, "debugaddr", "", "serve expvar debug counters over HTTP on this address (e.g. 127.0.0.1:8300)")
 	fs.StringVar(&o.metricsDump, "metricsdump", "", "write the final metrics registry (Prometheus text format) to this file on exit — end-of-run counters a live /metrics scrape can race past")
+	fs.StringVar(&o.spanDump, "spandump", "", "write the wave-trace span ring (JSON array) to this file on exit; `sbx trace -dump` reads these for offline wave reconstruction")
+	fs.StringVar(&o.logDump, "logdump", "", "write the structured event log ring (JSON array) to this file on exit")
+	fs.StringVar(&o.logLevel, "loglevel", "warn", "mirror structured log events at or above this level to stderr (debug|info|warn|error|off); the in-memory ring records every level regardless")
 	fs.DurationVar(&o.timeout, "timeout", 0, "abort the run after this long (0: no limit)")
 	fs.DurationVar(&o.unresponsive, "unresponsive", 15*time.Second, "declare a peer dead after it answers no probe for this long (0: wait forever)")
 	fs.BoolVar(&o.dieAfterJoin, "dieafterjoin", false, "fault injection: exit silently right after the ready barrier (tests a peer dying mid-run)")
@@ -95,6 +102,12 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintln(stderr, "sbxnode: -config is required")
 		return 1
 	}
+	lvl, err := obs.ParseLevel(o.logLevel)
+	if err != nil {
+		fmt.Fprintf(stderr, "sbxnode: -loglevel: %v\n", err)
+		return 1
+	}
+	obs.L().SetMirror(stderr, lvl)
 	cfg, err := cluster.LoadConfig(o.configPath)
 	if err != nil {
 		fmt.Fprintf(stderr, "sbxnode: %v\n", err)
@@ -117,6 +130,12 @@ func run(args []string, stdout, stderr *os.File) int {
 			fmt.Fprintf(stderr, "sbxnode: metrics dump: %v\n", werr)
 		}
 	}
+	if o.spanDump != "" {
+		writeJSONDump(o.spanDump, obs.Spans(), "span dump", stderr)
+	}
+	if o.logDump != "" {
+		writeJSONDump(o.logDump, obs.L().Events(), "log dump", stderr)
+	}
 	if err != nil {
 		fmt.Fprintf(stderr, "sbxnode: %v\n", err)
 		var ue *dist.UnresponsiveError
@@ -126,6 +145,19 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 1
 	}
 	return 0
+}
+
+// writeJSONDump writes v as indented JSON — the offline counterpart of the
+// /debug/spans and /debug/logs endpoints, for processes that exit before a
+// collector can scrape them.
+func writeJSONDump(path string, v any, what string, stderr *os.File) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err == nil {
+		err = os.WriteFile(path, append(data, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "sbxnode: %s: %v\n", what, err)
+	}
 }
 
 // generateKeys writes one PEM key file per node that names one, so a
@@ -163,12 +195,29 @@ func signalContext(timeout time.Duration) (context.Context, context.CancelFunc) 
 
 // runNode is the multi-process path: bind, join, assemble, barrier, run to
 // fixpoint, report, leave.
-func runNode(cfg *cluster.Config, o options, stdout *os.File) error {
+func runNode(cfg *cluster.Config, o options, stdout *os.File) (retErr error) {
 	ctx, cancel := signalContext(o.timeout)
 	defer cancel()
 
-	if o.debugAddr != "" {
-		_, stop, err := startDebugServer(o.debugAddr)
+	// The process-wide health state machine backs /healthz and /readyz;
+	// the cluster runtime advances it through the lifecycle below.
+	health := obs.DefaultHealth()
+	health.Reset()
+	health.SetIdentity(cfg.Cluster, o.node)
+	defer func() {
+		if retErr != nil {
+			health.Fail(retErr)
+		}
+	}()
+
+	debugAddr := o.debugAddr
+	if debugAddr == "" {
+		if i := cfg.NodeIndex(o.node); i >= 0 {
+			debugAddr = cfg.Nodes[i].DebugAddr
+		}
+	}
+	if debugAddr != "" {
+		_, stop, err := startDebugServer(debugAddr)
 		if err != nil {
 			return err
 		}
@@ -194,6 +243,7 @@ func runNode(cfg *cluster.Config, o options, stdout *os.File) error {
 	if err != nil {
 		return err
 	}
+	rt.Health = health
 	bctx, bcancel := context.WithTimeout(ctx, cfg.Timeout())
 	defer bcancel()
 	mem, err := rt.Join(bctx)
@@ -252,6 +302,7 @@ func runNode(cfg *cluster.Config, o options, stdout *os.File) error {
 	}
 
 	node.Start()
+	rt.MarkRunning()
 	facts, err := workloadFacts(cfg, mem, rt.Index())
 	if err != nil {
 		return err
@@ -273,10 +324,9 @@ func runNode(cfg *cluster.Config, o options, stdout *os.File) error {
 		if !cfg.EvictOnFailure() || !errors.As(err, &ue) {
 			return err
 		}
-		if evicted := rt.EvictDead(ue); len(evicted) > 0 {
-			fmt.Fprintf(os.Stderr, "sbxnode: %s: evicting unresponsive %v, converging on survivors\n",
-				rt.Principal(), evicted)
-		}
+		// The eviction itself is logged by the runtime ("evicting
+		// unresponsive"); the stderr mirror shows it at the default level.
+		rt.EvictDead(ue)
 	}
 
 	// Departure barrier: keep answering peers' termination probes until
@@ -287,7 +337,7 @@ func runNode(cfg *cluster.Config, o options, stdout *os.File) error {
 	dctx, dcancel := context.WithTimeout(ctx, cfg.Timeout())
 	defer dcancel()
 	if err := rt.DepartureBarrier(dctx); err != nil {
-		fmt.Fprintf(os.Stderr, "sbxnode: warning: departure barrier: %v\n", err)
+		obs.L().With(rt.Principal()).Warn("departure barrier failed", "err", err.Error())
 	}
 
 	// Graceful leave: drain the outbound sign-and-send stage (a no-op
@@ -384,6 +434,14 @@ func runAllInOne(cfg *cluster.Config, o options, stdout *os.File) error {
 		bindDebug(cfg.Cluster, "allinone", nodes[0], pools)
 	}
 
+	// No bootstrap handshake in-process, so the health machine jumps
+	// straight to running (Init -> Running is a legal edge for exactly
+	// this mode).
+	health := obs.DefaultHealth()
+	health.Reset()
+	health.SetIdentity(cfg.Cluster, "allinone")
+	_ = health.Advance(obs.StateRunning)
+
 	for _, nd := range nodes {
 		nd.Start()
 	}
@@ -418,13 +476,16 @@ func runAllInOne(cfg *cluster.Config, o options, stdout *os.File) error {
 		}
 	}
 	if err := det.WaitQuiescent(ctx); err != nil {
+		health.Fail(err)
 		return err
 	}
+	_ = health.Advance(obs.StateDraining)
 	// Stopping joins every transaction loop, making the workspaces safe to
 	// read (the deferred Stops become no-ops).
 	for _, nd := range nodes {
 		nd.Stop()
 	}
+	_ = health.Advance(obs.StateDone)
 	var all []string
 	for i, nd := range nodes {
 		if muted[cfg.Nodes[i].Principal] {

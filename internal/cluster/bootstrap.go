@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"secureblox/internal/obs"
 	"secureblox/internal/wire"
 )
 
@@ -79,6 +80,12 @@ func (rt *Runtime) Join(ctx context.Context) (*Membership, error) {
 	if rt.mem != nil {
 		return rt.mem, nil
 	}
+	if rt.Health != nil {
+		rt.Health.SetIdentity(rt.cfg.Cluster, rt.principal)
+	}
+	rt.hstep(obs.StateJoining)
+	rt.log().Info("joining cluster", "cluster", rt.cfg.Cluster,
+		"addr", rt.ep.Addr(), "seed", rt.seedAddr, "is_seed", rt.IsSeed())
 	var err error
 	if rt.IsSeed() {
 		rt.mem, err = rt.seedJoin(ctx)
@@ -86,6 +93,7 @@ func (rt *Runtime) Join(ctx context.Context) (*Membership, error) {
 		rt.mem, err = rt.announceAndAwaitDirectory(ctx)
 	}
 	if err != nil {
+		rt.MarkFailed(err)
 		return nil, err
 	}
 	// Distribute the directory's public keys into the local keystore: the
@@ -147,6 +155,8 @@ func (rt *Runtime) seedJoin(ctx context.Context) (*Membership, error) {
 			}
 			if _, dup := joined[m.Principal]; !dup {
 				arrival = append(arrival, m.Principal)
+				rt.log().Info("member joined", "member", m.Principal, "member_addr", m.Addr,
+					"joined", len(joined)+1, "expected", len(rt.cfg.Nodes))
 			}
 			joined[m.Principal] = m
 		}
@@ -158,6 +168,7 @@ func (rt *Runtime) seedJoin(ctx context.Context) (*Membership, error) {
 	}
 	rt.directory = rt.controlMsg(directoryRecord(rt.cfg.Cluster, mem))
 	rt.sendDirectory(mem)
+	rt.log().Info("directory distributed", "members", len(mem.Members))
 	return mem, nil
 }
 
@@ -210,6 +221,7 @@ func (rt *Runtime) announceAndAwaitDirectory(ctx context.Context) (*Membership, 
 				if err != nil {
 					return nil, err
 				}
+				rt.log().Info("directory received", "members", len(mem.Members))
 				return mem, nil
 			}
 		}
@@ -256,10 +268,19 @@ func (rt *Runtime) Ready(ctx context.Context) error {
 	if rt.mem == nil {
 		return fmt.Errorf("cluster %s: Ready before Join", rt.cfg.Cluster)
 	}
+	var err error
 	if rt.IsSeed() {
-		return rt.seedReady(ctx)
+		err = rt.seedReady(ctx)
+	} else {
+		err = rt.awaitGo(ctx)
 	}
-	return rt.awaitGo(ctx)
+	if err != nil {
+		rt.MarkFailed(err)
+		return err
+	}
+	rt.hstep(obs.StateReady)
+	rt.log().Info("ready barrier passed", "members", len(rt.mem.Members))
+	return nil
 }
 
 // seedReady collects readiness from every member, then releases the
@@ -344,6 +365,8 @@ func (rt *Runtime) DepartureBarrier(ctx context.Context) error {
 	if rt.ctrlCh == nil {
 		return fmt.Errorf("cluster %s: DepartureBarrier without BindNode", rt.cfg.Cluster)
 	}
+	rt.hstep(obs.StateDraining)
+	rt.log().Info("departure barrier entered")
 	if rt.IsSeed() {
 		return rt.seedDeparture(ctx)
 	}

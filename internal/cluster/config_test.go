@@ -76,6 +76,12 @@ func TestConfigValidationErrors(t *testing.T) {
 		{"negative size_a", func(c *Config) { c.Workload.SizeA = -900 }, "negative workload size_a -900"},
 		{"negative size_b", func(c *Config) { c.Workload.SizeB = -1 }, "negative workload size_b -1"},
 		{"negative join_values", func(c *Config) { c.Workload.JoinValues = -72 }, "negative workload join_values -72"},
+		{"bad debug_addr", func(c *Config) { c.Nodes[1].DebugAddr = "nope" }, `node "p1" debug_addr: unparseable address "nope"`},
+		{"debug_addr collides with listen addr", func(c *Config) { c.Nodes[1].DebugAddr = c.Nodes[0].Addr }, "share address"},
+		{"debug_addr collides with debug_addr", func(c *Config) {
+			c.Nodes[0].DebugAddr = "127.0.0.1:8300"
+			c.Nodes[1].DebugAddr = "127.0.0.1:8300"
+		}, "share address"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -86,6 +92,25 @@ func TestConfigValidationErrors(t *testing.T) {
 				t.Fatalf("err = %v, want substring %q", err, tc.want)
 			}
 		})
+	}
+}
+
+// TestConfigDebugAddrs: debug_addr entries validate like listen addresses
+// (port 0 allowed everywhere) and DebugAddrs returns them in node order.
+func TestConfigDebugAddrs(t *testing.T) {
+	c := testConfig(t, "NoAuth")
+	if got := c.DebugAddrs(); len(got) != 0 {
+		t.Fatalf("no debug_addr declared, got %v", got)
+	}
+	c.Nodes[0].DebugAddr = "127.0.0.1:8300"
+	c.Nodes[2].DebugAddr = "127.0.0.1:0"
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := c.DebugAddrs()
+	want := []string{"127.0.0.1:8300", "127.0.0.1:0"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("DebugAddrs = %v, want %v", got, want)
 	}
 }
 

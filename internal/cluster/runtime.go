@@ -32,6 +32,14 @@ func init() {
 // → caller assembles its workspace and node → Ready (barrier) → node
 // runs → Leave (drain + stop) → Close.
 type Runtime struct {
+	// Health, when set, is the lifecycle state machine the runtime
+	// advances through joining → ready → running → draining/evicting →
+	// done as the handshake, barriers and run proceed; /healthz and
+	// /readyz serve it. Set it before Join (sbxnode points it at
+	// obs.DefaultHealth(), the instance obs.Mount serves). Nil disables
+	// health tracking (in-process tests run many runtimes per process).
+	Health *obs.Health
+
 	cfg       *Config
 	spec      PolicySpec
 	principal string
@@ -92,6 +100,44 @@ func NewRuntime(cfg *Config, principal string, net transport.Network) (*Runtime,
 		rt.pubDER = seccrypto.MarshalPublicKey(&priv.PublicKey)
 	}
 	return rt, nil
+}
+
+// log returns the structured logger bound to this runtime's principal.
+func (rt *Runtime) log() *obs.Logger { return obs.L().With(rt.principal) }
+
+// hstep advances the health machine when one is attached. An illegal edge
+// is a wiring bug: it is logged rather than silently ignored, but never
+// fails the run — health is an observer, not a participant.
+func (rt *Runtime) hstep(to obs.HealthState) {
+	if rt.Health == nil {
+		return
+	}
+	if err := rt.Health.Advance(to); err != nil {
+		rt.log().Warn("health transition rejected", "err", err.Error())
+	}
+}
+
+// MarkRunning advances health to running — called once the node's
+// transaction loop is started and workload facts are asserted.
+func (rt *Runtime) MarkRunning() { rt.hstep(obs.StateRunning) }
+
+// MarkDone advances health through draining to done — the clean-exit
+// terminal step after Leave.
+func (rt *Runtime) MarkDone() {
+	if rt.Health == nil {
+		return
+	}
+	if rt.Health.State() != obs.StateDraining {
+		rt.hstep(obs.StateDraining)
+	}
+	rt.hstep(obs.StateDone)
+}
+
+// MarkFailed records a terminal failure on the health machine.
+func (rt *Runtime) MarkFailed(err error) {
+	if rt.Health != nil {
+		rt.Health.Fail(err)
+	}
 }
 
 // Principal returns the identity this runtime runs as.
@@ -162,6 +208,8 @@ func (rt *Runtime) BindDetector(det *dist.Detector) {
 // empty when gossip already delivered the delta, which still leaves the
 // caller free to retry WaitQuiescent.
 func (rt *Runtime) EvictDead(ue *dist.UnresponsiveError) []string {
+	rt.hstep(obs.StateEvicting)
+	defer rt.hstep(obs.StateRunning)
 	members := make([]wire.MemberInfo, 0, len(ue.Principals))
 	for i, p := range ue.Principals {
 		addr := p // detector without a name directory: principal is the addr
@@ -212,6 +260,11 @@ func (rt *Runtime) applyEviction(members []wire.MemberInfo, gossip bool) []strin
 		addrs[i] = m.Addr
 		principals[i] = m.Principal
 	}
+	source := "gossip"
+	if gossip {
+		source = "local detection"
+	}
+	rt.log().Warn("evicting unresponsive", "evicted", principals, "source", source)
 	if rt.node != nil {
 		rt.node.Evict(addrs...)
 	}
@@ -244,9 +297,16 @@ func (rt *Runtime) applyEviction(members []wire.MemberInfo, gossip bool) []strin
 // endpoint. The context bounds the flush; on expiry the node is stopped
 // anyway and the error returned.
 func (rt *Runtime) Leave(ctx context.Context, n *dist.Node) error {
+	if rt.Health != nil && rt.Health.State() != obs.StateDraining {
+		rt.hstep(obs.StateDraining)
+	}
 	err := n.Drain(ctx)
 	rt.flushEndpoint(ctx)
 	n.Stop()
+	if err == nil {
+		rt.log().Info("left cluster", "cluster", rt.cfg.Cluster)
+		rt.hstep(obs.StateDone)
+	}
 	return err
 }
 

@@ -254,6 +254,7 @@ func (n *Node) applyEvictions() {
 		}
 		n.evicted[addr] = true
 		fresh = true
+		obs.L().With(n.Principal).Info("peer cut off", "peer", addr)
 		if f, ok := n.ep.(interface{ Forget(string) int }); ok {
 			f.Forget(addr)
 		}
@@ -650,6 +651,7 @@ func (n *Node) syncExports() {
 // recordViolation registers one rejected batch or dropped message.
 func (n *Node) recordViolation(err error) {
 	n.Metrics.RecordViolation()
+	obs.L().With(n.Principal).Warn("constraint violation", "err", err.Error())
 	n.mu.Lock()
 	n.violations = append(n.violations, err)
 	n.mu.Unlock()

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Go runtime gauges: the process-level vitals `sbx top` shows next to the
+// workload counters. ReadMemStats stops the world, so one snapshot is
+// cached briefly and shared by every gauge a scrape reads.
+
+var memCache struct {
+	mu sync.Mutex
+	at time.Time
+	ms runtime.MemStats
+}
+
+// memStats returns a MemStats snapshot at most memStatsTTL old.
+const memStatsTTL = 250 * time.Millisecond
+
+func memStats() runtime.MemStats {
+	memCache.mu.Lock()
+	defer memCache.mu.Unlock()
+	if time.Since(memCache.at) > memStatsTTL {
+		runtime.ReadMemStats(&memCache.ms)
+		memCache.at = time.Now()
+	}
+	return memCache.ms
+}
+
+func init() {
+	r := Default()
+	r.Help("sbx_go_goroutines", "Live goroutines in the process.")
+	r.Help("sbx_go_heap_alloc_bytes", "Heap bytes allocated and in use.")
+	r.Help("sbx_go_heap_sys_bytes", "Heap bytes obtained from the OS.")
+	r.Help("sbx_go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.")
+	r.Help("sbx_go_gcs_total", "Completed GC cycles.")
+	r.GaugeFunc("sbx_go_goroutines", nil, func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("sbx_go_heap_alloc_bytes", nil, func() float64 { return float64(memStats().HeapAlloc) })
+	r.GaugeFunc("sbx_go_heap_sys_bytes", nil, func() float64 { return float64(memStats().HeapSys) })
+	r.GaugeFunc("sbx_go_gc_pause_seconds_total", nil, func() float64 {
+		return float64(memStats().PauseTotalNs) / 1e9
+	})
+	r.GaugeFunc("sbx_go_gcs_total", nil, func() float64 { return float64(memStats().NumGC) })
+}

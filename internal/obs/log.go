@@ -1,0 +1,344 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level classifies a log event's severity.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+	// LevelOff is above every event level: a sink threshold of LevelOff
+	// silences the sink entirely.
+	LevelOff
+)
+
+// String renders the level the way events serialize it.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return "off"
+	}
+}
+
+// ParseLevel parses a level name (as produced by String).
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	case "off", "none":
+		return LevelOff, nil
+	}
+	return LevelInfo, fmt.Errorf("obs: unknown log level %q (debug|info|warn|error|off)", s)
+}
+
+// Event is one structured log record. The first-class fields are the
+// correlation keys of the observability plane — principal ties an event to
+// a /metrics label set, trace/hop tie it to the span ring and BuildWave,
+// stage ties it to a pipeline stage — and Fields carries everything else.
+type Event struct {
+	Time      time.Time      `json:"ts"`
+	Level     string         `json:"level"`
+	Msg       string         `json:"msg"`
+	Principal string         `json:"principal,omitempty"`
+	Trace     uint64         `json:"trace,omitempty"`
+	Hop       int            `json:"hop,omitempty"`
+	Stage     string         `json:"stage,omitempty"`
+	Fields    map[string]any `json:"fields,omitempty"`
+}
+
+// logRingCap bounds the in-memory event ring. Overridable before first use
+// with SBX_LOG_RING_CAP (the span ring has the matching SBX_SPAN_RING_CAP).
+const logRingCap = 4096
+
+// logSink is the shared event store and mirror configuration behind every
+// Logger handle of the process.
+type logSink struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	full  bool
+	drops int64
+
+	out    io.Writer // optional human-readable mirror (stderr in the CLIs)
+	outMin Level
+
+	ringMin atomic.Int32
+}
+
+// Logger is a handle on the process's structured event log, optionally
+// bound to a principal. Handles are cheap; With returns a bound copy
+// sharing the same ring and mirror.
+type Logger struct {
+	sink      *logSink
+	principal string
+}
+
+var (
+	defaultSink   = &logSink{outMin: LevelOff}
+	defaultLogger = &Logger{sink: defaultSink}
+
+	cLogEvents map[Level]*Counter
+	cLogDrops  *Counter
+)
+
+func init() {
+	r := Default()
+	r.Help("sbx_log_events_total", "Structured log events recorded, by level.")
+	r.Help("sbx_log_dropped_total", "Log events overwritten in the bounded ring before being read.")
+	cLogEvents = map[Level]*Counter{
+		LevelDebug: r.Counter("sbx_log_events_total", Labels{"level": "debug"}),
+		LevelInfo:  r.Counter("sbx_log_events_total", Labels{"level": "info"}),
+		LevelWarn:  r.Counter("sbx_log_events_total", Labels{"level": "warn"}),
+		LevelError: r.Counter("sbx_log_events_total", Labels{"level": "error"}),
+	}
+	cLogDrops = r.Counter("sbx_log_dropped_total", nil)
+}
+
+// L returns the process-wide default logger.
+func L() *Logger { return defaultLogger }
+
+// With returns a logger stamping every event with the given principal.
+func (l *Logger) With(principal string) *Logger {
+	return &Logger{sink: l.sink, principal: principal}
+}
+
+// SetMirror mirrors events at or above min to w in a human-readable
+// logfmt-style line (the ring always records regardless). A nil writer or
+// LevelOff disables mirroring.
+func (l *Logger) SetMirror(w io.Writer, min Level) {
+	l.sink.mu.Lock()
+	l.sink.out = w
+	l.sink.outMin = min
+	l.sink.mu.Unlock()
+}
+
+// SetRingLevel drops events below min from the ring (default: keep all).
+func (l *Logger) SetRingLevel(min Level) { l.sink.ringMin.Store(int32(min)) }
+
+func ringCapFromEnv(env string, def int) int {
+	if v := os.Getenv(env); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+// Log records one event. kv are alternating key, value pairs folded into
+// Fields; a trailing key without a value is stored with a nil value.
+func (l *Logger) Log(level Level, msg string, kv ...any) {
+	e := Event{Level: level.String(), Msg: msg, Principal: l.principal}
+	if len(kv) > 0 {
+		e.Fields = make(map[string]any, (len(kv)+1)/2)
+		for i := 0; i < len(kv); i += 2 {
+			k, ok := kv[i].(string)
+			if !ok {
+				k = fmt.Sprint(kv[i])
+			}
+			if i+1 < len(kv) {
+				e.Fields[k] = kv[i+1]
+			} else {
+				e.Fields[k] = nil
+			}
+		}
+	}
+	l.emit(level, e)
+}
+
+// LogEvent records a fully populated event (correlation fields included).
+// The event's Level string is derived from level; Time is stamped here.
+func (l *Logger) LogEvent(level Level, e Event) {
+	e.Level = level.String()
+	if e.Principal == "" {
+		e.Principal = l.principal
+	}
+	l.emit(level, e)
+}
+
+func (l *Logger) emit(level Level, e Event) {
+	e.Time = time.Now()
+	if c := cLogEvents[level]; c != nil {
+		c.Inc()
+	}
+	s := l.sink
+	s.mu.Lock()
+	if level >= Level(s.ringMin.Load()) {
+		if s.buf == nil {
+			s.buf = make([]Event, ringCapFromEnv("SBX_LOG_RING_CAP", logRingCap))
+		}
+		if s.full {
+			s.drops++
+			cLogDrops.Inc()
+		}
+		s.buf[s.next] = e
+		s.next++
+		if s.next == len(s.buf) {
+			s.next = 0
+			s.full = true
+		}
+	}
+	out, outMin := s.out, s.outMin
+	s.mu.Unlock()
+	if out != nil && level >= outMin {
+		fmt.Fprintln(out, mirrorLine(e))
+	}
+}
+
+// mirrorLine renders an event as one human-readable logfmt-style line.
+func mirrorLine(e Event) string {
+	var sb strings.Builder
+	sb.WriteString(e.Time.UTC().Format("2006-01-02T15:04:05.000Z"))
+	sb.WriteString(" level=")
+	sb.WriteString(e.Level)
+	if e.Principal != "" {
+		sb.WriteString(" principal=")
+		sb.WriteString(e.Principal)
+	}
+	sb.WriteString(" msg=")
+	sb.WriteString(strconv.Quote(e.Msg))
+	if e.Trace != 0 {
+		fmt.Fprintf(&sb, " trace=%d hop=%d", e.Trace, e.Hop)
+	}
+	if e.Stage != "" {
+		sb.WriteString(" stage=")
+		sb.WriteString(e.Stage)
+	}
+	keys := make([]string, 0, len(e.Fields))
+	for k := range e.Fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&sb, " %s=%v", k, e.Fields[k])
+	}
+	return sb.String()
+}
+
+// Debug records a debug-level event.
+func (l *Logger) Debug(msg string, kv ...any) { l.Log(LevelDebug, msg, kv...) }
+
+// Info records an info-level event.
+func (l *Logger) Info(msg string, kv ...any) { l.Log(LevelInfo, msg, kv...) }
+
+// Warn records a warn-level event.
+func (l *Logger) Warn(msg string, kv ...any) { l.Log(LevelWarn, msg, kv...) }
+
+// Error records an error-level event.
+func (l *Logger) Error(msg string, kv ...any) { l.Log(LevelError, msg, kv...) }
+
+// Events returns the ring's current contents, oldest first.
+func (l *Logger) Events() []Event {
+	s := l.sink
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.buf == nil {
+		return nil
+	}
+	if !s.full {
+		return append([]Event(nil), s.buf[:s.next]...)
+	}
+	out := make([]Event, 0, len(s.buf))
+	out = append(out, s.buf[s.next:]...)
+	return append(out, s.buf[:s.next]...)
+}
+
+// EventDrops reports how many events were overwritten before being read.
+func (l *Logger) EventDrops() int64 {
+	l.sink.mu.Lock()
+	defer l.sink.mu.Unlock()
+	return l.sink.drops
+}
+
+// ResetEvents clears the ring (tests and benchmark iterations).
+func (l *Logger) ResetEvents() {
+	s := l.sink
+	s.mu.Lock()
+	s.buf, s.next, s.full, s.drops = nil, 0, false, 0
+	s.mu.Unlock()
+}
+
+// LogsHandler serves the event ring as a JSON array — the /debug/logs
+// endpoint a cluster collector scrapes alongside /metrics and /debug/spans.
+// Filters: ?level=<min level>, ?principal=<name>, ?trace=<id>,
+// ?n=<last N events>.
+func LogsHandler(l *Logger) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		events := l.Events()
+		q := req.URL.Query()
+		if v := q.Get("level"); v != "" {
+			min, err := ParseLevel(v)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			events = filterEvents(events, func(e Event) bool {
+				lv, perr := ParseLevel(e.Level)
+				return perr == nil && lv >= min
+			})
+		}
+		if v := q.Get("principal"); v != "" {
+			events = filterEvents(events, func(e Event) bool { return e.Principal == v })
+		}
+		if v := q.Get("trace"); v != "" {
+			id, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				http.Error(w, "bad trace id", http.StatusBadRequest)
+				return
+			}
+			events = filterEvents(events, func(e Event) bool { return e.Trace == id })
+		}
+		if v := q.Get("n"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			if n < len(events) {
+				events = events[len(events)-n:]
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(events)
+	})
+}
+
+func filterEvents(events []Event, keep func(Event) bool) []Event {
+	out := events[:0:0]
+	for _, e := range events {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -76,10 +76,12 @@ func NewTraceID() uint64 {
 	return id
 }
 
-// spanCap bounds the process-global span ring. At ~120 bytes per span this
-// caps tracing memory near 2 MB regardless of how many fixpoints one
-// process runs; older waves are overwritten by newer ones.
-const spanCap = 16384
+// defaultSpanCap bounds the process-global span ring. At ~120 bytes per
+// span this caps tracing memory near 2 MB regardless of how many fixpoints
+// one process runs; older waves are overwritten by newer ones. Overridable
+// with SetSpanCap or the SBX_SPAN_RING_CAP environment variable (read when
+// the ring is first allocated).
+const defaultSpanCap = 16384
 
 // spanRing is the process-global span store: one bounded ring all nodes of
 // the process record into. In multi-process deployments each process's
@@ -87,6 +89,7 @@ const spanCap = 16384
 // filter by Span.Node.
 type spanRing struct {
 	mu    sync.Mutex
+	cap   int
 	buf   []Span
 	next  int
 	full  bool
@@ -95,14 +98,45 @@ type spanRing struct {
 
 var spans spanRing
 
+// cSpanDrops mirrors ring overwrites into the registry: nonzero means
+// traces were silently lost between scrapes and the ring (or the scrape
+// interval) is too small for the workload.
+var cSpanDrops *Counter
+
+func init() {
+	r := Default()
+	r.Help("sbx_spans_dropped_total", "Trace spans overwritten in the bounded ring before being read.")
+	cSpanDrops = r.Counter("sbx_spans_dropped_total", nil)
+}
+
+// SetSpanCap resizes the span ring capacity (and clears it). Values < 1
+// restore the default. Meant for process startup; racing recorders lose
+// whatever they recorded before the resize.
+func SetSpanCap(n int) {
+	spans.mu.Lock()
+	spans.cap = n
+	spans.buf, spans.next, spans.full, spans.drops = nil, 0, false, 0
+	spans.mu.Unlock()
+}
+
+// spanCapLocked resolves the ring capacity: SetSpanCap wins, then
+// SBX_SPAN_RING_CAP, then the default.
+func (r *spanRing) capLocked() int {
+	if r.cap > 0 {
+		return r.cap
+	}
+	return ringCapFromEnv("SBX_SPAN_RING_CAP", defaultSpanCap)
+}
+
 // RecordSpan appends one span to the process-global ring.
 func RecordSpan(s Span) {
 	spans.mu.Lock()
 	if spans.buf == nil {
-		spans.buf = make([]Span, spanCap)
+		spans.buf = make([]Span, spans.capLocked())
 	}
 	if spans.full {
 		spans.drops++
+		cSpanDrops.Inc()
 	}
 	spans.buf[spans.next] = s
 	spans.next++

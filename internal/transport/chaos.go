@@ -169,13 +169,39 @@ func (e *ChaosEngine) Resolve(byAddr map[string]string) {
 }
 
 // Start begins the plan clock; before it the engine passes traffic through
-// untouched. Idempotent.
+// untouched. Idempotent. Scheduled faults (partitions cutting or healing,
+// crashes silencing a node) are announced on the structured log as the
+// clock reaches them, so a log dump lines injected faults up with the
+// symptoms they caused.
 func (e *ChaosEngine) Start() {
 	e.mu.Lock()
-	if e.start.IsZero() {
-		e.start = time.Now()
+	defer e.mu.Unlock()
+	if !e.start.IsZero() {
+		return
 	}
-	e.mu.Unlock()
+	e.start = time.Now()
+	announce := func(afterMs int, level obs.Level, msg string, kv ...any) {
+		t := time.AfterFunc(time.Duration(afterMs)*time.Millisecond, func() {
+			obs.L().Log(level, msg, kv...)
+		})
+		e.timer[t] = struct{}{}
+	}
+	for _, pt := range e.plan.Partitions {
+		announce(pt.AtMs, obs.LevelWarn, "chaos partition cut",
+			"side_a", fmt.Sprint(pt.A), "side_b", fmt.Sprint(pt.B))
+		if pt.HealMs > 0 {
+			announce(pt.HealMs, obs.LevelInfo, "chaos partition healed",
+				"side_a", fmt.Sprint(pt.A), "side_b", fmt.Sprint(pt.B))
+		}
+	}
+	for _, cr := range e.plan.Crashes {
+		kind := "crash"
+		if cr.HangMs > 0 {
+			kind = "hang"
+		}
+		announce(cr.AtMs, obs.LevelWarn, "chaos node silenced",
+			"node", cr.Node, "kind", kind)
+	}
 }
 
 // CrashAt reports the principal's crash/hang schedule entry, if any, as

@@ -363,6 +363,7 @@ func (r *ReliableEndpoint) Forget(addr string) int {
 	r.mu.Unlock()
 	if n > 0 {
 		cForgotten.Add(int64(n))
+		obs.L().Info("purged transport state for evicted peer", "peer", addr, "frames", n)
 	}
 	return n
 }
@@ -487,6 +488,7 @@ func (r *ReliableEndpoint) retransmitLoop() {
 		}
 		var due []resend
 		var lost, retrans, backed int64
+		var lostBy map[string]int64
 		base := r.cfg.interval()
 		maxBackoff := r.cfg.maxBackoff()
 		now := time.Now()
@@ -515,6 +517,10 @@ func (r *ReliableEndpoint) retransmitLoop() {
 					r.inflight[to]--
 					r.losses++
 					lost++
+					if lostBy == nil {
+						lostBy = make(map[string]int64)
+					}
+					lostBy[to]++
 					continue
 				}
 				if u.backoff > base {
@@ -533,6 +539,10 @@ func (r *ReliableEndpoint) retransmitLoop() {
 		r.mu.Unlock()
 		if lost > 0 {
 			cLosses.Add(lost)
+			for peer, n := range lostBy {
+				obs.L().Warn("frames abandoned after max retransmissions",
+					"peer", peer, "frames", n, "max_attempts", r.cfg.MaxAttempts)
+			}
 		}
 		if retrans > 0 {
 			cRetransmits.Add(retrans)

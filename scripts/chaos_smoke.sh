@@ -23,9 +23,23 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 work=$(mktemp -d)
-trap 'rm -rf "$work"' EXIT
+
+# On failure, keep the observability artifacts (log/metrics dumps, scrapes
+# and collector output) where CI can upload them.
+cleanup() {
+    rc=$?
+    if [ "$rc" -ne 0 ] && [ -n "${SMOKE_ARTIFACTS:-}" ]; then
+        mkdir -p "$SMOKE_ARTIFACTS"
+        cp "$work"/*.spans "$work"/*.logs "$work"/*.metrics "$work"/*.out "$work"/*.err "$SMOKE_ARTIFACTS"/ 2>/dev/null || true
+        echo "artifacts preserved in $SMOKE_ARTIFACTS"
+    fi
+    rm -rf "$work"
+    exit "$rc"
+}
+trap cleanup EXIT
 
 go build -o "$work/sbxnode" ./cmd/sbxnode
+go build -o "$work/sbx" ./cmd/sbx
 
 # Scrape a /metrics endpoint continuously, keeping the last successful
 # scrape — the faulty run must be observable while it happens.
@@ -51,7 +65,7 @@ cat > "$work/evict.json" <<EOF
   "workload": {"name": "pathvector", "seed": 42, "degree": 3},
   "bootstrap_timeout": "60s",
   "nodes": [
-    {"principal": "p0", "addr": "127.0.0.1:7601"},
+    {"principal": "p0", "addr": "127.0.0.1:7601", "debug_addr": "127.0.0.1:7912"},
     {"principal": "p1", "addr": "127.0.0.1:0"},
     {"principal": "p2", "addr": "127.0.0.1:0"},
     {"principal": "p3", "addr": "127.0.0.1:0"},
@@ -76,15 +90,42 @@ done
 pid4=$!
 scrape "$debugaddr" "$work/evict.metrics" &
 scraper=$!
-"$work/sbxnode" -config "$work/evict.json" -node p0 -timeout 120s -unresponsive 3s -debugaddr "$debugaddr" \
-    -metricsdump "$work/evict.p0.metrics" > "$work/evict.p0.out" 2> "$work/evict.p0.err"
-wait "${pids[@]}" "$pid4"
+# p0's debug server address comes from the config's debug_addr entry now.
+"$work/sbxnode" -config "$work/evict.json" -node p0 -timeout 120s -unresponsive 3s \
+    -metricsdump "$work/evict.p0.metrics" -logdump "$work/evict.p0.logs" > "$work/evict.p0.out" 2> "$work/evict.p0.err" &
+pid0=$!
+
+# The eviction run lasts at least the 3s unresponsiveness budget: wide
+# enough a window to watch /readyz flip to 200 and to point the cluster
+# collector at the live node.
+readyz() { curl -s -o /dev/null -w '%{http_code}' "http://$debugaddr/readyz" 2>/dev/null || true; }
+flipped=0
+for _ in $(seq 1 600); do
+    kill -0 "$pid0" 2>/dev/null || break
+    [ "$(readyz)" = 200 ] && { flipped=1; break; }
+    sleep 0.025
+done
+[ "$flipped" -eq 1 ] || { echo "FAIL: /readyz never flipped to 200 during the eviction run"; exit 1; }
+topok=0
+for _ in $(seq 1 400); do
+    kill -0 "$pid0" 2>/dev/null || break
+    if "$work/sbx" top --once "$debugaddr" > "$work/evict.top.out" 2>/dev/null; then
+        rows=$(awk '$1 == "p0" && $4 > 0 && $6 > 0 { n++ } END { print n+0 }' "$work/evict.top.out")
+        if [ "$rows" -eq 1 ]; then topok=1; break; fi
+    fi
+    sleep 0.025
+done
+[ "$topok" -eq 1 ] || { echo "FAIL: sbx top --once never showed p0 with nonzero TXNS and SENT"; cat "$work/evict.top.out" 2>/dev/null; exit 1; }
+echo "OK: /readyz flipped to 200 and sbx top --once rendered the live node"
+
+wait "$pid0" "${pids[@]}" "$pid4"
 kill "$scraper" 2>/dev/null || true
 wait "$scraper" 2>/dev/null || true
 
 # Whichever survivor's detector fires first evicts p4 and gossips the
-# delta; the rest converge silently. At least one must have reported it.
-grep -qh "evicting unresponsive \[p4\]" "$work"/evict.p[0-3].err \
+# delta; the rest converge silently. At least one must have reported it on
+# the structured log's stderr mirror.
+grep -qh 'msg="evicting unresponsive" evicted=\[p4\]' "$work"/evict.p[0-3].err \
     || { echo "FAIL: no survivor reported evicting p4"; cat "$work"/evict.p[0-3].err; exit 1; }
 sort "$work"/evict.p[0-3].out > "$work/evict.got"
 if ! diff -u "$work/evict.ref" "$work/evict.got"; then
